@@ -1,0 +1,36 @@
+//! # attacks — DMA-attack scenarios (§3, §4)
+//!
+//! Executable versions of the attacks that motivate the paper, run against
+//! every protection engine. Each scenario stages a victim, lets a
+//! [`devices::MaliciousDevice`] (modeling compromised NIC firmware — it
+//! uses the NIC's own requester id, so it enjoys every mapping the OS
+//! established for the NIC) mount the attack, and *observes* the outcome
+//! in simulated memory — nothing is asserted from specifications.
+//!
+//! The scenarios:
+//!
+//! - [`arbitrary_memory_probe`] — scan physical memory for a secret
+//!   (§1: "steal sensitive data"). Succeeds only without an IOMMU.
+//! - [`sub_page_theft`] — read data co-located on a DMA buffer's page
+//!   (§4 "no sub-page protection"). Succeeds for every page-granular
+//!   scheme; only DMA shadowing blocks it.
+//! - [`deferred_window_overwrite`] — modify a packet *after* the OS
+//!   inspected it, through the stale-IOTLB window left by a deferred
+//!   unmap (§2.2.1, §3). Succeeds for the deferred schemes.
+//! - [`use_after_free_corruption`] — §3's observed kernel crash: the
+//!   unmapped buffer is freed and reused for a kernel object, which the
+//!   attacker then corrupts through the open window.
+//!
+//! [`run_matrix`] executes everything against every engine and returns
+//! verdicts that integration tests compare against the paper's Table 1.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod matrix;
+mod scenarios;
+
+pub use matrix::{expected_table1, run_matrix, MatrixRow};
+pub use scenarios::{
+    arbitrary_memory_probe, deferred_window_overwrite, sub_page_theft, use_after_free_corruption,
+    AttackReport,
+};

@@ -1,0 +1,97 @@
+//! The attack × engine matrix — the executable form of the paper's
+//! Table 1.
+
+use crate::scenarios::{
+    arbitrary_memory_probe, deferred_window_overwrite, sub_page_theft, use_after_free_corruption,
+    AttackReport,
+};
+use netsim::EngineKind;
+
+/// One engine's observed security properties, derived from running the
+/// attacks (not from the engine's self-declared profile).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatrixRow {
+    /// Engine under test.
+    pub engine: EngineKind,
+    /// Blocked the arbitrary-memory probe (has *some* IOMMU protection).
+    pub iommu_protection: bool,
+    /// Blocked the sub-page co-location theft.
+    pub sub_page_protect: bool,
+    /// Blocked both window attacks (no single vulnerability window).
+    pub no_vulnerability_window: bool,
+    /// The raw reports.
+    pub reports: Vec<AttackReport>,
+}
+
+/// Runs every attack against `engine` and condenses the outcome into a
+/// Table 1 row.
+pub fn run_engine(engine: EngineKind) -> MatrixRow {
+    let probe = arbitrary_memory_probe(engine);
+    let subpage = sub_page_theft(engine);
+    let window = deferred_window_overwrite(engine);
+    let uaf = use_after_free_corruption(engine);
+    MatrixRow {
+        engine,
+        iommu_protection: !probe.succeeded,
+        sub_page_protect: !subpage.succeeded,
+        no_vulnerability_window: !window.succeeded && !uaf.succeeded,
+        reports: vec![probe, subpage, window, uaf],
+    }
+}
+
+/// Runs the whole matrix (all engines × all attacks).
+pub fn run_matrix() -> Vec<MatrixRow> {
+    EngineKind::ALL.iter().map(|&k| run_engine(k)).collect()
+}
+
+/// The paper's Table 1 claims: `(engine, iommu protection, sub-page
+/// protect, no single vulnerability window)`.
+pub fn expected_table1() -> Vec<(EngineKind, bool, bool, bool)> {
+    vec![
+        (EngineKind::NoIommu, false, false, false),
+        (EngineKind::Copy, true, true, true),
+        (EngineKind::IdentityMinus, true, false, false),
+        (EngineKind::IdentityPlus, true, false, true),
+        (EngineKind::EiovarDefer, true, false, false),
+        (EngineKind::EiovarStrict, true, false, true),
+        (EngineKind::LinuxDefer, true, false, false),
+        (EngineKind::LinuxStrict, true, false, true),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observed_matrix_matches_table1() {
+        let rows = run_matrix();
+        let expected = expected_table1();
+        for (engine, iommu, subpage, window) in expected {
+            let row = rows
+                .iter()
+                .find(|r| r.engine == engine)
+                .expect("engine in matrix");
+            assert_eq!(row.iommu_protection, iommu, "{engine}: iommu protection");
+            assert_eq!(row.sub_page_protect, subpage, "{engine}: sub-page");
+            assert_eq!(
+                row.no_vulnerability_window, window,
+                "{engine}: vulnerability window"
+            );
+        }
+    }
+
+    #[test]
+    fn only_copy_blocks_everything() {
+        for row in run_matrix() {
+            let fully_secure =
+                row.iommu_protection && row.sub_page_protect && row.no_vulnerability_window;
+            assert_eq!(
+                fully_secure,
+                row.engine == EngineKind::Copy,
+                "{:?}",
+                row.engine
+            );
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! The attack scenarios.
+
+use devices::MaliciousDevice;
+use dma_api::{Bus, DmaBuf, DmaDirection};
+use memsim::PAGE_SIZE;
+use netsim::{EngineKind, ExpConfig, SimStack};
+use simcore::{CoreCtx, CoreId, Cycles};
+use std::fmt;
+
+/// What an attack scenario observed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttackReport {
+    /// The attack's name.
+    pub attack: &'static str,
+    /// The engine under attack.
+    pub engine: &'static str,
+    /// Whether the attack achieved its goal.
+    pub succeeded: bool,
+    /// Human-readable evidence.
+    pub detail: String,
+}
+
+impl fmt::Display for AttackReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<28} vs {:<10}: {} ({})",
+            self.attack,
+            self.engine,
+            if self.succeeded { "SUCCEEDED" } else { "blocked" },
+            self.detail
+        )
+    }
+}
+
+const SECRET: &[u8] = b"TOP-SECRET-CRYPTO-KEY-0xDEADBEEF";
+
+fn rig(kind: EngineKind) -> (SimStack, CoreCtx) {
+    let stack = SimStack::new(kind, &ExpConfig::quick());
+    let mut ctx = CoreCtx::new(CoreId(0), stack.cost.clone());
+    ctx.seek(Cycles(1));
+    (stack, ctx)
+}
+
+/// The attacker models *compromised NIC firmware*: it issues DMAs with the
+/// NIC's own requester id over the same bus.
+fn attacker(stack: &SimStack) -> MaliciousDevice {
+    let bus = match stack.kind {
+        EngineKind::NoIommu => Bus::Direct(stack.mem.clone()),
+        _ => Bus::Iommu {
+            mmu: stack.mmu.clone(),
+            mem: stack.mem.clone(),
+        },
+    };
+    MaliciousDevice::new(netsim::NIC_DEV, bus)
+}
+
+/// §1-style reconnaissance + exfiltration: a secret lives somewhere in
+/// kernel memory with **no DMA mapping anywhere near it**; the attacker
+/// scans the physical address space hunting for it.
+pub fn arbitrary_memory_probe(kind: EngineKind) -> AttackReport {
+    let (stack, _ctx) = rig(kind);
+    let domain = stack.mem.topology().domain_of_core(CoreId(0));
+    let secret_pa = stack.kmalloc.alloc(64, domain).expect("victim alloc");
+    stack.mem.write(secret_pa, SECRET).expect("plant secret");
+
+    let evil = attacker(&stack);
+    // Scan the first 64 MB of the address space page by page.
+    let mut found = None;
+    for page in 0..(64 * 1024 * 1024 / PAGE_SIZE as u64) {
+        let addr = page * PAGE_SIZE as u64;
+        if let Some(off) = evil.hunt(addr, PAGE_SIZE, SECRET) {
+            found = Some(addr + off as u64);
+            break;
+        }
+    }
+    AttackReport {
+        attack: "arbitrary memory probe",
+        engine: kind.name(),
+        succeeded: found.is_some(),
+        detail: match found {
+            Some(a) => format!("secret exfiltrated from {:#x}", a),
+            None => format!(
+                "{} probe DMAs blocked",
+                evil.stats().2
+            ),
+        },
+    }
+}
+
+/// §4's sub-page weakness: the secret is kmalloc-co-located on the same
+/// page as a legitimately mapped DMA buffer. The attacker reads around the
+/// mapped buffer's device-visible address.
+pub fn sub_page_theft(kind: EngineKind) -> AttackReport {
+    let (stack, mut ctx) = rig(kind);
+    let domain = stack.mem.topology().domain_of_core(CoreId(0));
+    // Two 1 KB kmalloc objects: the slab packs them onto one page.
+    let dma_buf = stack.kmalloc.alloc(1000, domain).expect("dma buffer");
+    let secret_pa = stack.kmalloc.alloc(1000, domain).expect("victim alloc");
+    assert_eq!(dma_buf.pfn(), secret_pa.pfn(), "slab co-location");
+    stack.mem.write(secret_pa, SECRET).expect("plant secret");
+    stack
+        .mem
+        .fill(dma_buf, 0x41, 1000)
+        .expect("fill DMA buffer");
+
+    // The OS legitimately maps ONLY the 1000-byte buffer for the device.
+    let mapping = stack
+        .engine
+        .map(&mut ctx, DmaBuf::new(dma_buf, 1000), DmaDirection::ToDevice)
+        .expect("dma_map");
+
+    // The attacker reads the whole device-visible page around the mapping.
+    let evil = attacker(&stack);
+    let window = mapping.iova.get() & !(PAGE_SIZE as u64 - 1);
+    let found = evil.hunt(window, PAGE_SIZE, SECRET);
+
+    stack.engine.unmap(&mut ctx, mapping).expect("dma_unmap");
+    AttackReport {
+        attack: "sub-page co-location theft",
+        engine: kind.name(),
+        succeeded: found.is_some(),
+        detail: match found {
+            Some(off) => format!("secret read at page offset {off}"),
+            None => "page window holds no victim data".to_string(),
+        },
+    }
+}
+
+/// §3's firewall-bypass/window attack: a received packet passes inspection
+/// and is unmapped; the attacker then rewrites the buffer through the
+/// stale IOTLB entry before the deferred flush runs.
+pub fn deferred_window_overwrite(kind: EngineKind) -> AttackReport {
+    let (stack, mut ctx) = rig(kind);
+    let domain = stack.mem.topology().domain_of_core(CoreId(0));
+    let buf = stack.kmalloc.alloc(1500, domain).expect("rx buffer");
+    let mapping = stack
+        .engine
+        .map(&mut ctx, DmaBuf::new(buf, 1500), DmaDirection::FromDevice)
+        .expect("dma_map");
+
+    // A legitimate packet arrives (warming the IOTLB), the driver unmaps,
+    // and the OS inspects the now-owned buffer ("firewall approves it").
+    let evil = attacker(&stack);
+    let legit = vec![0x11u8; 1500];
+    evil.try_write(mapping.iova.get(), &legit)
+        .expect("legitimate delivery through live mapping");
+    stack.engine.unmap(&mut ctx, mapping).expect("dma_unmap");
+    let inspected = stack.mem.read_vec(buf, 1500).expect("OS reads buffer");
+    assert_eq!(inspected, legit, "OS saw the legitimate packet");
+
+    // ATTACK: rewrite the packet after inspection, before the flush timer.
+    let malicious = vec![0x66u8; 1500];
+    let write = evil.try_write(mapping.iova.get(), &malicious);
+    let after = stack.mem.read_vec(buf, 1500).expect("OS re-reads buffer");
+    let corrupted = after == malicious;
+    let _ = write;
+
+    // Close the window; afterwards the write must always fail.
+    stack.engine.flush_deferred(&mut ctx);
+    let late = evil.try_write(mapping.iova.get(), &malicious);
+    let late_corrupted = stack.mem.read_vec(buf, 1500).expect("read") == malicious
+        && !corrupted;
+    AttackReport {
+        attack: "deferred-window overwrite",
+        engine: kind.name(),
+        succeeded: corrupted || late_corrupted,
+        detail: if corrupted {
+            "packet rewritten after firewall inspection".to_string()
+        } else {
+            format!("buffer intact after unmap (late write: {:?})", late.is_ok())
+        },
+    }
+}
+
+/// §3's observed crash: the unmapped RX buffer is `kfree`d and its slot is
+/// immediately reused for a "critical kernel object". The attacker's
+/// stale-window write lands in the reused object — a kernel crash in the
+/// making. (The paper overwrote an unmapped buffer within 10 µs of
+/// `dma_unmap` and crashed Linux.)
+pub fn use_after_free_corruption(kind: EngineKind) -> AttackReport {
+    let (stack, mut ctx) = rig(kind);
+    let domain = stack.mem.topology().domain_of_core(CoreId(0));
+    let buf = stack.kmalloc.alloc(1500, domain).expect("rx buffer");
+    let mapping = stack
+        .engine
+        .map(&mut ctx, DmaBuf::new(buf, 1500), DmaDirection::FromDevice)
+        .expect("dma_map");
+    let evil = attacker(&stack);
+    evil.try_write(mapping.iova.get(), &vec![0x22u8; 1500])
+        .expect("legitimate delivery");
+    stack.engine.unmap(&mut ctx, mapping).expect("dma_unmap");
+
+    // The driver frees the skb; the allocator reuses the memory for a
+    // critical kernel object almost immediately.
+    stack.kmalloc.free(buf).expect("kfree");
+    let critical = stack.kmalloc.alloc(1500, domain).expect("reuse");
+    assert_eq!(critical.pfn(), buf.pfn(), "slab reuses the hot slot");
+    let object = b"vtable:0xffffffff81000000";
+    stack.mem.write(critical, object).expect("init object");
+
+    // ATTACK: scribble through the stale window (within the "10 us").
+    let _ = evil.try_write(mapping.iova.get(), &vec![0x99u8; 1500]);
+    let after = stack
+        .mem
+        .read_vec(critical, object.len())
+        .expect("kernel reads its object");
+    let crashed = after != object;
+
+    stack.engine.flush_deferred(&mut ctx);
+    AttackReport {
+        attack: "use-after-unmap corruption",
+        engine: kind.name(),
+        succeeded: crashed,
+        detail: if crashed {
+            "kernel object overwritten -> crash".to_string()
+        } else {
+            "kernel object intact".to_string()
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_succeeds_only_without_iommu() {
+        for kind in EngineKind::ALL {
+            let r = arbitrary_memory_probe(kind);
+            assert_eq!(
+                r.succeeded,
+                kind == EngineKind::NoIommu,
+                "{r}"
+            );
+        }
+    }
+
+    #[test]
+    fn sub_page_theft_blocked_only_by_copy() {
+        for kind in EngineKind::ALL {
+            let r = sub_page_theft(kind);
+            let expect_blocked = kind == EngineKind::Copy;
+            assert_eq!(r.succeeded, !expect_blocked, "{r}");
+        }
+    }
+
+    #[test]
+    fn window_overwrite_only_under_deferred_protection() {
+        for kind in EngineKind::ALL {
+            let r = deferred_window_overwrite(kind);
+            let expect_success = matches!(
+                kind,
+                EngineKind::NoIommu
+                    | EngineKind::IdentityMinus
+                    | EngineKind::LinuxDefer
+                    | EngineKind::EiovarDefer
+            );
+            assert_eq!(r.succeeded, expect_success, "{r}");
+        }
+    }
+
+    #[test]
+    fn use_after_free_mirrors_window() {
+        for kind in EngineKind::ALL {
+            let r = use_after_free_corruption(kind);
+            let expect_success = matches!(
+                kind,
+                EngineKind::NoIommu
+                    | EngineKind::IdentityMinus
+                    | EngineKind::LinuxDefer
+                    | EngineKind::EiovarDefer
+            );
+            assert_eq!(r.succeeded, expect_success, "{r}");
+        }
+    }
+}

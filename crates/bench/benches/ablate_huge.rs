@@ -1,0 +1,61 @@
+//! §5.5 ablation: huge DMA buffers — the hybrid head/tail-copy design vs
+//! strict zero-copy mapping vs (modeled) full copying.
+
+use dma_api::{DmaBuf, DmaDirection, DmaEngine, IdentityDma};
+use iommu::{DeviceId, Iommu};
+use memsim::{NumaTopology, PhysMemory, PAGE_SIZE};
+use shadow_core::{PoolConfig, ShadowDma};
+use simcore::{CoreCtx, CoreId, CostModel, Cycles};
+use std::sync::Arc;
+
+const DEV: DeviceId = DeviceId(0);
+
+fn run_cycle(engine: &dyn DmaEngine, ctx: &mut CoreCtx, buf: DmaBuf, iters: u32) -> f64 {
+    let start = ctx.now();
+    for _ in 0..iters {
+        let m = engine
+            .map(ctx, buf, DmaDirection::Bidirectional)
+            .expect("map");
+        engine.unmap(ctx, m).expect("unmap");
+    }
+    (ctx.now() - start).to_micros(ctx.cost.clock_ghz) / iters as f64
+}
+
+fn main() {
+    println!("==== Ablation: huge DMA buffers (§5.5) ====");
+    println!(
+        "{:<10} {:>16} {:>18} {:>16}",
+        "size", "hybrid us/op", "identity+ us/op", "full-copy us/op"
+    );
+    let cost = Arc::new(CostModel::haswell_2_4ghz());
+    for size in [128 * 1024usize, 512 * 1024, 2 * 1024 * 1024] {
+        let mem = Arc::new(PhysMemory::new(NumaTopology::dual_socket_haswell()));
+        let mmu = Arc::new(Iommu::new());
+        let shadow = ShadowDma::new(mem.clone(), mmu.clone(), DEV, PoolConfig::default());
+        let identity = IdentityDma::strict(mem.clone(), mmu.clone(), DEV);
+        let mut ctx = CoreCtx::new(CoreId(0), cost.clone());
+        ctx.seek(Cycles(1));
+        let pfn = mem
+            .alloc_frames(memsim::NumaDomain(0), (size / PAGE_SIZE) as u64 + 1)
+            .expect("buffer frames");
+        // Unaligned start so the hybrid path actually shadows head+tail.
+        let buf = DmaBuf::new(pfn.base().add(100), size);
+
+        let hybrid = run_cycle(&shadow, &mut ctx, buf, 50);
+        let ident = run_cycle(&identity, &mut ctx, buf, 50);
+        // Full copy (what naive shadowing would do): two memcpys of the
+        // whole buffer plus pool bookkeeping.
+        let full = (cost.memcpy(size, false) * 2 + cost.shadow_pool_op * 2)
+            .to_micros(cost.clock_ghz)
+            + cost.cache_pollution(size).to_micros(cost.clock_ghz) * 2.0;
+        println!(
+            "{:<10} {:>16.2} {:>18.2} {:>16.2}",
+            format!("{}KB", size / 1024),
+            hybrid,
+            ident,
+            full
+        );
+    }
+    println!("\n(hybrid ~ strict zero-copy, both far below full copying; DMA rates");
+    println!(" for such buffers are low, so the invalidation is affordable — §5.5)");
+}

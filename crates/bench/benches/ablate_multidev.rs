@@ -1,0 +1,105 @@
+//! Cross-device interference ablation: the invalidation queue is a
+//! *global* resource (§2.1 — one queue per IOMMU, one lock), so a single
+//! strictly-protected device degrades every other device on the machine.
+//! DMA shadowing never touches the queue, so a shadowed device is immune
+//! to — and causes no — interference.
+//!
+//! Setup: cores 0–7 drive a "victim" NIC under the engine on the row;
+//! cores 8–15 drive a second, strictly-protected (identity+) NIC through
+//! the same IOMMU. Reported: the victim's map/unmap throughput alone vs
+//! with the noisy neighbor.
+
+use dma_api::{DmaBuf, DmaDirection, DmaEngine, IdentityDma, LinuxDma, NoIommu};
+use iommu::{DeviceId, Iommu};
+use memsim::{NumaTopology, PhysMemory};
+use shadow_core::{PoolConfig, ShadowDma};
+use simcore::{CoreCtx, CoreId, CoreTask, CostModel, Cycles, MultiCoreSim, StepOutcome};
+use std::sync::Arc;
+
+const OPS: u64 = 20_000;
+
+fn victim_engine(name: &str, mem: Arc<PhysMemory>, mmu: Arc<Iommu>) -> Box<dyn DmaEngine> {
+    let dev = DeviceId(0);
+    match name {
+        "no iommu" => Box::new(NoIommu::new(mem, dev)),
+        "copy" => Box::new(ShadowDma::new(mem, mmu, dev, PoolConfig::default())),
+        "identity-" => Box::new(IdentityDma::deferred(mem, mmu, dev, 8)),
+        "identity+" => Box::new(IdentityDma::strict(mem, mmu, dev)),
+        _ => Box::new(LinuxDma::strict(mem, mmu, dev)),
+    }
+}
+
+/// Runs 8 victim cores (+ optionally 8 noisy identity+ cores on a second
+/// device); returns the victim's aggregate map/unmap ops per second.
+fn run(victim: &str, with_neighbor: bool) -> f64 {
+    let mem = Arc::new(PhysMemory::new(NumaTopology::dual_socket_haswell()));
+    let mmu = Arc::new(Iommu::new());
+    let v_eng = victim_engine(victim, mem.clone(), mmu.clone());
+    let n_eng = IdentityDma::strict(mem.clone(), mmu.clone(), DeviceId(1));
+    let cores = if with_neighbor { 16 } else { 8 };
+    let cost = Arc::new(CostModel::haswell_2_4ghz());
+    let mut sim = MultiCoreSim::new(cost, cores);
+    for ctx in sim.ctxs_mut() {
+        ctx.seek(Cycles(1));
+    }
+    let bufs: Vec<DmaBuf> = (0..cores)
+        .map(|i| {
+            let domain = mem.topology().domain_of_core(CoreId(i as u16));
+            DmaBuf::new(mem.alloc_frames(domain, 1).expect("buf").base(), 1500)
+        })
+        .collect();
+    let mut end_times = vec![Cycles::ZERO; 8];
+    {
+        let v = &v_eng;
+        let n = &n_eng;
+        let ends = std::cell::RefCell::new(&mut end_times);
+        let mut tasks: Vec<Box<dyn CoreTask + '_>> = (0..cores)
+            .map(|i| {
+                let buf = bufs[i];
+                let mut count = 0u64;
+                let ends = &ends;
+                Box::new(move |ctx: &mut CoreCtx| {
+                    let engine: &dyn DmaEngine = if i < 8 { v.as_ref() } else { n };
+                    let m = engine.map(ctx, buf, DmaDirection::FromDevice).expect("map");
+                    engine.unmap(ctx, m).expect("unmap");
+                    count += 1;
+                    if count >= OPS {
+                        if i < 8 {
+                            ends.borrow_mut()[i] = ctx.now();
+                        }
+                        StepOutcome::Done
+                    } else {
+                        StepOutcome::Continue
+                    }
+                }) as Box<dyn CoreTask + '_>
+            })
+            .collect();
+        sim.run(&mut tasks, Cycles::MAX);
+    }
+    let end = end_times.iter().copied().max().unwrap();
+    (8 * OPS) as f64 / end.to_secs(2.4)
+}
+
+fn main() {
+    println!("==== Ablation: cross-device interference via the shared invalidation queue ====");
+    println!(
+        "{:<12} {:>16} {:>18} {:>10}",
+        "victim", "alone (Mops/s)", "w/ strict NIC B", "slowdown"
+    );
+    // no-iommu is omitted: its map/unmap are no-ops, so the metric is
+    // meaningless (and trivially interference-free).
+    for victim in ["copy", "identity-", "identity+"] {
+        let alone = run(victim, false) / 1e6;
+        let noisy = run(victim, true) / 1e6;
+        println!(
+            "{:<12} {:>16.2} {:>18.2} {:>9.2}x",
+            victim,
+            alone,
+            noisy,
+            alone / noisy
+        );
+    }
+    println!("\n(strict zero-copy protection on ANY device throttles every other");
+    println!(" strictly-protected device; shadowed and unprotected devices never");
+    println!(" queue invalidations, so they neither suffer nor cause interference)");
+}

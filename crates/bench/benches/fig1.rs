@@ -1,0 +1,24 @@
+//! Figure 1: Linux TCP throughput (1500 B packets) over 40 Gb/s ethernet,
+//! single netperf instance and 16 instances, across all six engines —
+//! including the stock-Linux strict/defer baselines.
+
+use netsim::{tcp_stream_rx, EngineKind};
+
+fn main() {
+    // 1500 B packets on the wire = MTU-sized stream messages.
+    for cores in [1usize, 16] {
+        let cfg = bench::figure_cfg(cores, 1500);
+        let rows: Vec<_> = EngineKind::ALL
+            .iter()
+            .map(|&k| tcp_stream_rx(k, &cfg))
+            .collect();
+        println!(
+            "{}",
+            netsim::format_table(
+                &format!("==== Figure 1: TCP RX throughput, 1500 B, {cores} core(s) ===="),
+                &rows,
+                "no iommu"
+            )
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! Figure 10: CPU utilization breakdown of the TCP request/response test
+//! (64 KB message size).
+
+use netsim::tcp_rr;
+
+fn main() {
+    let cfg = netsim::ExpConfig {
+        msg_size: 64 * 1024,
+        items_per_core: 2_000,
+        warmup_per_core: 200,
+        ..netsim::ExpConfig::default()
+    };
+    let rows: Vec<_> = bench::FIGURE_ENGINES
+        .iter()
+        .map(|&k| tcp_rr(k, &cfg))
+        .collect();
+    bench::print_breakdown(
+        "Figure 10: TCP RR per-transaction CPU breakdown (64 KB msgs)",
+        &rows,
+    );
+    for r in &rows {
+        println!(
+            "{:<10} cpu {:>5.1}%  latency {:>6.1} us",
+            r.engine,
+            r.cpu * 100.0,
+            r.latency_us.unwrap()
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! Figure 11: memcached aggregated transactional throughput and CPU
+//! utilization (16 instances under memslap load).
+
+use netsim::memcached;
+
+fn main() {
+    let cfg = netsim::ExpConfig {
+        cores: 16,
+        msg_size: 1024, // memslap default value size
+        items_per_core: 3_000,
+        warmup_per_core: 300,
+        ..netsim::ExpConfig::default()
+    };
+    let rows: Vec<_> = bench::FIGURE_ENGINES
+        .iter()
+        .map(|&k| memcached(k, &cfg))
+        .collect();
+    println!("==== Figure 11: memcached (16 instances, memslap 90/10 GET/SET) ====");
+    println!(
+        "{:<10} {:>14} {:>8} {:>8}",
+        "engine", "Mtx/s", "rel", "cpu%"
+    );
+    let base = rows[0].transactions_per_sec.unwrap();
+    for r in &rows {
+        let t = r.transactions_per_sec.unwrap();
+        println!(
+            "{:<10} {:>14.2} {:>8.2} {:>8.1}",
+            r.engine,
+            t / 1e6,
+            t / base,
+            r.cpu * 100.0
+        );
+    }
+}

@@ -1,0 +1,11 @@
+//! Figure 3: single-core TCP receive (RX) throughput and CPU utilization
+//! across message sizes.
+
+fn main() {
+    bench::print_figure(
+        "Figure 3: single-core TCP RX (netperf TCP_STREAM)",
+        1,
+        &bench::MSG_SIZES,
+        netsim::tcp_stream_rx,
+    );
+}

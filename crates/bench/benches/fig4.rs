@@ -1,0 +1,11 @@
+//! Figure 4: single-core TCP transmit (TX) throughput and CPU utilization
+//! across message sizes.
+
+fn main() {
+    bench::print_figure(
+        "Figure 4: single-core TCP TX (netperf TCP_STREAM)",
+        1,
+        &bench::MSG_SIZES,
+        netsim::tcp_stream_tx,
+    );
+}

@@ -1,0 +1,9 @@
+//! Figure 5: average packet processing time breakdown in the single-core
+//! TCP throughput tests (64 KB message size).
+
+fn main() {
+    let rx = bench::run_engines(1, 64 * 1024, netsim::tcp_stream_rx);
+    bench::print_breakdown("Figure 5a: single-core RX breakdown (64 KB msgs)", &rx);
+    let tx = bench::run_engines(1, 64 * 1024, netsim::tcp_stream_tx);
+    bench::print_breakdown("Figure 5b: single-core TX breakdown (64 KB msgs)", &tx);
+}

@@ -1,0 +1,10 @@
+//! Figure 6: 16-core TCP receive (RX) throughput and CPU utilization.
+
+fn main() {
+    bench::print_figure(
+        "Figure 6: 16-core TCP RX (netperf TCP_STREAM)",
+        16,
+        &bench::MSG_SIZES,
+        netsim::tcp_stream_rx,
+    );
+}

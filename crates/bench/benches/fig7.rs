@@ -1,0 +1,10 @@
+//! Figure 7: 16-core TCP transmit (TX) throughput and CPU utilization.
+
+fn main() {
+    bench::print_figure(
+        "Figure 7: 16-core TCP TX (netperf TCP_STREAM)",
+        16,
+        &bench::MSG_SIZES,
+        netsim::tcp_stream_tx,
+    );
+}

@@ -1,0 +1,10 @@
+//! Figure 8: average packet processing time breakdown in the 16-core TCP
+//! throughput tests (64 KB message size) — where identity+'s invalidation
+//! queue lock contention becomes visible as spinlock time.
+
+fn main() {
+    let rx = bench::run_engines(16, 64 * 1024, netsim::tcp_stream_rx);
+    bench::print_breakdown("Figure 8a: 16-core RX breakdown (64 KB msgs)", &rx);
+    let tx = bench::run_engines(16, 64 * 1024, netsim::tcp_stream_tx);
+    bench::print_breakdown("Figure 8b: 16-core TX breakdown (64 KB msgs)", &tx);
+}

@@ -1,0 +1,36 @@
+//! Figure 9: TCP latency (single-core netperf TCP request/response).
+
+use netsim::tcp_rr;
+
+fn main() {
+    println!("==== Figure 9: TCP request/response latency ====");
+    println!(
+        "{:<10} {:>8} {:>12} {:>8} {:>8}",
+        "engine", "msgsize", "latency(us)", "rel", "cpu%"
+    );
+    for &size in &bench::MSG_SIZES {
+        let cfg = netsim::ExpConfig {
+            msg_size: size,
+            items_per_core: 3_000,
+            warmup_per_core: 300,
+            ..netsim::ExpConfig::default()
+        };
+        let rows: Vec<_> = bench::FIGURE_ENGINES
+            .iter()
+            .map(|&k| tcp_rr(k, &cfg))
+            .collect();
+        let base = rows[0].latency_us.unwrap();
+        for r in &rows {
+            let l = r.latency_us.unwrap();
+            println!(
+                "{:<10} {:>8} {:>12.1} {:>8.2} {:>8.1}",
+                r.engine,
+                size,
+                l,
+                l / base,
+                r.cpu * 100.0
+            );
+        }
+        println!();
+    }
+}

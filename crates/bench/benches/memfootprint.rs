@@ -1,0 +1,32 @@
+//! §6 "Memory consumption": shadow-pool footprint during the throughput
+//! benchmarks vs the worst-case bound.
+//!
+//! The paper bounds the pool at 16 K buffers per class per NUMA domain:
+//! 2 × (16K × 4 KB + 16K × 64 KB) ≈ 2.1 GB worst case, but observes only
+//! ~160 MB in practice because shadow buffers correspond to in-flight
+//! DMAs.
+
+use netsim::{tcp_stream_rx, tcp_stream_tx, EngineKind};
+
+fn main() {
+    let worst_case: u64 = 2 * (16 * 1024 * (4096 + 65536));
+    println!("==== Shadow buffer memory consumption ====");
+    println!(
+        "worst-case bound (16K buffers/class, 2 classes, 2 domains): {:.2} GB",
+        worst_case as f64 / (1 << 30) as f64
+    );
+    for cores in [1usize, 16] {
+        let cfg = bench::figure_cfg(cores, 64 * 1024);
+        let rx = tcp_stream_rx(EngineKind::Copy, &cfg);
+        let tx = tcp_stream_tx(EngineKind::Copy, &cfg);
+        let rx_b = rx.shadow_bytes_peak.unwrap_or(0);
+        let tx_b = tx.shadow_bytes_peak.unwrap_or(0);
+        println!(
+            "{cores:>2} core(s): RX shadow footprint {:>8.2} MB, TX {:>8.2} MB ({}x / {}x below worst case)",
+            rx_b as f64 / (1 << 20) as f64,
+            tx_b as f64 / (1 << 20) as f64,
+            worst_case.checked_div(rx_b).unwrap_or(0),
+            worst_case.checked_div(tx_b).unwrap_or(0),
+        );
+    }
+}

@@ -1,0 +1,136 @@
+//! Criterion micro-benchmarks of this implementation's hot paths (host
+//! time, not simulated time): shadow pool operations, IOVA codec,
+//! IOTLB, page table, and full map/unmap cycles per engine.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dma_api::{DmaBuf, DmaDirection, DmaEngine, IdentityDma, LinuxDma, NoIommu};
+use iommu::{DeviceId, Iommu, Iotlb, IovaPage, IoPageTable, Perms, PtEntry};
+use memsim::{NumaDomain, NumaTopology, PhysMemory, Pfn};
+use shadow_core::{IovaCodec, PoolConfig, ShadowDma, ShadowPool};
+use simcore::{CoreCtx, CoreId, CostModel, Cycles};
+use std::sync::Arc;
+
+const DEV: DeviceId = DeviceId(0);
+
+fn ctx() -> CoreCtx {
+    let mut c = CoreCtx::new(CoreId(0), Arc::new(CostModel::zero()));
+    c.seek(Cycles(1));
+    c
+}
+
+fn rig() -> (Arc<PhysMemory>, Arc<Iommu>) {
+    (
+        Arc::new(PhysMemory::new(NumaTopology::dual_socket_haswell())),
+        Arc::new(Iommu::new()),
+    )
+}
+
+fn bench_pool(c: &mut Criterion) {
+    let (mem, mmu) = rig();
+    let pool = ShadowPool::new(mem.clone(), mmu, DEV, PoolConfig::default());
+    let pfn = mem.alloc_frames(NumaDomain(0), 1).unwrap();
+    let buf = DmaBuf::new(pfn.base(), 1500);
+    let mut cx = ctx();
+    // Warm the free list.
+    let iova = pool.acquire_shadow(&mut cx, buf, Perms::Write).unwrap();
+    pool.release_shadow(&mut cx, iova).unwrap();
+
+    c.bench_function("pool_acquire_release_warm", |b| {
+        b.iter(|| {
+            let iova = pool.acquire_shadow(&mut cx, buf, Perms::Write).unwrap();
+            pool.release_shadow(&mut cx, iova).unwrap();
+        })
+    });
+    let iova = pool.acquire_shadow(&mut cx, buf, Perms::Write).unwrap();
+    c.bench_function("pool_find_shadow", |b| {
+        b.iter(|| pool.find_shadow(std::hint::black_box(iova)))
+    });
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let codec = IovaCodec::paper_default();
+    let iova = codec.encode(CoreId(5), Perms::Write, 1, 1234);
+    c.bench_function("iova_encode", |b| {
+        b.iter(|| codec.encode(CoreId(5), Perms::Write, 1, std::hint::black_box(1234)))
+    });
+    c.bench_function("iova_decode", |b| {
+        b.iter(|| codec.decode(std::hint::black_box(iova)))
+    });
+}
+
+fn bench_iotlb(c: &mut Criterion) {
+    let mut tlb = Iotlb::new(4096);
+    let e = PtEntry {
+        pfn: Pfn(7),
+        perms: Perms::ReadWrite,
+    };
+    for i in 0..1024 {
+        tlb.insert(DEV, IovaPage(i), e);
+    }
+    c.bench_function("iotlb_lookup_hit", |b| {
+        b.iter(|| tlb.lookup(DEV, IovaPage(std::hint::black_box(512))))
+    });
+    c.bench_function("iotlb_insert_evict", |b| {
+        let mut i = 10_000u64;
+        b.iter(|| {
+            i += 1;
+            tlb.insert(DEV, IovaPage(i), e);
+        })
+    });
+}
+
+fn bench_pagetable(c: &mut Criterion) {
+    c.bench_function("pagetable_map_unmap", |b| {
+        b.iter_batched(
+            IoPageTable::new,
+            |mut pt| {
+                pt.map(IovaPage(0x1234), Pfn(1), Perms::Read).unwrap();
+                pt.unmap(IovaPage(0x1234)).unwrap();
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let mut pt = IoPageTable::new();
+    pt.map(IovaPage(0x1234), Pfn(1), Perms::Read).unwrap();
+    c.bench_function("pagetable_translate", |b| {
+        b.iter(|| pt.translate(IovaPage(std::hint::black_box(0x1234))))
+    });
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("map_unmap_1500B");
+    type EngineCtor = fn(Arc<PhysMemory>, Arc<Iommu>) -> Box<dyn DmaEngine>;
+    let engines: [(&str, EngineCtor); 4] = [
+        ("no_iommu", |mem, _| Box::new(NoIommu::new(mem, DEV))),
+        ("copy", |mem, mmu| {
+            Box::new(ShadowDma::new(mem, mmu, DEV, PoolConfig::default()))
+        }),
+        ("identity_strict", |mem, mmu| {
+            Box::new(IdentityDma::strict(mem, mmu, DEV))
+        }),
+        ("linux_strict", |mem, mmu| {
+            Box::new(LinuxDma::strict(mem, mmu, DEV))
+        }),
+    ];
+    for (name, make) in engines {
+        let (mem, mmu) = rig();
+        let engine = make(mem.clone(), mmu);
+        let pfn = mem.alloc_frames(NumaDomain(0), 1).unwrap();
+        let buf = DmaBuf::new(pfn.base(), 1500);
+        let mut cx = ctx();
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let m = engine.map(&mut cx, buf, DmaDirection::FromDevice).unwrap();
+                engine.unmap(&mut cx, m).unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_pool, bench_codec, bench_iotlb, bench_pagetable, bench_engines
+);
+criterion_main!(benches);

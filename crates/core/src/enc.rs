@@ -1,0 +1,321 @@
+//! The shadow-buffer IOVA encoding (Figure 2).
+//!
+//! A shadow buffer's IOVA uniquely identifies its free list and its
+//! metadata slot, which is what makes `find_shadow` O(1) and release
+//! sticky:
+//!
+//! ```text
+//!  47       40 38  37                                  0
+//! ┌─┬─────────┬───┬─┬───────────────────────────────────┐
+//! │1│ core id │r/w│C│ metadata index · class size + off │
+//! └─┴─────────┴───┴─┴───────────────────────────────────┘
+//! ```
+//!
+//! The MSB distinguishes shadow-encoded IOVAs from the low half of the
+//! IOVA space, which is left to the fallback/zero-copy allocators. The
+//! prototype layout (7-bit core id, 2-bit rights, 1-bit size class,
+//! 37-bit index+offset) is the paper's; the field widths are configurable
+//! — the paper notes more size classes can be supported "by using less
+//! bits for the index and/or core id".
+
+use iommu::{Iova, Perms};
+use simcore::CoreId;
+
+/// A decoded shadow IOVA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodedIova {
+    /// Owner core (the free list the buffer returns to).
+    pub core: CoreId,
+    /// Device access rights of the buffer's free list.
+    pub rights: Perms,
+    /// Size-class index.
+    pub class: usize,
+    /// Metadata slot index within the owner domain's array for the class.
+    pub index: u64,
+    /// Byte offset within the shadow buffer.
+    pub offset: u64,
+}
+
+/// Encoder/decoder for shadow IOVAs with configurable field widths.
+///
+/// # Examples
+///
+/// ```
+/// use iommu::Perms;
+/// use shadow_core::IovaCodec;
+/// use simcore::CoreId;
+///
+/// let codec = IovaCodec::paper_default(); // 4 KB + 64 KB classes
+/// let iova = codec.encode(CoreId(3), Perms::Write, 0, 42);
+/// let d = codec.decode(iova.add(100)).expect("shadow-encoded");
+/// assert_eq!((d.core, d.class, d.index, d.offset), (CoreId(3), 0, 42, 100));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IovaCodec {
+    core_bits: u32,
+    class_bits: u32,
+    /// Size (bytes, power of two) of each size class.
+    class_sizes: Vec<usize>,
+}
+
+const IOVA_BITS: u32 = 48;
+const RIGHTS_BITS: u32 = 2;
+
+fn rights_code(p: Perms) -> u64 {
+    match p {
+        Perms::Read => 0,
+        Perms::Write => 1,
+        Perms::ReadWrite => 2,
+    }
+}
+
+fn rights_from_code(c: u64) -> Option<Perms> {
+    match c {
+        0 => Some(Perms::Read),
+        1 => Some(Perms::Write),
+        2 => Some(Perms::ReadWrite),
+        _ => None,
+    }
+}
+
+impl IovaCodec {
+    /// Creates a codec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a class size is not a power of two, classes don't fit in
+    /// `class_bits`, or the fields exceed the 47 usable bits.
+    pub fn new(core_bits: u32, class_bits: u32, class_sizes: Vec<usize>) -> Self {
+        assert!(!class_sizes.is_empty(), "need at least one size class");
+        assert!(
+            class_sizes.len() <= (1usize << class_bits),
+            "too many classes for {class_bits} class bits"
+        );
+        assert!(
+            class_sizes.windows(2).all(|w| w[0] < w[1]),
+            "class sizes must be strictly increasing"
+        );
+        for &s in &class_sizes {
+            assert!(s.is_power_of_two(), "class size {s} not a power of two");
+        }
+        assert!(
+            core_bits + RIGHTS_BITS + class_bits < IOVA_BITS - 1,
+            "fields exceed IOVA width"
+        );
+        IovaCodec {
+            core_bits,
+            class_bits,
+            class_sizes,
+        }
+    }
+
+    /// The paper's prototype layout: 7-bit core id, 1-bit size class,
+    /// classes 4 KB and 64 KB (§5.3).
+    pub fn paper_default() -> Self {
+        IovaCodec::new(7, 1, vec![4096, 65536])
+    }
+
+    /// The configured size classes.
+    pub fn class_sizes(&self) -> &[usize] {
+        &self.class_sizes
+    }
+
+    /// The size in bytes of class `class`.
+    pub fn class_size(&self, class: usize) -> usize {
+        self.class_sizes[class]
+    }
+
+    /// The smallest class that fits `len` bytes, or `None` if `len`
+    /// exceeds the largest class (the huge-buffer path takes over).
+    pub fn class_for(&self, len: usize) -> Option<usize> {
+        self.class_sizes.iter().position(|&s| s >= len)
+    }
+
+    /// Maximum core id representable.
+    pub fn max_cores(&self) -> u16 {
+        1u16 << self.core_bits.min(15)
+    }
+
+    /// Bits available for `index * class_size + offset`.
+    pub fn payload_bits(&self) -> u32 {
+        IOVA_BITS - 1 - self.core_bits - RIGHTS_BITS - self.class_bits
+    }
+
+    /// Maximum number of metadata slots addressable for a class.
+    pub fn max_index(&self, class: usize) -> u64 {
+        (1u64 << self.payload_bits()) / self.class_sizes[class] as u64
+    }
+
+    /// Encodes the base IOVA (offset 0) of a shadow buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any field is out of range.
+    pub fn encode(&self, core: CoreId, rights: Perms, class: usize, index: u64) -> Iova {
+        assert!((core.0 as u64) < (1u64 << self.core_bits), "core id too large");
+        assert!(class < self.class_sizes.len(), "bad class");
+        assert!(index < self.max_index(class), "metadata index out of range");
+        let payload_bits = self.payload_bits();
+        let class_shift = payload_bits;
+        let rights_shift = class_shift + self.class_bits;
+        let core_shift = rights_shift + RIGHTS_BITS;
+        let v = (1u64 << (IOVA_BITS - 1))
+            | ((core.0 as u64) << core_shift)
+            | (rights_code(rights) << rights_shift)
+            | ((class as u64) << class_shift)
+            | (index * self.class_sizes[class] as u64);
+        Iova::new(v)
+    }
+
+    /// Decodes a shadow IOVA; returns `None` if the MSB is clear (not a
+    /// shadow-encoded address) or a field is malformed.
+    pub fn decode(&self, iova: Iova) -> Option<DecodedIova> {
+        let v = iova.get();
+        if v >> (IOVA_BITS - 1) == 0 {
+            return None;
+        }
+        let payload_bits = self.payload_bits();
+        let class_shift = payload_bits;
+        let rights_shift = class_shift + self.class_bits;
+        let core_shift = rights_shift + RIGHTS_BITS;
+        let mask = |bits: u32| (1u64 << bits) - 1;
+        let core = (v >> core_shift) & mask(self.core_bits);
+        let rights = rights_from_code((v >> rights_shift) & mask(RIGHTS_BITS))?;
+        let class = ((v >> class_shift) & mask(self.class_bits)) as usize;
+        if class >= self.class_sizes.len() {
+            return None;
+        }
+        let payload = v & mask(payload_bits);
+        let size = self.class_sizes[class] as u64;
+        Some(DecodedIova {
+            core: CoreId(core as u16),
+            rights,
+            class,
+            index: payload / size,
+            offset: payload % size,
+        })
+    }
+}
+
+impl Default for IovaCodec {
+    fn default() -> Self {
+        IovaCodec::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_layout_field_positions() {
+        // Spot-check against Figure 2: 1 | core(7) | rw(2) | C(1) | 37 bits.
+        let c = IovaCodec::paper_default();
+        assert_eq!(c.payload_bits(), 37);
+        let iova = c.encode(CoreId(0), Perms::Read, 0, 0);
+        assert_eq!(iova.get(), 1u64 << 47, "only the MSB set");
+        let iova = c.encode(CoreId(1), Perms::Read, 0, 0);
+        assert_eq!(iova.get(), (1u64 << 47) | (1u64 << 40), "core at bit 40");
+        let iova = c.encode(CoreId(0), Perms::Write, 0, 0);
+        assert_eq!(iova.get(), (1u64 << 47) | (1u64 << 38), "rights at bit 38");
+        let iova = c.encode(CoreId(0), Perms::Read, 1, 0);
+        assert_eq!(iova.get(), (1u64 << 47) | (1u64 << 37), "class at bit 37");
+        let iova = c.encode(CoreId(0), Perms::Read, 0, 1);
+        assert_eq!(iova.get(), (1u64 << 47) | 4096, "index scaled by class size");
+    }
+
+    #[test]
+    fn roundtrip_all_fields() {
+        let c = IovaCodec::paper_default();
+        for core in [0u16, 1, 63, 127] {
+            for rights in Perms::ALL {
+                for class in 0..2usize {
+                    for index in [0u64, 1, 1000, c.max_index(class) - 1] {
+                        let iova = c.encode(CoreId(core), rights, class, index);
+                        let d = c.decode(iova).expect("decodes");
+                        assert_eq!(d.core, CoreId(core));
+                        assert_eq!(d.rights, rights);
+                        assert_eq!(d.class, class);
+                        assert_eq!(d.index, index);
+                        assert_eq!(d.offset, 0);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn offsets_decode_within_buffer() {
+        let c = IovaCodec::paper_default();
+        let base = c.encode(CoreId(3), Perms::Write, 1, 42);
+        let mid = base.add(30_000);
+        let d = c.decode(mid).unwrap();
+        assert_eq!(d.index, 42);
+        assert_eq!(d.offset, 30_000);
+        assert_eq!(d.class, 1);
+    }
+
+    #[test]
+    fn msb_clear_is_not_shadow() {
+        let c = IovaCodec::paper_default();
+        assert!(c.decode(Iova::new(0x1234_5000)).is_none());
+        assert!(c.decode(Iova::new((1u64 << 47) - 1)).is_none());
+    }
+
+    #[test]
+    fn class_for_selects_smallest_fit() {
+        let c = IovaCodec::paper_default();
+        assert_eq!(c.class_for(1), Some(0));
+        assert_eq!(c.class_for(1500), Some(0));
+        assert_eq!(c.class_for(4096), Some(0));
+        assert_eq!(c.class_for(4097), Some(1));
+        assert_eq!(c.class_for(65536), Some(1));
+        assert_eq!(c.class_for(65537), None, "huge path takes over");
+    }
+
+    #[test]
+    fn max_index_matches_paper() {
+        // Paper: class C can have at most 2^(37 - log2 C) buffers.
+        let c = IovaCodec::paper_default();
+        assert_eq!(c.max_index(0), 1u64 << 25); // 4 KB
+        assert_eq!(c.max_index(1), 1u64 << 21); // 64 KB
+    }
+
+    #[test]
+    fn generalized_layout_with_three_classes() {
+        // The documented extension: 6-bit core, 2-bit class, sub-page class.
+        let c = IovaCodec::new(6, 2, vec![1024, 4096, 65536]);
+        assert_eq!(c.payload_bits(), 37);
+        let iova = c.encode(CoreId(33), Perms::ReadWrite, 2, 77);
+        let d = c.decode(iova.add(100)).unwrap();
+        assert_eq!(d.core, CoreId(33));
+        assert_eq!(d.class, 2);
+        assert_eq!(d.index, 77);
+        assert_eq!(d.offset, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_class_rejected() {
+        IovaCodec::new(7, 1, vec![1500]);
+    }
+
+    #[test]
+    #[should_panic(expected = "too many classes")]
+    fn class_count_must_fit_bits() {
+        IovaCodec::new(7, 1, vec![512, 4096, 65536]);
+    }
+
+    #[test]
+    #[should_panic(expected = "core id too large")]
+    fn core_range_checked() {
+        IovaCodec::paper_default().encode(CoreId(128), Perms::Read, 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of range")]
+    fn index_range_checked() {
+        let c = IovaCodec::paper_default();
+        c.encode(CoreId(0), Perms::Read, 1, c.max_index(1));
+    }
+}

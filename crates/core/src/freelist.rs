@@ -1,0 +1,238 @@
+//! The per-(core, size class, rights) shadow-buffer free list (§5.3).
+//!
+//! The list is a singly linked queue threaded through the metadata slots'
+//! `next` fields (free slots double as list nodes, Figure 2):
+//!
+//! - **Acquire** (pop from the head) is performed *only by the owner core*
+//!   and is lock-free, except when the list holds a single node — then the
+//!   pop briefly takes the tail lock to resolve the race with a concurrent
+//!   release appending to that same node.
+//! - **Release** (push to the tail) may come from *any* core and runs under
+//!   a lock co-located with the tail pointer. If the list was empty the
+//!   head pointer is updated too — safe because an owner that found the
+//!   list empty allocates a fresh buffer instead of retrying (§5.3).
+//!
+//! Head and tail state live apart (head is an atomic, tail is inside the
+//! lock) mirroring the paper's separate-cache-line layout.
+
+use crate::slot::{MetadataArray, NIL};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One shadow-buffer free list.
+#[derive(Debug)]
+pub struct FreeList {
+    /// Head slot index, or `NIL`. Written by the owner core's pops and by
+    /// releases that found the list empty (under the tail lock).
+    head: AtomicU64,
+    /// Tail slot index, or `NIL`. All release-side state is guarded here.
+    tail: Mutex<u64>,
+    /// Approximate length (exact under quiescence), for stats and reclaim.
+    len: AtomicU64,
+}
+
+impl Default for FreeList {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FreeList {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        FreeList {
+            head: AtomicU64::new(NIL),
+            tail: Mutex::new(NIL),
+            len: AtomicU64::new(0),
+        }
+    }
+
+    /// Approximate number of free buffers in the list.
+    pub fn len(&self) -> u64 {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// Whether the list is (approximately) empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Pops the head slot. **Must only be called by the list's owner
+    /// core** (single consumer); violating this is a protocol bug.
+    pub(crate) fn pop(&self, slots: &MetadataArray) -> Option<u64> {
+        let h = self.head.load(Ordering::Acquire);
+        if h == NIL {
+            return None;
+        }
+        let next = slots.slot(h).next.load(Ordering::Acquire);
+        if next != NIL {
+            // ≥2 nodes: releases touch only the tail; the pop is private.
+            self.head.store(next, Ordering::Release);
+        } else {
+            // Possibly the last node: serialize with releases, which may be
+            // concurrently linking a new node behind `h`.
+            let mut tail = self.tail.lock();
+            let next = slots.slot(h).next.load(Ordering::Acquire);
+            if next == NIL {
+                debug_assert_eq!(*tail, h, "single node must be the tail");
+                self.head.store(NIL, Ordering::Release);
+                *tail = NIL;
+            } else {
+                self.head.store(next, Ordering::Release);
+            }
+        }
+        slots.slot(h).next.store(NIL, Ordering::Release);
+        self.len.fetch_sub(1, Ordering::Relaxed);
+        Some(h)
+    }
+
+    /// Appends a slot to the tail; callable from any core.
+    pub(crate) fn push(&self, slots: &MetadataArray, index: u64) {
+        slots.slot(index).next.store(NIL, Ordering::Release);
+        let mut tail = self.tail.lock();
+        if *tail == NIL {
+            debug_assert_eq!(self.head.load(Ordering::Acquire), NIL);
+            self.head.store(index, Ordering::Release);
+        } else {
+            slots.slot(*tail).next.store(index, Ordering::Release);
+        }
+        *tail = index;
+        self.len.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Drains up to `max` slots from the list (owner core only); used by
+    /// memory-pressure reclaim.
+    pub(crate) fn drain(&self, slots: &MetadataArray, max: usize) -> Vec<u64> {
+        let mut out = Vec::new();
+        while out.len() < max {
+            match self.pop(slots) {
+                Some(i) => out.push(i),
+                None => break,
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arr(n: u64) -> MetadataArray {
+        let a = MetadataArray::new(n);
+        for _ in 0..n {
+            a.reserve();
+        }
+        a
+    }
+
+    #[test]
+    fn fifo_order() {
+        let a = arr(4);
+        let l = FreeList::new();
+        for i in 0..4 {
+            l.push(&a, i);
+        }
+        assert_eq!(l.len(), 4);
+        for i in 0..4 {
+            assert_eq!(l.pop(&a), Some(i));
+        }
+        assert_eq!(l.pop(&a), None);
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn interleaved_push_pop() {
+        let a = arr(8);
+        let l = FreeList::new();
+        l.push(&a, 0);
+        assert_eq!(l.pop(&a), Some(0));
+        assert_eq!(l.pop(&a), None);
+        l.push(&a, 1);
+        l.push(&a, 2);
+        assert_eq!(l.pop(&a), Some(1));
+        l.push(&a, 3);
+        assert_eq!(l.pop(&a), Some(2));
+        assert_eq!(l.pop(&a), Some(3));
+        assert_eq!(l.pop(&a), None);
+    }
+
+    #[test]
+    fn node_reusable_after_pop() {
+        let a = arr(2);
+        let l = FreeList::new();
+        for _ in 0..100 {
+            l.push(&a, 0);
+            l.push(&a, 1);
+            assert_eq!(l.pop(&a), Some(0));
+            assert_eq!(l.pop(&a), Some(1));
+        }
+    }
+
+    #[test]
+    fn drain_respects_max() {
+        let a = arr(6);
+        let l = FreeList::new();
+        for i in 0..6 {
+            l.push(&a, i);
+        }
+        assert_eq!(l.drain(&a, 4), vec![0, 1, 2, 3]);
+        assert_eq!(l.len(), 2);
+        assert_eq!(l.drain(&a, 10), vec![4, 5]);
+    }
+
+    #[test]
+    fn concurrent_cross_core_release_owner_acquire() {
+        // The paper's usage pattern: one owner core popping, many remote
+        // cores releasing buffers back. Every pushed index must be popped
+        // exactly once.
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+
+        const N: u64 = 4000;
+        const PRODUCERS: u64 = 4;
+        let a = Arc::new(arr(N * PRODUCERS));
+        let l = Arc::new(FreeList::new());
+        let done = Arc::new(AtomicBool::new(false));
+
+        let mut handles = Vec::new();
+        for p in 0..PRODUCERS {
+            let a = a.clone();
+            let l = l.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..N {
+                    l.push(&a, p * N + i);
+                }
+            }));
+        }
+        let consumer = {
+            let a = a.clone();
+            let l = l.clone();
+            let done = done.clone();
+            std::thread::spawn(move || {
+                let mut seen = std::collections::HashSet::new();
+                loop {
+                    match l.pop(&a) {
+                        Some(i) => {
+                            assert!(seen.insert(i), "index {i} popped twice");
+                        }
+                        None => {
+                            if done.load(Ordering::Acquire) && l.pop(&a).is_none() {
+                                break;
+                            }
+                            std::hint::spin_loop();
+                        }
+                    }
+                }
+                seen
+            })
+        };
+        for h in handles {
+            h.join().unwrap();
+        }
+        done.store(true, Ordering::Release);
+        let seen = consumer.join().unwrap();
+        assert_eq!(seen.len() as u64, N * PRODUCERS, "every buffer recovered");
+        assert_eq!(l.len(), 0);
+    }
+}

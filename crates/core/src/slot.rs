@@ -1,0 +1,239 @@
+//! Shadow-buffer metadata: per-NUMA-domain slot arrays (§5.3).
+//!
+//! Each NUMA domain keeps one metadata array per size class. A slot is
+//! addressed by the index encoded in the shadow buffer's IOVA, giving
+//! O(1) `find_shadow`. Free slots double as free-list nodes: their `next`
+//! field links them (Figure 2). Metadata is not IOMMU-mapped — the device
+//! can never touch it.
+
+use memsim::PhysAddr;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sentinel for "no slot" in `next` links and for unset fields.
+pub(crate) const NIL: u64 = u64::MAX;
+
+/// One shadow buffer's metadata.
+///
+/// All fields are atomics so the pool can be used from real threads; the
+/// access protocol (a slot is owned either by a free list or by exactly one
+/// live mapping) keeps plain load/store ordering sufficient, with
+/// acquire/release on the free-list `next` link.
+#[derive(Debug)]
+pub(crate) struct Slot {
+    /// Physical base address of the shadow buffer; `NIL` until the slot is
+    /// assigned a buffer (or after reclaim retires it).
+    pub shadow_pa: AtomicU64,
+    /// While acquired: the associated OS buffer's physical address.
+    pub os_pa: AtomicU64,
+    /// While acquired: the associated OS buffer's length in bytes.
+    pub os_len: AtomicU64,
+    /// While free: the next slot index in the owner free list.
+    pub next: AtomicU64,
+}
+
+impl Slot {
+    fn new() -> Self {
+        Slot {
+            shadow_pa: AtomicU64::new(NIL),
+            os_pa: AtomicU64::new(NIL),
+            os_len: AtomicU64::new(0),
+            next: AtomicU64::new(NIL),
+        }
+    }
+
+    /// The shadow buffer's base address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot has no buffer assigned.
+    pub fn shadow_base(&self) -> PhysAddr {
+        let v = self.shadow_pa.load(Ordering::Acquire);
+        assert_ne!(v, NIL, "slot has no shadow buffer");
+        PhysAddr(v)
+    }
+
+    /// Records the OS buffer association (at acquire).
+    pub fn associate(&self, os_pa: PhysAddr, len: usize) {
+        self.os_pa.store(os_pa.get(), Ordering::Release);
+        self.os_len.store(len as u64, Ordering::Release);
+    }
+
+    /// Reads the OS buffer association, if any.
+    pub fn association(&self) -> Option<(PhysAddr, usize)> {
+        let pa = self.os_pa.load(Ordering::Acquire);
+        if pa == NIL {
+            return None;
+        }
+        Some((PhysAddr(pa), self.os_len.load(Ordering::Acquire) as usize))
+    }
+
+    /// Clears the OS buffer association (at release).
+    pub fn disassociate(&self) {
+        self.os_pa.store(NIL, Ordering::Release);
+        self.os_len.store(0, Ordering::Release);
+    }
+}
+
+/// A fixed-capacity metadata array for one (NUMA domain, size class) pair.
+///
+/// Slots are handed out by a lock-protected next-unused index (allocation
+/// is infrequent — paper footnote 5); retired slots (from memory-pressure
+/// reclaim) are recycled before fresh ones.
+#[derive(Debug)]
+pub(crate) struct MetadataArray {
+    slots: Box<[Slot]>,
+    alloc: Mutex<AllocState>,
+}
+
+#[derive(Debug)]
+struct AllocState {
+    next_unused: u64,
+    retired: Vec<u64>,
+}
+
+impl MetadataArray {
+    /// Creates an array of `capacity` slots.
+    pub fn new(capacity: u64) -> Self {
+        let slots: Vec<Slot> = (0..capacity).map(|_| Slot::new()).collect();
+        MetadataArray {
+            slots: slots.into_boxed_slice(),
+            alloc: Mutex::new(AllocState {
+                next_unused: 0,
+                retired: Vec::new(),
+            }),
+        }
+    }
+
+    /// Total slot capacity.
+    pub fn capacity(&self) -> u64 {
+        self.slots.len() as u64
+    }
+
+    /// Number of slots handed out and not retired.
+    #[allow(dead_code)] // used by tests and kept for introspection
+    pub fn used(&self) -> u64 {
+        let a = self.alloc.lock();
+        a.next_unused - a.retired.len() as u64
+    }
+
+    /// The slot at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn slot(&self, index: u64) -> &Slot {
+        &self.slots[index as usize]
+    }
+
+    /// Reserves one unused slot, preferring retired ones. Returns `None`
+    /// when the array is exhausted (the caller falls back to the external
+    /// hash-table path, §5.3).
+    pub fn reserve(&self) -> Option<u64> {
+        let mut a = self.alloc.lock();
+        if let Some(idx) = a.retired.pop() {
+            return Some(idx);
+        }
+        if a.next_unused < self.capacity() {
+            let idx = a.next_unused;
+            a.next_unused += 1;
+            Some(idx)
+        } else {
+            None
+        }
+    }
+
+    /// Reserves `n` consecutive slots with the first index aligned to `n`
+    /// (`n` must be a power of two). Used when splitting one page into
+    /// several sub-page shadow buffers so that all of them share one IOVA
+    /// page. Never draws from the retired list (retired indices are
+    /// singletons).
+    pub fn reserve_aligned_run(&self, n: u64) -> Option<u64> {
+        assert!(n.is_power_of_two());
+        let mut a = self.alloc.lock();
+        let start = a.next_unused.next_multiple_of(n);
+        if start + n > self.capacity() {
+            return None;
+        }
+        // Indices skipped by alignment become retirable singles.
+        for i in a.next_unused..start {
+            a.retired.push(i);
+        }
+        a.next_unused = start + n;
+        Some(start)
+    }
+
+    /// Returns a slot to the allocator after its buffer was reclaimed.
+    pub fn retire(&self, index: u64) {
+        let slot = self.slot(index);
+        slot.shadow_pa.store(NIL, Ordering::Release);
+        slot.disassociate();
+        self.alloc.lock().retired.push(index);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_monotone_then_exhausts() {
+        let a = MetadataArray::new(3);
+        assert_eq!(a.reserve(), Some(0));
+        assert_eq!(a.reserve(), Some(1));
+        assert_eq!(a.reserve(), Some(2));
+        assert_eq!(a.reserve(), None);
+        assert_eq!(a.used(), 3);
+    }
+
+    #[test]
+    fn retired_slots_are_recycled_first() {
+        let a = MetadataArray::new(4);
+        let i = a.reserve().unwrap();
+        a.slot(i).shadow_pa.store(0x1000, Ordering::Release);
+        a.retire(i);
+        assert_eq!(a.used(), 0);
+        assert_eq!(a.reserve(), Some(i), "retired slot reused");
+        // Retirement cleared the stale buffer pointer.
+        assert_eq!(a.slot(i).shadow_pa.load(Ordering::Acquire), NIL);
+    }
+
+    #[test]
+    fn association_roundtrip() {
+        let a = MetadataArray::new(1);
+        let s = a.slot(0);
+        assert_eq!(s.association(), None);
+        s.associate(PhysAddr(0x42000), 1500);
+        assert_eq!(s.association(), Some((PhysAddr(0x42000), 1500)));
+        s.disassociate();
+        assert_eq!(s.association(), None);
+    }
+
+    #[test]
+    fn aligned_run_is_aligned() {
+        let a = MetadataArray::new(32);
+        assert_eq!(a.reserve(), Some(0)); // next_unused = 1
+        let run = a.reserve_aligned_run(4).unwrap();
+        assert_eq!(run % 4, 0);
+        assert_eq!(run, 4, "skips to the next aligned index");
+        // Skipped indices 1..4 are retirable and get recycled.
+        assert_eq!(a.reserve(), Some(3));
+        assert_eq!(a.reserve(), Some(2));
+        assert_eq!(a.reserve(), Some(1));
+        assert_eq!(a.reserve(), Some(8));
+    }
+
+    #[test]
+    fn aligned_run_exhaustion() {
+        let a = MetadataArray::new(7);
+        assert_eq!(a.reserve_aligned_run(4), Some(0));
+        assert_eq!(a.reserve_aligned_run(4), None, "4..8 exceeds capacity 7");
+    }
+
+    #[test]
+    #[should_panic(expected = "no shadow buffer")]
+    fn shadow_base_requires_assignment() {
+        let a = MetadataArray::new(1);
+        a.slot(0).shadow_base();
+    }
+}

@@ -1,0 +1,191 @@
+//! The attacker: a DMA-capable device under adversarial control (§3).
+//!
+//! Models the paper's threat: a compromised NIC firmware, a malicious
+//! peripheral plugged into the machine, or an errant device. It issues
+//! arbitrary DMAs; what those DMAs can reach is exactly what the active
+//! protection scheme permits.
+
+use dma_api::{Bus, BusError};
+use iommu::DeviceId;
+use std::cell::Cell;
+
+/// Result of scanning an address range with probe DMAs.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ScanReport {
+    /// Addresses whose probe succeeded.
+    pub accessible: Vec<u64>,
+    /// Probes blocked by the IOMMU or unbacked memory.
+    pub blocked: u64,
+}
+
+impl ScanReport {
+    /// Whether anything was reachable.
+    pub fn any_accessible(&self) -> bool {
+        !self.accessible.is_empty()
+    }
+}
+
+/// The malicious device.
+///
+/// # Examples
+///
+/// ```
+/// use devices::MaliciousDevice;
+/// use dma_api::Bus;
+/// use iommu::{DeviceId, Iommu};
+/// use memsim::{NumaTopology, PhysMemory};
+/// use std::sync::Arc;
+///
+/// let mem = Arc::new(PhysMemory::new(NumaTopology::tiny(16)));
+/// let mmu = Arc::new(Iommu::new());
+/// let evil = MaliciousDevice::new(DeviceId(0), Bus::Iommu { mmu, mem });
+/// // With nothing mapped, every probe is blocked by the IOMMU.
+/// let report = evil.scan(0, 16 * 4096, 4096);
+/// assert!(!report.any_accessible());
+/// assert_eq!(report.blocked, 16);
+/// ```
+#[derive(Debug)]
+pub struct MaliciousDevice {
+    dev: DeviceId,
+    bus: Bus,
+    reads: Cell<u64>,
+    writes: Cell<u64>,
+    faults: Cell<u64>,
+}
+
+impl MaliciousDevice {
+    /// Creates the attacker on `bus` with requester id `dev`.
+    ///
+    /// To model a *compromised* NIC (rather than a separate rogue device),
+    /// construct it with the NIC's own `DeviceId` — it then enjoys every
+    /// mapping the OS established for the NIC.
+    pub fn new(dev: DeviceId, bus: Bus) -> Self {
+        MaliciousDevice {
+            dev,
+            bus,
+            reads: Cell::new(0),
+            writes: Cell::new(0),
+            faults: Cell::new(0),
+        }
+    }
+
+    /// The attacker's requester id.
+    pub fn device(&self) -> DeviceId {
+        self.dev
+    }
+
+    /// Attempts to read `len` bytes at `addr` (IOVA under protection, raw
+    /// physical otherwise).
+    pub fn try_read(&self, addr: u64, len: usize) -> Result<Vec<u8>, BusError> {
+        self.reads.set(self.reads.get() + 1);
+        let mut buf = vec![0u8; len];
+        match self.bus.read(self.dev, addr, &mut buf) {
+            Ok(()) => Ok(buf),
+            Err(e) => {
+                self.faults.set(self.faults.get() + 1);
+                Err(e)
+            }
+        }
+    }
+
+    /// Attempts to write `data` at `addr`.
+    pub fn try_write(&self, addr: u64, data: &[u8]) -> Result<(), BusError> {
+        self.writes.set(self.writes.get() + 1);
+        self.bus.write(self.dev, addr, data).inspect_err(|_e| {
+            self.faults.set(self.faults.get() + 1);
+        })
+    }
+
+    /// Probes every `step` bytes in `[start, end)` with small reads,
+    /// reporting which addresses are reachable — the reconnaissance phase
+    /// of a DMA attack.
+    pub fn scan(&self, start: u64, end: u64, step: u64) -> ScanReport {
+        assert!(step > 0, "scan step must be positive");
+        let mut report = ScanReport::default();
+        let mut addr = start;
+        while addr < end {
+            match self.try_read(addr, 8) {
+                Ok(_) => report.accessible.push(addr),
+                Err(_) => report.blocked += 1,
+            }
+            addr += step;
+        }
+        report
+    }
+
+    /// Searches readable memory at `addr..addr+len` for `needle`,
+    /// returning its offset — data exfiltration.
+    pub fn hunt(&self, addr: u64, len: usize, needle: &[u8]) -> Option<usize> {
+        let data = self.try_read(addr, len).ok()?;
+        data.windows(needle.len()).position(|w| w == needle)
+    }
+
+    /// Total (reads, writes, faulted) DMAs issued.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.reads.get(), self.writes.get(), self.faults.get())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iommu::{Iommu, IovaPage, Perms};
+    use memsim::{NumaDomain, NumaTopology, PhysMemory};
+    use simcore::{CoreCtx, CoreId, CostModel};
+    use std::sync::Arc;
+
+    const DEV: DeviceId = DeviceId(7);
+
+    #[test]
+    fn without_iommu_everything_allocated_is_reachable() {
+        let mem = Arc::new(PhysMemory::new(NumaTopology::tiny(16)));
+        let pfn = mem.alloc_frame(NumaDomain(0)).unwrap();
+        mem.write(pfn.base().add(100), b"password=hunter2").unwrap();
+        let evil = MaliciousDevice::new(DEV, Bus::Direct(mem.clone()));
+        // Scan finds the allocated frame...
+        let report = evil.scan(0, 16 * 4096, 4096);
+        assert!(report.accessible.contains(&pfn.base().get()));
+        // ...and the secret is exfiltrated.
+        assert_eq!(
+            evil.hunt(pfn.base().get(), 4096, b"hunter2"),
+            Some(109)
+        );
+        // And it can be corrupted.
+        evil.try_write(pfn.base().add(100).get(), b"pwned!").unwrap();
+        assert_eq!(mem.read_vec(pfn.base().add(100), 6).unwrap(), b"pwned!");
+    }
+
+    #[test]
+    fn with_iommu_only_mappings_are_reachable() {
+        let mem = Arc::new(PhysMemory::new(NumaTopology::tiny(16)));
+        let mmu = Arc::new(Iommu::new());
+        let mut ctx = CoreCtx::new(CoreId(0), Arc::new(CostModel::zero()));
+        let pfn = mem.alloc_frame(NumaDomain(0)).unwrap();
+        mmu.map_page(&mut ctx, DEV, IovaPage(0x40), pfn, Perms::ReadWrite)
+            .unwrap();
+        let evil = MaliciousDevice::new(
+            DEV,
+            Bus::Iommu {
+                mmu: mmu.clone(),
+                mem: mem.clone(),
+            },
+        );
+        let report = evil.scan(0, 0x100 * 4096, 4096);
+        assert_eq!(report.accessible, vec![0x40 * 4096]);
+        assert_eq!(report.blocked, 0xff);
+        // The faults were logged by the IOMMU.
+        assert_eq!(mmu.fault_count(), 0xff_usize);
+        let (r, w, f) = evil.stats();
+        assert_eq!(r, 0x100);
+        assert_eq!(w, 0);
+        assert_eq!(f, 0xff);
+    }
+
+    #[test]
+    fn hunt_fails_on_blocked_memory() {
+        let mem = Arc::new(PhysMemory::new(NumaTopology::tiny(16)));
+        let mmu = Arc::new(Iommu::new());
+        let evil = MaliciousDevice::new(DEV, Bus::Iommu { mmu, mem });
+        assert_eq!(evil.hunt(0x1000, 64, b"x"), None);
+    }
+}

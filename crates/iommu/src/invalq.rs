@@ -1,0 +1,254 @@
+//! The invalidation queue: how the OS invalidates the IOTLB.
+//!
+//! The OS posts invalidation descriptors into a cyclic buffer and busy-waits
+//! on a wait descriptor until the hardware completes them (§2.1). Two costs
+//! make this the bottleneck of strict zero-copy protection:
+//!
+//! 1. The hardware is slow: ≈2000 cycles per invalidation \[37\], growing
+//!    under multi-core load (Figure 8 shows ≈2.7 µs at 16 cores).
+//! 2. The queue is protected by a single lock, so concurrent invalidations
+//!    serialize (§2.2.1) — modeled with a [`SimLock`].
+
+use crate::{DeviceId, Iotlb, IovaPage};
+use simcore::{CoreCtx, Phase, SimLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Invalidation-queue statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InvalQueueStats {
+    /// Page-selective invalidation commands posted.
+    pub page_commands: u64,
+    /// Domain/global flush commands posted.
+    pub flush_commands: u64,
+    /// Wait descriptors completed (one per synchronous operation).
+    pub waits: u64,
+}
+
+/// The (single, global) IOMMU invalidation queue.
+#[derive(Debug, Default)]
+pub struct InvalQueue {
+    lock: SimLock,
+    page_commands: AtomicU64,
+    flush_commands: AtomicU64,
+    waits: AtomicU64,
+}
+
+impl InvalQueue {
+    /// Creates the queue.
+    pub fn new() -> Self {
+        InvalQueue {
+            lock: SimLock::new("iommu-invalidation-queue"),
+            ..Default::default()
+        }
+    }
+
+    /// The queue's lock (exposed for contention statistics).
+    pub fn lock(&self) -> &SimLock {
+        &self.lock
+    }
+
+    /// Synchronously invalidates one IOVA page: takes the queue lock, posts
+    /// a page-selective invalidation plus a wait descriptor, and busy-waits
+    /// for completion. This is what strict protection pays on **every**
+    /// `dma_unmap`.
+    pub fn invalidate_page_sync(
+        &self,
+        ctx: &mut CoreCtx,
+        iotlb: &mut Iotlb,
+        dev: DeviceId,
+        page: IovaPage,
+    ) {
+        self.invalidate_pages_sync(ctx, iotlb, dev, std::slice::from_ref(&page));
+    }
+
+    /// Synchronously invalidates several IOVA pages under one lock
+    /// acquisition (e.g. a multi-page buffer or a scatter/gather unmap).
+    ///
+    /// Like real VT-d page-selective invalidation descriptors, one command
+    /// covers a *contiguous* page range (via the address-mask field), so a
+    /// 16-page TSO buffer costs one posted command and one completion wait,
+    /// while scattered pages cost one each.
+    pub fn invalidate_pages_sync(
+        &self,
+        ctx: &mut CoreCtx,
+        iotlb: &mut Iotlb,
+        dev: DeviceId,
+        pages: &[IovaPage],
+    ) {
+        if pages.is_empty() {
+            return;
+        }
+        let active = ctx.active_cores;
+        self.lock.with(ctx, |ctx| {
+            let mut i = 0;
+            while i < pages.len() {
+                // Extend over the contiguous run starting at pages[i].
+                let mut j = i + 1;
+                while j < pages.len() && pages[j].get() == pages[j - 1].get() + 1 {
+                    j += 1;
+                }
+                ctx.charge(Phase::InvalidateIotlb, ctx.cost.inval_queue_post);
+                for &page in &pages[i..j] {
+                    iotlb.invalidate_page(dev, page);
+                }
+                self.page_commands.fetch_add(1, Ordering::Relaxed);
+                ctx.charge(Phase::InvalidateIotlb, ctx.cost.inval_wait(active));
+                i = j;
+            }
+            self.waits.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+
+    /// Synchronously flushes every cached translation of `dev` with a
+    /// single domain-selective flush command. This is what deferred
+    /// protection pays once per drained batch (§2.2.1: every 250 unmaps or
+    /// 10 ms).
+    pub fn flush_device_sync(&self, ctx: &mut CoreCtx, iotlb: &mut Iotlb, dev: DeviceId) {
+        self.lock.with(ctx, |ctx| {
+            ctx.charge(Phase::InvalidateIotlb, ctx.cost.inval_queue_post);
+            iotlb.invalidate_device(dev);
+            self.flush_commands.fetch_add(1, Ordering::Relaxed);
+            ctx.charge(Phase::InvalidateIotlb, ctx.cost.global_iotlb_flush);
+            self.waits.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> InvalQueueStats {
+        InvalQueueStats {
+            page_commands: self.page_commands.load(Ordering::Relaxed),
+            flush_commands: self.flush_commands.load(Ordering::Relaxed),
+            waits: self.waits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Clears statistics (lock contention stats included).
+    pub fn reset_stats(&self) {
+        self.page_commands.store(0, Ordering::Relaxed);
+        self.flush_commands.store(0, Ordering::Relaxed);
+        self.waits.store(0, Ordering::Relaxed);
+        self.lock.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Perms, PtEntry};
+    use memsim::Pfn;
+    use simcore::{CoreId, CostModel, Cycles};
+    use std::sync::Arc;
+
+    const DEV: DeviceId = DeviceId(0);
+
+    fn ctx() -> CoreCtx {
+        CoreCtx::new(CoreId(0), Arc::new(CostModel::haswell_2_4ghz()))
+    }
+
+    fn entry() -> PtEntry {
+        PtEntry {
+            pfn: Pfn(1),
+            perms: Perms::ReadWrite,
+        }
+    }
+
+    #[test]
+    fn sync_invalidation_removes_entry_and_charges_wait() {
+        let q = InvalQueue::new();
+        let mut tlb = Iotlb::new(8);
+        let mut c = ctx();
+        tlb.insert(DEV, IovaPage(3), entry());
+        q.invalidate_page_sync(&mut c, &mut tlb, DEV, IovaPage(3));
+        assert!(!tlb.contains(DEV, IovaPage(3)));
+        // Cost at least the hardware wait (plus post + lock).
+        assert!(c.breakdown.get(Phase::InvalidateIotlb) >= c.cost.iotlb_inval_wait);
+        assert_eq!(q.stats().page_commands, 1);
+        assert_eq!(q.stats().waits, 1);
+    }
+
+    #[test]
+    fn wait_scales_with_active_cores() {
+        let run = |cores: usize| {
+            let q = InvalQueue::new();
+            let mut tlb = Iotlb::new(8);
+            let mut c = ctx();
+            c.active_cores = cores;
+            q.invalidate_page_sync(&mut c, &mut tlb, DEV, IovaPage(1));
+            c.breakdown.get(Phase::InvalidateIotlb)
+        };
+        assert!(run(16) > run(1) * 2);
+    }
+
+    #[test]
+    fn contiguous_batch_is_one_command() {
+        let q = InvalQueue::new();
+        let mut tlb = Iotlb::new(64);
+        let mut c = ctx();
+        // A 16-page TSO buffer: one range command, one wait.
+        let pages: Vec<IovaPage> = (0..16).map(IovaPage).collect();
+        for &p in &pages {
+            tlb.insert(DEV, p, entry());
+        }
+        q.invalidate_pages_sync(&mut c, &mut tlb, DEV, &pages);
+        for &p in &pages {
+            assert!(!tlb.contains(DEV, p));
+        }
+        assert_eq!(q.stats().page_commands, 1);
+        assert!(c.breakdown.get(Phase::InvalidateIotlb) < c.cost.iotlb_inval_wait * 2);
+    }
+
+    #[test]
+    fn scattered_batch_charges_per_run() {
+        let q = InvalQueue::new();
+        let mut tlb = Iotlb::new(64);
+        let mut c = ctx();
+        let pages: Vec<IovaPage> = [0u64, 1, 5, 9, 10].into_iter().map(IovaPage).collect();
+        for &p in &pages {
+            tlb.insert(DEV, p, entry());
+        }
+        q.invalidate_pages_sync(&mut c, &mut tlb, DEV, &pages);
+        for &p in &pages {
+            assert!(!tlb.contains(DEV, p));
+        }
+        assert_eq!(q.stats().page_commands, 3, "runs: [0,1] [5] [9,10]");
+        assert_eq!(q.stats().waits, 1, "one lock hold / wait descriptor");
+        assert!(c.breakdown.get(Phase::InvalidateIotlb) >= c.cost.iotlb_inval_wait * 3);
+    }
+
+    #[test]
+    fn empty_batch_is_free() {
+        let q = InvalQueue::new();
+        let mut tlb = Iotlb::new(8);
+        let mut c = ctx();
+        q.invalidate_pages_sync(&mut c, &mut tlb, DEV, &[]);
+        assert_eq!(c.now(), Cycles::ZERO);
+        assert_eq!(q.stats().waits, 0);
+    }
+
+    #[test]
+    fn device_flush_is_one_command() {
+        let q = InvalQueue::new();
+        let mut tlb = Iotlb::new(1024);
+        let mut c = ctx();
+        for i in 0..250 {
+            tlb.insert(DEV, IovaPage(i), entry());
+        }
+        q.flush_device_sync(&mut c, &mut tlb, DEV);
+        assert!(tlb.is_empty());
+        assert_eq!(q.stats().flush_commands, 1);
+        // A single flush is far cheaper than 250 selective invalidations.
+        let flush_cost = c.breakdown.get(Phase::InvalidateIotlb);
+        assert!(flush_cost < c.cost.iotlb_inval_wait * 10);
+    }
+
+    #[test]
+    fn reset_stats_clears_everything() {
+        let q = InvalQueue::new();
+        let mut tlb = Iotlb::new(8);
+        let mut c = ctx();
+        q.invalidate_page_sync(&mut c, &mut tlb, DEV, IovaPage(1));
+        q.reset_stats();
+        assert_eq!(q.stats(), InvalQueueStats::default());
+        assert_eq!(q.lock().stats().acquisitions, 0);
+    }
+}

@@ -1,0 +1,232 @@
+//! The IOTLB: the IOMMU's translation cache.
+
+use crate::{DeviceId, IovaPage, PtEntry};
+use std::collections::{HashMap, VecDeque};
+
+/// IOTLB hit/miss/invalidation statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IotlbStats {
+    /// Lookups that hit a cached translation.
+    pub hits: u64,
+    /// Lookups that missed and required a page walk.
+    pub misses: u64,
+    /// Page-selective invalidations executed.
+    pub page_invalidations: u64,
+    /// Global/domain flushes executed.
+    pub global_invalidations: u64,
+    /// Entries evicted by capacity pressure.
+    pub evictions: u64,
+}
+
+/// The IOMMU's translation cache, tagged by device (source-id).
+///
+/// The security-critical property modeled here: a cached entry remains
+/// usable by the device **after the OS removes the page-table mapping**,
+/// until the OS explicitly invalidates it. Deferred protection (§2.2.1)
+/// leaves such entries live for up to 10 ms, which is the paper's
+/// "vulnerability window".
+///
+/// Capacity is finite with FIFO replacement, approximating the small
+/// on-chip structure; eviction order does not affect correctness, only
+/// miss counts.
+#[derive(Debug)]
+pub struct Iotlb {
+    capacity: usize,
+    entries: HashMap<(DeviceId, IovaPage), PtEntry>,
+    fifo: VecDeque<(DeviceId, IovaPage)>,
+    stats: IotlbStats,
+}
+
+impl Iotlb {
+    /// Creates an IOTLB with the given entry capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "IOTLB needs capacity");
+        Iotlb {
+            capacity,
+            entries: HashMap::new(),
+            fifo: VecDeque::new(),
+            stats: IotlbStats::default(),
+        }
+    }
+
+    /// A plausible hardware size (4096 entries).
+    pub fn default_hw() -> Self {
+        Iotlb::new(4096)
+    }
+
+    /// Looks up a cached translation, updating hit/miss statistics.
+    pub fn lookup(&mut self, dev: DeviceId, page: IovaPage) -> Option<PtEntry> {
+        match self.entries.get(&(dev, page)) {
+            Some(e) => {
+                self.stats.hits += 1;
+                Some(*e)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a translation fetched by a page walk, evicting FIFO-oldest
+    /// entries if full.
+    pub fn insert(&mut self, dev: DeviceId, page: IovaPage, entry: PtEntry) {
+        if self.entries.insert((dev, page), entry).is_none() {
+            self.fifo.push_back((dev, page));
+        }
+        while self.entries.len() > self.capacity {
+            if let Some(victim) = self.fifo.pop_front() {
+                if self.entries.remove(&victim).is_some() {
+                    self.stats.evictions += 1;
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Page-selective invalidation (one device, one IOVA page).
+    pub fn invalidate_page(&mut self, dev: DeviceId, page: IovaPage) {
+        self.entries.remove(&(dev, page));
+        self.stats.page_invalidations += 1;
+    }
+
+    /// Invalidates every entry of one device (domain-selective flush).
+    pub fn invalidate_device(&mut self, dev: DeviceId) {
+        self.entries.retain(|&(d, _), _| d != dev);
+        self.stats.global_invalidations += 1;
+    }
+
+    /// Invalidates everything (global flush).
+    pub fn invalidate_all(&mut self) {
+        self.entries.clear();
+        self.fifo.clear();
+        self.stats.global_invalidations += 1;
+    }
+
+    /// Whether a translation is currently cached (no stats side effects);
+    /// used by tests and attack scenarios to observe staleness.
+    pub fn contains(&self, dev: DeviceId, page: IovaPage) -> bool {
+        self.entries.contains_key(&(dev, page))
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> IotlbStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Perms;
+    use memsim::Pfn;
+
+    const DEV: DeviceId = DeviceId(0);
+
+    fn entry(pfn: u64) -> PtEntry {
+        PtEntry {
+            pfn: Pfn(pfn),
+            perms: Perms::ReadWrite,
+        }
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let mut tlb = Iotlb::new(8);
+        assert_eq!(tlb.lookup(DEV, IovaPage(1)), None);
+        tlb.insert(DEV, IovaPage(1), entry(5));
+        assert_eq!(tlb.lookup(DEV, IovaPage(1)), Some(entry(5)));
+        let s = tlb.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn entries_are_device_tagged() {
+        let mut tlb = Iotlb::new(8);
+        tlb.insert(DeviceId(0), IovaPage(1), entry(5));
+        assert_eq!(tlb.lookup(DeviceId(1), IovaPage(1)), None);
+    }
+
+    #[test]
+    fn page_invalidation_removes_only_that_page() {
+        let mut tlb = Iotlb::new(8);
+        tlb.insert(DEV, IovaPage(1), entry(5));
+        tlb.insert(DEV, IovaPage(2), entry(6));
+        tlb.invalidate_page(DEV, IovaPage(1));
+        assert!(!tlb.contains(DEV, IovaPage(1)));
+        assert!(tlb.contains(DEV, IovaPage(2)));
+    }
+
+    #[test]
+    fn device_invalidation_scopes_to_device() {
+        let mut tlb = Iotlb::new(8);
+        tlb.insert(DeviceId(0), IovaPage(1), entry(5));
+        tlb.insert(DeviceId(1), IovaPage(1), entry(6));
+        tlb.invalidate_device(DeviceId(0));
+        assert!(!tlb.contains(DeviceId(0), IovaPage(1)));
+        assert!(tlb.contains(DeviceId(1), IovaPage(1)));
+    }
+
+    #[test]
+    fn global_invalidation_clears_all() {
+        let mut tlb = Iotlb::new(8);
+        tlb.insert(DeviceId(0), IovaPage(1), entry(5));
+        tlb.insert(DeviceId(1), IovaPage(2), entry(6));
+        tlb.invalidate_all();
+        assert!(tlb.is_empty());
+    }
+
+    #[test]
+    fn capacity_evicts_fifo() {
+        let mut tlb = Iotlb::new(2);
+        tlb.insert(DEV, IovaPage(1), entry(1));
+        tlb.insert(DEV, IovaPage(2), entry(2));
+        tlb.insert(DEV, IovaPage(3), entry(3));
+        assert_eq!(tlb.len(), 2);
+        assert!(!tlb.contains(DEV, IovaPage(1)), "oldest evicted");
+        assert!(tlb.contains(DEV, IovaPage(3)));
+        assert_eq!(tlb.stats().evictions, 1);
+    }
+
+    #[test]
+    fn reinsert_does_not_duplicate() {
+        let mut tlb = Iotlb::new(4);
+        tlb.insert(DEV, IovaPage(1), entry(1));
+        tlb.insert(DEV, IovaPage(1), entry(2));
+        assert_eq!(tlb.len(), 1);
+        assert_eq!(tlb.lookup(DEV, IovaPage(1)), Some(entry(2)));
+    }
+
+    #[test]
+    fn staleness_is_observable() {
+        // The core security property: the IOTLB does not know about
+        // page-table changes; entries live until invalidated.
+        let mut tlb = Iotlb::new(8);
+        tlb.insert(DEV, IovaPage(7), entry(9));
+        // (page table unmap happens elsewhere)
+        assert!(tlb.contains(DEV, IovaPage(7)), "stale entry persists");
+        tlb.invalidate_page(DEV, IovaPage(7));
+        assert!(!tlb.contains(DEV, IovaPage(7)));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        Iotlb::new(0);
+    }
+}

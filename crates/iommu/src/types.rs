@@ -1,0 +1,249 @@
+//! Core IOMMU types: IOVAs, permissions, devices, faults.
+
+use memsim::{PAGE_SHIFT, PAGE_SIZE};
+use std::fmt;
+
+/// Width of the I/O virtual address space (x86: 48 bits, §5.3).
+pub const IOVA_BITS: u32 = 48;
+
+/// An I/O virtual address — the address a device puts in a DMA, translated
+/// by the IOMMU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Iova(pub u64);
+
+impl Iova {
+    /// Creates an IOVA.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not fit in the 48-bit IOVA space.
+    pub fn new(v: u64) -> Self {
+        assert!(v < (1u64 << IOVA_BITS), "IOVA {v:#x} exceeds 48 bits");
+        Iova(v)
+    }
+
+    /// Raw value.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// The IOVA page containing this address.
+    pub const fn page(self) -> IovaPage {
+        IovaPage(self.0 >> PAGE_SHIFT)
+    }
+
+    /// Byte offset within the IOVA page.
+    pub const fn page_offset(self) -> usize {
+        (self.0 & (PAGE_SIZE as u64 - 1)) as usize
+    }
+
+    /// Address advanced by `n` bytes.
+    #[allow(clippy::should_implement_trait)] // `add` mirrors pointer::add
+    pub fn add(self, n: u64) -> Iova {
+        Iova(self.0.checked_add(n).expect("IOVA overflow"))
+    }
+}
+
+impl fmt::Display for Iova {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "iova:{:#x}", self.0)
+    }
+}
+
+/// An IOVA page number (IOVA >> 12).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct IovaPage(pub u64);
+
+impl IovaPage {
+    /// Creates an IOVA page number.
+    pub const fn new(v: u64) -> Self {
+        IovaPage(v)
+    }
+
+    /// Raw page number.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// The base IOVA of this page.
+    pub const fn base(self) -> Iova {
+        Iova(self.0 << PAGE_SHIFT)
+    }
+
+    /// The page `n` pages later.
+    #[allow(clippy::should_implement_trait)] // `add` mirrors pointer::add
+    pub fn add(self, n: u64) -> IovaPage {
+        IovaPage(self.0.checked_add(n).expect("IOVA page overflow"))
+    }
+}
+
+impl fmt::Display for IovaPage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "iovapage:{:#x}", self.0)
+    }
+}
+
+/// A DMA-capable device (PCIe requester), identifying an IOMMU domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct DeviceId(pub u16);
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dev{}", self.0)
+    }
+}
+
+/// The direction of one DMA transaction, from the device's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Access {
+    /// The device reads from memory (e.g. fetching a TX packet).
+    Read,
+    /// The device writes to memory (e.g. storing an RX packet).
+    Write,
+}
+
+impl fmt::Display for Access {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Access::Read => f.write_str("read"),
+            Access::Write => f.write_str("write"),
+        }
+    }
+}
+
+/// Access rights of an IOVA mapping: what the *device* may do with it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Perms {
+    /// Device may read only (buffers the CPU sends *to* the device).
+    Read,
+    /// Device may write only (buffers the device fills *for* the CPU).
+    Write,
+    /// Device may read and write.
+    ReadWrite,
+}
+
+impl Perms {
+    /// Whether these rights permit the given access.
+    pub fn allows(self, access: Access) -> bool {
+        matches!(
+            (self, access),
+            (Perms::ReadWrite, _) | (Perms::Read, Access::Read) | (Perms::Write, Access::Write)
+        )
+    }
+
+    /// Least-upper-bound of two rights.
+    pub fn union(self, other: Perms) -> Perms {
+        if self == other {
+            self
+        } else {
+            Perms::ReadWrite
+        }
+    }
+
+    /// All three values, used to enumerate free lists.
+    pub const ALL: [Perms; 3] = [Perms::Read, Perms::Write, Perms::ReadWrite];
+}
+
+impl fmt::Display for Perms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Perms::Read => f.write_str("r"),
+            Perms::Write => f.write_str("w"),
+            Perms::ReadWrite => f.write_str("rw"),
+        }
+    }
+}
+
+/// Why a DMA was blocked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultReason {
+    /// No mapping exists for the IOVA page.
+    NotMapped,
+    /// A mapping exists but does not permit the access type.
+    PermissionDenied,
+}
+
+impl fmt::Display for FaultReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultReason::NotMapped => f.write_str("not mapped"),
+            FaultReason::PermissionDenied => f.write_str("permission denied"),
+        }
+    }
+}
+
+/// A blocked DMA, as recorded by the IOMMU's fault log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DmaFault {
+    /// The offending device.
+    pub device: DeviceId,
+    /// The faulting address.
+    pub iova: Iova,
+    /// The attempted access.
+    pub access: Access,
+    /// Why it was blocked.
+    pub reason: FaultReason,
+}
+
+impl fmt::Display for DmaFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "DMA fault: {} {} at {} ({})",
+            self.device, self.access, self.iova, self.reason
+        )
+    }
+}
+
+impl std::error::Error for DmaFault {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iova_page_math() {
+        let iova = Iova::new(0x12_3456);
+        assert_eq!(iova.page(), IovaPage(0x123));
+        assert_eq!(iova.page_offset(), 0x456);
+        assert_eq!(IovaPage(0x123).base(), Iova(0x12_3000));
+        assert_eq!(iova.add(0x10), Iova(0x12_3466));
+    }
+
+    #[test]
+    #[should_panic(expected = "48 bits")]
+    fn iova_must_fit_48_bits() {
+        Iova::new(1u64 << 48);
+    }
+
+    #[test]
+    fn perms_allow_matrix() {
+        assert!(Perms::Read.allows(Access::Read));
+        assert!(!Perms::Read.allows(Access::Write));
+        assert!(Perms::Write.allows(Access::Write));
+        assert!(!Perms::Write.allows(Access::Read));
+        assert!(Perms::ReadWrite.allows(Access::Read));
+        assert!(Perms::ReadWrite.allows(Access::Write));
+    }
+
+    #[test]
+    fn perms_union() {
+        assert_eq!(Perms::Read.union(Perms::Read), Perms::Read);
+        assert_eq!(Perms::Read.union(Perms::Write), Perms::ReadWrite);
+        assert_eq!(Perms::Write.union(Perms::ReadWrite), Perms::ReadWrite);
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(Iova(0x1000).to_string(), "iova:0x1000");
+        assert_eq!(Perms::ReadWrite.to_string(), "rw");
+        let f = DmaFault {
+            device: DeviceId(1),
+            iova: Iova(0x2000),
+            access: Access::Write,
+            reason: FaultReason::NotMapped,
+        };
+        assert!(f.to_string().contains("dev1"));
+        assert!(f.to_string().contains("not mapped"));
+    }
+}

@@ -1,0 +1,163 @@
+//! NUMA topology: cores, domains and frame placement.
+
+use crate::{Pfn, PAGE_SIZE};
+use simcore::CoreId;
+use std::fmt;
+
+/// A NUMA domain (socket) identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NumaDomain(pub u16);
+
+impl NumaDomain {
+    /// Creates a domain id.
+    pub const fn new(d: u16) -> Self {
+        NumaDomain(d)
+    }
+
+    /// Raw index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NumaDomain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "numa{}", self.0)
+    }
+}
+
+/// Machine topology: how cores and physical frames map onto NUMA domains.
+///
+/// The default matches the paper's testbed: 2 sockets × 8 cores, with each
+/// socket's DIMMs forming one domain; frames are split evenly between the
+/// domains (lower half on domain 0).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NumaTopology {
+    cores: u16,
+    domains: u16,
+    total_frames: u64,
+}
+
+impl NumaTopology {
+    /// Creates a topology of `cores` cores spread evenly over `domains`
+    /// domains, with `total_frames` physical frames split evenly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument is zero or if `cores % domains != 0`.
+    pub fn new(cores: u16, domains: u16, total_frames: u64) -> Self {
+        assert!(cores > 0 && domains > 0 && total_frames > 0);
+        assert!(
+            cores.is_multiple_of(domains),
+            "cores must divide evenly into domains"
+        );
+        assert!(
+            total_frames >= domains as u64,
+            "need at least one frame per domain"
+        );
+        NumaTopology {
+            cores,
+            domains,
+            total_frames,
+        }
+    }
+
+    /// The paper's testbed: 16 cores, 2 domains, 32 GB of RAM.
+    pub fn dual_socket_haswell() -> Self {
+        NumaTopology::new(16, 2, (32u64 << 30) / PAGE_SIZE as u64)
+    }
+
+    /// A small single-domain topology for unit tests.
+    pub fn tiny(frames: u64) -> Self {
+        NumaTopology::new(1, 1, frames)
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> u16 {
+        self.cores
+    }
+
+    /// Number of NUMA domains.
+    pub fn domains(&self) -> u16 {
+        self.domains
+    }
+
+    /// Total physical frames.
+    pub fn total_frames(&self) -> u64 {
+        self.total_frames
+    }
+
+    /// The domain a core belongs to (cores are packed: 0–7 → domain 0...).
+    pub fn domain_of_core(&self, core: CoreId) -> NumaDomain {
+        let per = self.cores / self.domains;
+        NumaDomain((core.0 % self.cores) / per)
+    }
+
+    /// The domain a frame belongs to (frames are split contiguously).
+    pub fn domain_of_pfn(&self, pfn: Pfn) -> NumaDomain {
+        let per = self.frames_per_domain();
+        let d = (pfn.0 / per).min(self.domains as u64 - 1);
+        NumaDomain(d as u16)
+    }
+
+    /// Frames per domain (the last domain absorbs any remainder).
+    pub fn frames_per_domain(&self) -> u64 {
+        self.total_frames / self.domains as u64
+    }
+
+    /// The frame range `[start, end)` of a domain.
+    pub fn frame_range(&self, domain: NumaDomain) -> (Pfn, Pfn) {
+        let per = self.frames_per_domain();
+        let start = per * domain.0 as u64;
+        let end = if domain.0 + 1 == self.domains {
+            self.total_frames
+        } else {
+            start + per
+        };
+        (Pfn(start), Pfn(end))
+    }
+}
+
+impl Default for NumaTopology {
+    fn default() -> Self {
+        NumaTopology::dual_socket_haswell()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dual_socket_core_mapping() {
+        let t = NumaTopology::dual_socket_haswell();
+        assert_eq!(t.domain_of_core(CoreId(0)), NumaDomain(0));
+        assert_eq!(t.domain_of_core(CoreId(7)), NumaDomain(0));
+        assert_eq!(t.domain_of_core(CoreId(8)), NumaDomain(1));
+        assert_eq!(t.domain_of_core(CoreId(15)), NumaDomain(1));
+    }
+
+    #[test]
+    fn frame_split() {
+        let t = NumaTopology::new(4, 2, 100);
+        assert_eq!(t.frame_range(NumaDomain(0)), (Pfn(0), Pfn(50)));
+        assert_eq!(t.frame_range(NumaDomain(1)), (Pfn(50), Pfn(100)));
+        assert_eq!(t.domain_of_pfn(Pfn(0)), NumaDomain(0));
+        assert_eq!(t.domain_of_pfn(Pfn(49)), NumaDomain(0));
+        assert_eq!(t.domain_of_pfn(Pfn(50)), NumaDomain(1));
+        assert_eq!(t.domain_of_pfn(Pfn(99)), NumaDomain(1));
+    }
+
+    #[test]
+    fn uneven_frames_go_to_last_domain() {
+        let t = NumaTopology::new(2, 2, 101);
+        assert_eq!(t.frame_range(NumaDomain(1)), (Pfn(50), Pfn(101)));
+        assert_eq!(t.domain_of_pfn(Pfn(100)), NumaDomain(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "evenly")]
+    fn cores_must_divide() {
+        NumaTopology::new(3, 2, 10);
+    }
+}

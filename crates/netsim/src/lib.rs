@@ -1,0 +1,33 @@
+//! # netsim — networking workloads over the simulated stack
+//!
+//! Reimplements the paper's evaluation workloads (§6) against the
+//! simulated machine: a 16-core dual-socket host, a 40 Gb/s NIC, and one
+//! of the paper's DMA protection engines.
+//!
+//! - [`tcp_stream_rx`] / [`tcp_stream_tx`] — netperf `TCP_STREAM`
+//!   receive/transmit throughput, message sizes 64 B – 64 KB
+//!   (Figures 1, 3, 4, 6, 7; breakdowns for Figures 5 and 8).
+//! - [`tcp_rr`] — netperf TCP request/response latency (Figures 9, 10).
+//! - [`memcached`] — a memcached/memslap-style key-value workload
+//!   (Figure 11): 64 B keys, 1 KB values, 90 %/10 % GET/SET.
+//!
+//! Every workload drives the *functional* stack — kmalloc'd skbs, real
+//! `dma_map`/`dma_unmap`, real NIC descriptor DMAs, real payload bytes that
+//! are verified on delivery — while the virtual-time engine accounts
+//! throughput, CPU utilization, and the per-phase packet-time breakdown.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod driver;
+mod kv;
+mod report;
+mod rr;
+mod setup;
+mod stream;
+
+pub use driver::{CoreDriver, HEADER_BYTES, SKB_OVERHEAD};
+pub use kv::memcached;
+pub use report::{format_breakdown_us, format_table, merged_breakdown, ExpResult};
+pub use rr::tcp_rr;
+pub use setup::{EngineKind, ExpConfig, SimStack, NIC_DEV};
+pub use stream::{tcp_stream_rx, tcp_stream_tx};

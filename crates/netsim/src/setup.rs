@@ -1,0 +1,353 @@
+//! Experiment configuration and machine construction.
+
+use dma_api::{Bus, CoherentBuffer, DmaEngine, IdentityDma, LinuxDma, NoIommu, SelfInvalidatingDma};
+use devices::{Nic, NicConfig, DESC_BYTES};
+use iommu::{DeviceId, Iommu};
+use memsim::{Kmalloc, NumaTopology, PhysMemory};
+use shadow_core::ShadowDma;
+use simcore::{CoreCtx, CoreId, CostModel, Cycles, SimRng, Wire};
+use std::fmt;
+use std::sync::Arc;
+
+/// The DMA protection engines the paper compares (Table 1), plus the
+/// self-invalidating-hardware ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// IOMMU disabled (*no iommu*).
+    NoIommu,
+    /// DMA shadowing (*copy*) — the paper's contribution.
+    Copy,
+    /// Strict identity mappings (*identity+*, ATC'15 \[42\]).
+    IdentityPlus,
+    /// Deferred identity mappings (*identity−*, ATC'15 \[42\]).
+    IdentityMinus,
+    /// Stock Linux, strict protection (*strict*).
+    LinuxStrict,
+    /// Stock Linux, deferred protection (*defer*).
+    LinuxDefer,
+    /// EiovaR (FAST'15 \[38\]): stock Linux + IOVA-range caching, strict.
+    EiovarStrict,
+    /// EiovaR (FAST'15 \[38\]), deferred.
+    EiovarDefer,
+    /// Self-invalidating IOMMU hardware (Basu et al. \[10\], §7) — an
+    /// ablation engine, not part of the paper's comparison set.
+    SelfInvalHw,
+}
+
+impl EngineKind {
+    /// All engines of the paper's Table 1, in legend order.
+    pub const ALL: [EngineKind; 8] = [
+        EngineKind::NoIommu,
+        EngineKind::Copy,
+        EngineKind::IdentityMinus,
+        EngineKind::IdentityPlus,
+        EngineKind::EiovarDefer,
+        EngineKind::EiovarStrict,
+        EngineKind::LinuxDefer,
+        EngineKind::LinuxStrict,
+    ];
+
+    /// The four engines shown in Figures 3–11.
+    pub const FIGURE_SET: [EngineKind; 4] = [
+        EngineKind::NoIommu,
+        EngineKind::Copy,
+        EngineKind::IdentityMinus,
+        EngineKind::IdentityPlus,
+    ];
+
+    /// The engine's name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::NoIommu => "no iommu",
+            EngineKind::Copy => "copy",
+            EngineKind::IdentityPlus => "identity+",
+            EngineKind::IdentityMinus => "identity-",
+            EngineKind::LinuxStrict => "strict",
+            EngineKind::LinuxDefer => "defer",
+            EngineKind::EiovarStrict => "eiovar+",
+            EngineKind::EiovarDefer => "eiovar-",
+            EngineKind::SelfInvalHw => "self-inval hw",
+        }
+    }
+}
+
+impl fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Experiment parameters (defaults follow the paper's setup).
+#[derive(Debug, Clone)]
+pub struct ExpConfig {
+    /// Cores driving the workload (1 or 16 in the paper).
+    pub cores: usize,
+    /// netperf message size in bytes.
+    pub msg_size: usize,
+    /// Measured work items (packets / TSO buffers / transactions) per core,
+    /// after warm-up.
+    pub items_per_core: u64,
+    /// Warm-up items per core (pool growth, cold caches).
+    pub warmup_per_core: u64,
+    /// Cost model.
+    pub cost: CostModel,
+    /// Wire rate in Gb/s.
+    pub wire_gbps: f64,
+    /// Workload RNG seed.
+    pub seed: u64,
+    /// Verify payload integrity end-to-end on every delivery.
+    pub verify_data: bool,
+    /// Bytes the NIC actually delivers per RX frame (packets can be much
+    /// smaller than their MTU buffers); `None` = full MTU frames.
+    pub rx_wire_payload: Option<usize>,
+    /// Install the §5.4 copying hint on the copy engine (parses the
+    /// payload's first two bytes as the wire length, like the prototype's
+    /// IP-length hint).
+    pub use_copy_hint: bool,
+    /// Shadow-pool configuration for the copy engine (size classes, slot
+    /// bound). `None` = the paper's default (4 KB + 64 KB classes).
+    pub pool_config: Option<shadow_core::PoolConfig>,
+    /// Fragments per TX buffer: 1 = contiguous skbs (the default);
+    /// >1 exercises the scatter/gather path (`dma_map_sg`, §5.2).
+    pub tx_sg_frags: usize,
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        ExpConfig {
+            cores: 1,
+            msg_size: 64 * 1024,
+            items_per_core: 20_000,
+            warmup_per_core: 2_000,
+            cost: CostModel::haswell_2_4ghz(),
+            wire_gbps: 40.0,
+            seed: 42,
+            verify_data: true,
+            rx_wire_payload: None,
+            use_copy_hint: false,
+            pool_config: None,
+            tx_sg_frags: 1,
+        }
+    }
+}
+
+impl ExpConfig {
+    /// A small/fast configuration for unit tests.
+    pub fn quick() -> Self {
+        ExpConfig {
+            items_per_core: 2_000,
+            warmup_per_core: 200,
+            ..Default::default()
+        }
+    }
+}
+
+/// The simulated machine: memory, IOMMU, DMA engine, NIC, wire.
+///
+/// One NIC (device 0) with one RX and one TX descriptor ring per core,
+/// protected by the chosen engine.
+pub struct SimStack {
+    /// Physical memory.
+    pub mem: Arc<PhysMemory>,
+    /// The IOMMU (present even for `no iommu`, which bypasses it).
+    pub mmu: Arc<Iommu>,
+    /// The slab allocator the network stack draws skbs from.
+    pub kmalloc: Kmalloc,
+    /// The DMA protection engine under test.
+    pub engine: Box<dyn DmaEngine>,
+    /// The NIC model.
+    pub nic: Nic,
+    /// The 40 Gb/s link, receive direction (traffic toward the host).
+    pub wire: Wire,
+    /// The transmit direction of the full-duplex link (used by
+    /// request/response workloads).
+    pub wire_back: Wire,
+    /// Per-core RX descriptor rings (driver-side view).
+    pub rx_rings: Vec<CoherentBuffer>,
+    /// Per-core TX descriptor rings (driver-side view).
+    pub tx_rings: Vec<CoherentBuffer>,
+    /// Engine kind used to build the stack.
+    pub kind: EngineKind,
+    /// The cost model (shared with every `CoreCtx`).
+    pub cost: Arc<CostModel>,
+    /// Deterministic workload RNG.
+    pub rng: std::cell::RefCell<SimRng>,
+}
+
+impl fmt::Debug for SimStack {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimStack")
+            .field("kind", &self.kind)
+            .field("engine", &self.engine.name())
+            .finish()
+    }
+}
+
+/// The NIC's requester id in every experiment.
+pub const NIC_DEV: DeviceId = DeviceId(0);
+
+impl SimStack {
+    /// Builds the machine for `kind` with the paper's topology (16 cores,
+    /// 2 NUMA domains, 32 GB) and per-core NIC rings.
+    pub fn new(kind: EngineKind, cfg: &ExpConfig) -> Self {
+        let topo = NumaTopology::dual_socket_haswell();
+        let mem = Arc::new(PhysMemory::new(topo));
+        let mmu = Arc::new(Iommu::new());
+        let cost = Arc::new(cfg.cost.clone());
+        let cores = cfg.cores.max(1);
+        let engine: Box<dyn DmaEngine> = match kind {
+            EngineKind::NoIommu => Box::new(NoIommu::new(mem.clone(), NIC_DEV)),
+            EngineKind::Copy => {
+                let pool_cfg = cfg.pool_config.clone().unwrap_or_default();
+                let shadow = ShadowDma::new(mem.clone(), mmu.clone(), NIC_DEV, pool_cfg);
+                if cfg.use_copy_hint {
+                    // The prototype's hint: the wire length sits in the
+                    // packet's first two (untrusted) bytes.
+                    shadow.set_copy_hint(std::sync::Arc::new(|data: &[u8]| {
+                        if data.len() < 2 {
+                            return data.len();
+                        }
+                        u16::from_be_bytes([data[0], data[1]]) as usize
+                    }));
+                }
+                Box::new(shadow)
+            }
+            EngineKind::IdentityPlus => {
+                Box::new(IdentityDma::strict(mem.clone(), mmu.clone(), NIC_DEV))
+            }
+            EngineKind::IdentityMinus => Box::new(IdentityDma::deferred(
+                mem.clone(),
+                mmu.clone(),
+                NIC_DEV,
+                cores,
+            )),
+            EngineKind::LinuxStrict => {
+                Box::new(LinuxDma::strict(mem.clone(), mmu.clone(), NIC_DEV))
+            }
+            EngineKind::LinuxDefer => {
+                Box::new(LinuxDma::deferred(mem.clone(), mmu.clone(), NIC_DEV))
+            }
+            EngineKind::EiovarStrict => {
+                Box::new(LinuxDma::eiovar_strict(mem.clone(), mmu.clone(), NIC_DEV))
+            }
+            EngineKind::EiovarDefer => {
+                Box::new(LinuxDma::eiovar_deferred(mem.clone(), mmu.clone(), NIC_DEV))
+            }
+            EngineKind::SelfInvalHw => Box::new(SelfInvalidatingDma::new(
+                mem.clone(),
+                mmu.clone(),
+                NIC_DEV,
+            )),
+        };
+        let bus = match kind {
+            EngineKind::NoIommu => Bus::Direct(mem.clone()),
+            _ => Bus::Iommu {
+                mmu: mmu.clone(),
+                mem: mem.clone(),
+            },
+        };
+        let mut nic = Nic::new(NIC_DEV, bus, NicConfig::default());
+        // Ring setup happens on core 0 at time zero; its costs are not part
+        // of any measurement.
+        let mut setup_ctx = CoreCtx::new(CoreId(0), cost.clone());
+        let ring_bytes = NicConfig::default().ring_entries * DESC_BYTES;
+        let mut rx_rings = Vec::new();
+        let mut tx_rings = Vec::new();
+        for _ in 0..cores {
+            let rx = engine
+                .alloc_coherent(&mut setup_ctx, ring_bytes)
+                .expect("ring allocation");
+            nic.attach_rx_ring(&rx);
+            rx_rings.push(rx);
+            let tx = engine
+                .alloc_coherent(&mut setup_ctx, ring_bytes)
+                .expect("ring allocation");
+            nic.attach_tx_ring(&tx);
+            tx_rings.push(tx);
+        }
+        SimStack {
+            kmalloc: Kmalloc::new(mem.clone()),
+            mem,
+            mmu,
+            engine,
+            nic,
+            wire: Wire::new(cfg.wire_gbps, cfg.cost.clock_ghz),
+            wire_back: Wire::new(cfg.wire_gbps, cfg.cost.clock_ghz),
+            rx_rings,
+            tx_rings,
+            kind,
+            cost,
+            rng: std::cell::RefCell::new(SimRng::seed(cfg.seed)),
+        }
+    }
+
+    /// Convenience single-packet loopback used by docs and smoke tests:
+    /// maps an MTU buffer for receive, delivers `payload` through the NIC,
+    /// unmaps, and returns what landed in the OS buffer.
+    pub fn loopback_rx(&mut self, payload: &[u8]) -> Vec<u8> {
+        use dma_api::{DmaBuf, DmaDirection};
+        let mut ctx = CoreCtx::new(CoreId(0), self.cost.clone());
+        ctx.seek(Cycles(1)); // distinguish from setup time zero
+        let domain = self.mem.topology().domain_of_core(CoreId(0));
+        let skb = self
+            .kmalloc
+            .alloc(payload.len().max(64), domain)
+            .expect("skb allocation");
+        let m = self
+            .engine
+            .map(&mut ctx, DmaBuf::new(skb, payload.len().max(64)), DmaDirection::FromDevice)
+            .expect("dma_map");
+        crate::driver::post_rx(self, 0, m.iova.get(), payload.len().max(64) as u32);
+        self.nic.receive(0, payload).expect("NIC receive");
+        self.engine.unmap(&mut ctx, m).expect("dma_unmap");
+        let out = self
+            .mem
+            .read_vec(skb, payload.len())
+            .expect("read OS buffer");
+        self.kmalloc.free(skb).expect("kfree");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_kinds_have_paper_names() {
+        let names: Vec<&str> = EngineKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "no iommu",
+                "copy",
+                "identity-",
+                "identity+",
+                "eiovar-",
+                "eiovar+",
+                "defer",
+                "strict"
+            ]
+        );
+    }
+
+    #[test]
+    fn stack_builds_for_every_engine() {
+        for kind in EngineKind::ALL {
+            let cfg = ExpConfig::quick();
+            let stack = SimStack::new(kind, &cfg);
+            assert_eq!(stack.engine.name(), kind.name());
+        }
+    }
+
+    #[test]
+    fn loopback_roundtrip_every_engine() {
+        for kind in EngineKind::ALL {
+            let cfg = ExpConfig::quick();
+            let mut stack = SimStack::new(kind, &cfg);
+            let payload: Vec<u8> = (0..1500).map(|i| (i % 256) as u8).collect();
+            let out = stack.loopback_rx(&payload);
+            assert_eq!(out, payload, "engine {kind}");
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! DMA attacks, live: runs every attack scenario from the paper against
+//! every protection engine and prints the outcome matrix (the executable
+//! version of the paper's Table 1).
+//!
+//! Run with: `cargo run --example dma_attack`
+
+use dma_shadowing::attacks;
+
+fn main() {
+    println!("Mounting DMA attacks against every protection engine...\n");
+    let rows = attacks::run_matrix();
+
+    println!(
+        "{:<12} {:>14} {:>16} {:>22}",
+        "engine", "iommu protect", "sub-page protect", "no vulnerability win"
+    );
+    let mark = |b: bool| if b { "yes" } else { "NO" };
+    for row in &rows {
+        println!(
+            "{:<12} {:>14} {:>16} {:>22}",
+            row.engine.name(),
+            mark(row.iommu_protection),
+            mark(row.sub_page_protect),
+            mark(row.no_vulnerability_window)
+        );
+    }
+
+    println!("\nEvidence:");
+    for row in &rows {
+        println!("-- {} --", row.engine.name());
+        for report in &row.reports {
+            println!("   {report}");
+        }
+    }
+
+    // The punchline: only DMA shadowing blocks everything.
+    let secure: Vec<_> = rows
+        .iter()
+        .filter(|r| r.iommu_protection && r.sub_page_protect && r.no_vulnerability_window)
+        .map(|r| r.engine.name())
+        .collect();
+    println!("\nfully protected engines: {secure:?}");
+    assert_eq!(secure, ["copy"], "only DMA shadowing blocks every attack");
+}

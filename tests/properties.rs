@@ -1,0 +1,234 @@
+//! Property-based tests (proptest) of the core data structures and of the
+//! DMA engines' end-to-end contract.
+
+use dma_shadowing::dma_api::{DmaBuf, DmaDirection};
+use dma_shadowing::iommu::{DeviceId, Iommu, IoPageTable, IovaPage, Perms};
+use dma_shadowing::memsim::{Kmalloc, NumaDomain, NumaTopology, PhysMemory, Pfn, PAGE_SIZE};
+use dma_shadowing::netsim::{EngineKind, ExpConfig, SimStack, NIC_DEV};
+use dma_shadowing::shadow_core::IovaCodec;
+use dma_shadowing::simcore::{CoreCtx, CoreId, CostModel, Cycles};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn any_perms() -> impl Strategy<Value = Perms> {
+    prop_oneof![
+        Just(Perms::Read),
+        Just(Perms::Write),
+        Just(Perms::ReadWrite)
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The Figure 2 encoding is a bijection on its domain.
+    #[test]
+    fn codec_roundtrip(
+        core in 0u16..128,
+        rights in any_perms(),
+        class in 0usize..2,
+        index in 0u64..10_000,
+        offset in 0u64..4096,
+    ) {
+        let codec = IovaCodec::paper_default();
+        let base = codec.encode(CoreId(core), rights, class, index);
+        let d = codec.decode(base.add(offset)).expect("decodes");
+        prop_assert_eq!(d.core, CoreId(core));
+        prop_assert_eq!(d.rights, rights);
+        prop_assert_eq!(d.class, class);
+        prop_assert_eq!(d.index, index);
+        prop_assert_eq!(d.offset, offset);
+    }
+
+    /// Distinct (core, rights, class, index) tuples never collide.
+    #[test]
+    fn codec_injective(
+        a in (0u16..128, 0usize..2, 0u64..5_000),
+        b in (0u16..128, 0usize..2, 0u64..5_000),
+    ) {
+        let codec = IovaCodec::paper_default();
+        let ia = codec.encode(CoreId(a.0), Perms::Read, a.1, a.2);
+        let ib = codec.encode(CoreId(b.0), Perms::Read, b.1, b.2);
+        prop_assert_eq!(ia == ib, a == b);
+    }
+
+    /// The 4-level page table behaves exactly like a flat map.
+    #[test]
+    fn pagetable_matches_reference_model(
+        ops in proptest::collection::vec(
+            (0u64..2_000, 0u64..1_000, prop::bool::ANY), 1..200
+        ),
+    ) {
+        let mut pt = IoPageTable::new();
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        for (page, pfn, do_map) in ops {
+            let page_k = IovaPage(page);
+            if do_map {
+                let r = pt.map(page_k, Pfn(pfn), Perms::ReadWrite);
+                if let std::collections::hash_map::Entry::Vacant(e) = model.entry(page) {
+                    prop_assert!(r.is_ok());
+                    e.insert(pfn);
+                } else {
+                    prop_assert!(r.is_err(), "double map must fail");
+                }
+            } else {
+                let r = pt.unmap(page_k);
+                match model.remove(&page) {
+                    Some(expect) => prop_assert_eq!(r.unwrap().pfn, Pfn(expect)),
+                    None => prop_assert!(r.is_err(), "unmap of unmapped must fail"),
+                }
+            }
+            prop_assert_eq!(pt.mapped_pages(), model.len() as u64);
+        }
+        for (&page, &pfn) in &model {
+            prop_assert_eq!(pt.translate(IovaPage(page)).unwrap().pfn, Pfn(pfn));
+        }
+    }
+
+    /// kmalloc never hands out overlapping live objects, across any
+    /// alloc/free interleaving.
+    #[test]
+    fn kmalloc_objects_never_overlap(
+        ops in proptest::collection::vec((1usize..6000, prop::bool::ANY), 1..150),
+    ) {
+        let mem = Arc::new(PhysMemory::new(NumaTopology::tiny(4096)));
+        let km = Kmalloc::new(mem);
+        let mut live: Vec<(u64, usize)> = Vec::new();
+        for (size, free_one) in ops {
+            if free_one && !live.is_empty() {
+                let (pa, _) = live.swap_remove(0);
+                km.free(dma_shadowing::memsim::PhysAddr(pa)).unwrap();
+            } else {
+                let pa = km.alloc(size, NumaDomain(0)).unwrap();
+                live.push((pa.get(), size));
+            }
+            let mut sorted = live.clone();
+            sorted.sort();
+            for w in sorted.windows(2) {
+                prop_assert!(
+                    w[0].0 + w[0].1 as u64 <= w[1].0,
+                    "overlap: {:?} {:?}", w[0], w[1]
+                );
+            }
+        }
+    }
+
+    /// Every engine preserves arbitrary payloads at arbitrary buffer
+    /// offsets/sizes, both directions.
+    #[test]
+    fn engines_preserve_arbitrary_payloads(
+        len in 1usize..9000,
+        offset in 0usize..4096,
+        to_device in prop::bool::ANY,
+        seed in 0u8..255,
+    ) {
+        for kind in [EngineKind::Copy, EngineKind::IdentityPlus, EngineKind::LinuxDefer] {
+            let stack = SimStack::new(kind, &ExpConfig::quick());
+            let mut ctx = CoreCtx::new(CoreId(0), Arc::new(CostModel::zero()));
+            ctx.seek(Cycles(1));
+            let domain = stack.mem.topology().domain_of_core(CoreId(0));
+            let frames = ((offset + len) as u64).div_ceil(PAGE_SIZE as u64);
+            let base = stack.mem.alloc_frames(domain, frames).unwrap().base();
+            let pa = base.add(offset as u64);
+            let payload: Vec<u8> = (0..len).map(|i| (i as u8) ^ seed).collect();
+            let bus = dma_shadowing::dma_api::Bus::Iommu {
+                mmu: stack.mmu.clone(),
+                mem: stack.mem.clone(),
+            };
+            if to_device {
+                stack.mem.write(pa, &payload).unwrap();
+                let m = stack.engine.map(&mut ctx, DmaBuf::new(pa, len), DmaDirection::ToDevice).unwrap();
+                let mut out = vec![0u8; len];
+                bus.read(NIC_DEV, m.iova.get(), &mut out).unwrap();
+                stack.engine.unmap(&mut ctx, m).unwrap();
+                prop_assert_eq!(out, payload, "{} read", kind);
+            } else {
+                let m = stack.engine.map(&mut ctx, DmaBuf::new(pa, len), DmaDirection::FromDevice).unwrap();
+                bus.write(NIC_DEV, m.iova.get(), &payload).unwrap();
+                stack.engine.unmap(&mut ctx, m).unwrap();
+                prop_assert_eq!(stack.mem.read_vec(pa, len).unwrap(), payload, "{} write", kind);
+            }
+            stack.engine.flush_deferred(&mut ctx);
+        }
+    }
+
+    /// Frame allocator: allocations are disjoint, frees coalesce, and the
+    /// same memory can always be re-allocated.
+    #[test]
+    fn frame_allocator_invariants(
+        sizes in proptest::collection::vec(1u64..16, 1..40),
+    ) {
+        let mem = PhysMemory::new(NumaTopology::tiny(1024));
+        let mut held: Vec<(Pfn, u64)> = Vec::new();
+        for (i, n) in sizes.iter().enumerate() {
+            let pfn = mem.alloc_frames(NumaDomain(0), *n).unwrap();
+            // Disjointness against everything held.
+            for &(other, on) in &held {
+                prop_assert!(
+                    pfn.get() + n <= other.get() || other.get() + on <= pfn.get()
+                );
+            }
+            held.push((pfn, *n));
+            if i % 3 == 2 {
+                let (p, n) = held.swap_remove(0);
+                mem.free_frames(p, n).unwrap();
+            }
+        }
+        let total_held: u64 = held.iter().map(|&(_, n)| n).sum();
+        prop_assert_eq!(mem.stats().allocated_frames, total_held);
+        for (p, n) in held {
+            mem.free_frames(p, n).unwrap();
+        }
+        prop_assert_eq!(mem.stats().allocated_frames, 0);
+        // After everything is freed the full range is one run again.
+        prop_assert!(mem.alloc_frames(NumaDomain(0), 1024).is_ok());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The shadow pool under random acquire/release sequences: no
+    /// double-handout, correct associations, in-flight accounting exact.
+    #[test]
+    fn pool_random_acquire_release(
+        ops in proptest::collection::vec(
+            (1usize..70_000, any_perms(), prop::bool::ANY), 1..120
+        ),
+    ) {
+        use dma_shadowing::shadow_core::{PoolConfig, ShadowPool};
+        let mem = Arc::new(PhysMemory::new(NumaTopology::new(4, 2, 65_536)));
+        let mmu = Arc::new(Iommu::new());
+        let pool = ShadowPool::new(mem.clone(), mmu, DeviceId(0), PoolConfig::default());
+        let mut ctx = CoreCtx::new(CoreId(0), Arc::new(CostModel::zero()));
+        ctx.seek(Cycles(1));
+        let os = mem.alloc_frames(NumaDomain(0), 32).unwrap().base();
+        let mut live: Vec<(dma_shadowing::iommu::Iova, usize)> = Vec::new();
+        for (len, rights, release_one) in ops {
+            if release_one && !live.is_empty() {
+                let (iova, _) = live.swap_remove(0);
+                pool.release_shadow(&mut ctx, iova).unwrap();
+            } else {
+                let iova = pool
+                    .acquire_shadow(&mut ctx, DmaBuf::new(os, len), rights)
+                    .unwrap();
+                // No double-handout: IOVA not already live.
+                prop_assert!(live.iter().all(|&(i, _)| i != iova));
+                let sref = pool.find_shadow(iova).unwrap();
+                prop_assert!(sref.size >= len);
+                prop_assert_eq!(sref.os_len, len);
+                live.push((iova, len));
+            }
+            prop_assert_eq!(pool.stats().in_flight, live.len() as u64);
+        }
+        // All shadow buffers resolvable until released.
+        for (iova, len) in &live {
+            prop_assert_eq!(pool.find_shadow(*iova).unwrap().os_len, *len);
+        }
+        for (iova, _) in live {
+            pool.release_shadow(&mut ctx, iova).unwrap();
+        }
+        prop_assert_eq!(pool.stats().in_flight, 0);
+    }
+}
