@@ -1,0 +1,8 @@
+#!/bin/sh
+# Local mirror of .github/workflows/ci.yml — fully offline.
+set -eux
+export CARGO_NET_OFFLINE=true
+cargo build --release --workspace --all-targets
+cargo test -q --workspace
+cargo fmt --all --check
+cargo clippy --workspace --all-targets -- -D warnings

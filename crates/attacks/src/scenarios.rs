@@ -27,7 +27,11 @@ impl fmt::Display for AttackReport {
             "{:<28} vs {:<10}: {} ({})",
             self.attack,
             self.engine,
-            if self.succeeded { "SUCCEEDED" } else { "blocked" },
+            if self.succeeded {
+                "SUCCEEDED"
+            } else {
+                "blocked"
+            },
             self.detail
         )
     }
@@ -80,10 +84,7 @@ pub fn arbitrary_memory_probe(kind: EngineKind) -> AttackReport {
         succeeded: found.is_some(),
         detail: match found {
             Some(a) => format!("secret exfiltrated from {:#x}", a),
-            None => format!(
-                "{} probe DMAs blocked",
-                evil.stats().2
-            ),
+            None => format!("{} probe DMAs blocked", evil.stats().2),
         },
     }
 }
@@ -159,8 +160,7 @@ pub fn deferred_window_overwrite(kind: EngineKind) -> AttackReport {
     // Close the window; afterwards the write must always fail.
     stack.engine.flush_deferred(&mut ctx);
     let late = evil.try_write(mapping.iova.get(), &malicious);
-    let late_corrupted = stack.mem.read_vec(buf, 1500).expect("read") == malicious
-        && !corrupted;
+    let late_corrupted = stack.mem.read_vec(buf, 1500).expect("read") == malicious && !corrupted;
     AttackReport {
         attack: "deferred-window overwrite",
         engine: kind.name(),
@@ -228,11 +228,7 @@ mod tests {
     fn probe_succeeds_only_without_iommu() {
         for kind in EngineKind::ALL {
             let r = arbitrary_memory_probe(kind);
-            assert_eq!(
-                r.succeeded,
-                kind == EngineKind::NoIommu,
-                "{r}"
-            );
+            assert_eq!(r.succeeded, kind == EngineKind::NoIommu, "{r}");
         }
     }
 

@@ -1,14 +1,15 @@
-//! Criterion micro-benchmarks of this implementation's hot paths (host
-//! time, not simulated time): shadow pool operations, IOVA codec,
-//! IOTLB, page table, and full map/unmap cycles per engine.
+//! Micro-benchmarks of this implementation's hot paths (host time, not
+//! simulated time): shadow pool operations, IOVA codec, IOTLB, page
+//! table, and full map/unmap cycles per engine. Self-contained timing
+//! harness (the workspace builds offline, so no criterion).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use dma_api::{DmaBuf, DmaDirection, DmaEngine, IdentityDma, LinuxDma, NoIommu};
-use iommu::{DeviceId, Iommu, Iotlb, IovaPage, IoPageTable, Perms, PtEntry};
-use memsim::{NumaDomain, NumaTopology, PhysMemory, Pfn};
+use iommu::{DeviceId, IoPageTable, Iommu, Iotlb, IovaPage, Perms, PtEntry};
+use memsim::{NumaDomain, NumaTopology, Pfn, PhysMemory};
 use shadow_core::{IovaCodec, PoolConfig, ShadowDma, ShadowPool};
 use simcore::{CoreCtx, CoreId, CostModel, Cycles};
 use std::sync::Arc;
+use std::time::Instant;
 
 const DEV: DeviceId = DeviceId(0);
 
@@ -25,7 +26,29 @@ fn rig() -> (Arc<PhysMemory>, Arc<Iommu>) {
     )
 }
 
-fn bench_pool(c: &mut Criterion) {
+/// Times `f` over enough iterations for a stable ns/op estimate and
+/// prints one aligned row.
+fn bench(name: &str, mut f: impl FnMut()) {
+    // Warm up.
+    for _ in 0..1_000 {
+        f();
+    }
+    // Scale the iteration count to roughly 50 ms of work.
+    let probe = Instant::now();
+    for _ in 0..10_000 {
+        f();
+    }
+    let per = probe.elapsed().as_nanos().max(1) as u64 / 10_000;
+    let iters = (50_000_000 / per.max(1)).clamp(10_000, 5_000_000);
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let ns = start.elapsed().as_nanos() as f64 / iters as f64;
+    println!("{name:<32} {ns:>10.1} ns/op   ({iters} iters)");
+}
+
+fn bench_pool() {
     let (mem, mmu) = rig();
     let pool = ShadowPool::new(mem.clone(), mmu, DEV, PoolConfig::default());
     let pfn = mem.alloc_frames(NumaDomain(0), 1).unwrap();
@@ -35,30 +58,28 @@ fn bench_pool(c: &mut Criterion) {
     let iova = pool.acquire_shadow(&mut cx, buf, Perms::Write).unwrap();
     pool.release_shadow(&mut cx, iova).unwrap();
 
-    c.bench_function("pool_acquire_release_warm", |b| {
-        b.iter(|| {
-            let iova = pool.acquire_shadow(&mut cx, buf, Perms::Write).unwrap();
-            pool.release_shadow(&mut cx, iova).unwrap();
-        })
+    bench("pool_acquire_release_warm", || {
+        let iova = pool.acquire_shadow(&mut cx, buf, Perms::Write).unwrap();
+        pool.release_shadow(&mut cx, iova).unwrap();
     });
     let iova = pool.acquire_shadow(&mut cx, buf, Perms::Write).unwrap();
-    c.bench_function("pool_find_shadow", |b| {
-        b.iter(|| pool.find_shadow(std::hint::black_box(iova)))
+    bench("pool_find_shadow", || {
+        std::hint::black_box(pool.find_shadow(std::hint::black_box(iova)));
     });
 }
 
-fn bench_codec(c: &mut Criterion) {
+fn bench_codec() {
     let codec = IovaCodec::paper_default();
     let iova = codec.encode(CoreId(5), Perms::Write, 1, 1234);
-    c.bench_function("iova_encode", |b| {
-        b.iter(|| codec.encode(CoreId(5), Perms::Write, 1, std::hint::black_box(1234)))
+    bench("iova_encode", || {
+        std::hint::black_box(codec.encode(CoreId(5), Perms::Write, 1, std::hint::black_box(1234)));
     });
-    c.bench_function("iova_decode", |b| {
-        b.iter(|| codec.decode(std::hint::black_box(iova)))
+    bench("iova_decode", || {
+        std::hint::black_box(codec.decode(std::hint::black_box(iova)));
     });
 }
 
-fn bench_iotlb(c: &mut Criterion) {
+fn bench_iotlb() {
     let mut tlb = Iotlb::new(4096);
     let e = PtEntry {
         pfn: Pfn(7),
@@ -67,38 +88,30 @@ fn bench_iotlb(c: &mut Criterion) {
     for i in 0..1024 {
         tlb.insert(DEV, IovaPage(i), e);
     }
-    c.bench_function("iotlb_lookup_hit", |b| {
-        b.iter(|| tlb.lookup(DEV, IovaPage(std::hint::black_box(512))))
+    bench("iotlb_lookup_hit", || {
+        std::hint::black_box(tlb.lookup(DEV, IovaPage(std::hint::black_box(512))));
     });
-    c.bench_function("iotlb_insert_evict", |b| {
-        let mut i = 10_000u64;
-        b.iter(|| {
-            i += 1;
-            tlb.insert(DEV, IovaPage(i), e);
-        })
+    let mut i = 10_000u64;
+    bench("iotlb_insert_evict", || {
+        i += 1;
+        tlb.insert(DEV, IovaPage(i), e);
     });
 }
 
-fn bench_pagetable(c: &mut Criterion) {
-    c.bench_function("pagetable_map_unmap", |b| {
-        b.iter_batched(
-            IoPageTable::new,
-            |mut pt| {
-                pt.map(IovaPage(0x1234), Pfn(1), Perms::Read).unwrap();
-                pt.unmap(IovaPage(0x1234)).unwrap();
-            },
-            BatchSize::SmallInput,
-        )
+fn bench_pagetable() {
+    bench("pagetable_map_unmap", || {
+        let mut pt = IoPageTable::new();
+        pt.map(IovaPage(0x1234), Pfn(1), Perms::Read).unwrap();
+        pt.unmap(IovaPage(0x1234)).unwrap();
     });
     let mut pt = IoPageTable::new();
     pt.map(IovaPage(0x1234), Pfn(1), Perms::Read).unwrap();
-    c.bench_function("pagetable_translate", |b| {
-        b.iter(|| pt.translate(IovaPage(std::hint::black_box(0x1234))))
+    bench("pagetable_translate", || {
+        std::hint::black_box(pt.translate(IovaPage(std::hint::black_box(0x1234))));
     });
 }
 
-fn bench_engines(c: &mut Criterion) {
-    let mut group = c.benchmark_group("map_unmap_1500B");
+fn bench_engines() {
     type EngineCtor = fn(Arc<PhysMemory>, Arc<Iommu>) -> Box<dyn DmaEngine>;
     let engines: [(&str, EngineCtor); 4] = [
         ("no_iommu", |mem, _| Box::new(NoIommu::new(mem, DEV))),
@@ -118,19 +131,18 @@ fn bench_engines(c: &mut Criterion) {
         let pfn = mem.alloc_frames(NumaDomain(0), 1).unwrap();
         let buf = DmaBuf::new(pfn.base(), 1500);
         let mut cx = ctx();
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let m = engine.map(&mut cx, buf, DmaDirection::FromDevice).unwrap();
-                engine.unmap(&mut cx, m).unwrap();
-            })
+        bench(&format!("map_unmap_1500B/{name}"), || {
+            let m = engine.map(&mut cx, buf, DmaDirection::FromDevice).unwrap();
+            engine.unmap(&mut cx, m).unwrap();
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_pool, bench_codec, bench_iotlb, bench_pagetable, bench_engines
-);
-criterion_main!(benches);
+fn main() {
+    println!("micro-benchmarks (host time)");
+    bench_pool();
+    bench_codec();
+    bench_iotlb();
+    bench_pagetable();
+    bench_engines();
+}

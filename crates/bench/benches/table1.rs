@@ -28,7 +28,11 @@ fn main() {
     for (engine, iommu, subpage, window) in attacks::expected_table1() {
         let row = rows.iter().find(|r| r.engine == engine).expect("row");
         assert_eq!(
-            (row.iommu_protection, row.sub_page_protect, row.no_vulnerability_window),
+            (
+                row.iommu_protection,
+                row.sub_page_protect,
+                row.no_vulnerability_window
+            ),
             (iommu, subpage, window),
             "Table 1 mismatch for {engine}"
         );

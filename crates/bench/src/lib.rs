@@ -59,14 +59,20 @@ pub fn print_figure(
     let mut rel_line = Vec::new();
     for &size in sizes {
         let rows = run_engines(cores, size, &f);
-        println!("{}", netsim::format_table(&format!("message size {size} B"), &rows, "no iommu"));
+        println!(
+            "{}",
+            netsim::format_table(&format!("message size {size} B"), &rows, "no iommu")
+        );
         let base = rows.iter().find(|r| r.engine == "no iommu");
         let copy = rows.iter().find(|r| r.engine == "copy");
         if let (Some(b), Some(c)) = (base, copy) {
             rel_line.push(format!("{}B:{:.2}", size, c.relative_gbps(b)));
         }
     }
-    println!("copy relative throughput vs no-iommu: {}\n", rel_line.join("  "));
+    println!(
+        "copy relative throughput vs no-iommu: {}\n",
+        rel_line.join("  ")
+    );
 }
 
 /// Prints the per-phase packet-time breakdown of each engine at one point

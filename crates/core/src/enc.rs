@@ -152,7 +152,10 @@ impl IovaCodec {
     ///
     /// Panics if any field is out of range.
     pub fn encode(&self, core: CoreId, rights: Perms, class: usize, index: u64) -> Iova {
-        assert!((core.0 as u64) < (1u64 << self.core_bits), "core id too large");
+        assert!(
+            (core.0 as u64) < (1u64 << self.core_bits),
+            "core id too large"
+        );
         assert!(class < self.class_sizes.len(), "bad class");
         assert!(index < self.max_index(class), "metadata index out of range");
         let payload_bits = self.payload_bits();
@@ -221,7 +224,11 @@ mod tests {
         let iova = c.encode(CoreId(0), Perms::Read, 1, 0);
         assert_eq!(iova.get(), (1u64 << 47) | (1u64 << 37), "class at bit 37");
         let iova = c.encode(CoreId(0), Perms::Read, 0, 1);
-        assert_eq!(iova.get(), (1u64 << 47) | 4096, "index scaled by class size");
+        assert_eq!(
+            iova.get(),
+            (1u64 << 47) | 4096,
+            "index scaled by class size"
+        );
     }
 
     #[test]

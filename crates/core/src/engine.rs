@@ -80,11 +80,31 @@ impl std::fmt::Debug for ShadowDma {
 }
 
 impl ShadowDma {
-    /// Creates the engine (and its shadow pool) for `dev`.
+    /// Creates the engine (and its shadow pool) for `dev`, sharing the
+    /// IOMMU's telemetry handle so the whole stack reports into one
+    /// registry.
     pub fn new(mem: Arc<PhysMemory>, mmu: Arc<Iommu>, dev: DeviceId, cfg: PoolConfig) -> Self {
-        let pool = Arc::new(ShadowPool::new(mem.clone(), mmu.clone(), dev, cfg));
+        let obs = mmu.obs().clone();
+        Self::with_obs(mem, mmu, dev, cfg, obs)
+    }
+
+    /// Creates the engine reporting into `obs`.
+    pub fn with_obs(
+        mem: Arc<PhysMemory>,
+        mmu: Arc<Iommu>,
+        dev: DeviceId,
+        cfg: PoolConfig,
+        obs: obs::Obs,
+    ) -> Self {
+        let pool = Arc::new(ShadowPool::with_obs(
+            mem.clone(),
+            mmu.clone(),
+            dev,
+            cfg,
+            obs.clone(),
+        ));
         ShadowDma {
-            huge: HugeMapper::new(mem.clone(), mmu.clone(), dev),
+            huge: HugeMapper::with_obs(mem.clone(), mmu.clone(), dev, obs),
             coherent: CoherentHelper::new(mem.clone(), mmu, dev),
             zc_iova: GlobalTreeIovaAllocator::new(),
             pool,
@@ -92,6 +112,11 @@ impl ShadowDma {
             dev,
             hint: RefCell::new(None),
         }
+    }
+
+    /// The telemetry handle this engine reports into.
+    pub fn obs(&self) -> &obs::Obs {
+        self.pool.obs()
     }
 
     /// The shadow buffer pool.
@@ -158,7 +183,12 @@ impl DmaEngine for ShadowDma {
         }
     }
 
-    fn map(&self, ctx: &mut CoreCtx, buf: DmaBuf, dir: DmaDirection) -> Result<DmaMapping, DmaError> {
+    fn map(
+        &self,
+        ctx: &mut CoreCtx,
+        buf: DmaBuf,
+        dir: DmaDirection,
+    ) -> Result<DmaMapping, DmaError> {
         let largest = *self
             .pool
             .codec()
@@ -267,7 +297,10 @@ mod tests {
     fn rx_roundtrip_no_invalidation_ever() {
         let mut r = rig();
         let buf = os_buf(&r, 1500);
-        let m = r.eng.map(&mut r.ctx, buf, DmaDirection::FromDevice).unwrap();
+        let m = r
+            .eng
+            .map(&mut r.ctx, buf, DmaDirection::FromDevice)
+            .unwrap();
         // The device writes a packet into the SHADOW buffer.
         let pkt = vec![0x77u8; 1500];
         r.bus.write(DEV, m.iova.get(), &pkt).unwrap();
@@ -306,12 +339,12 @@ mod tests {
         let mut r = rig();
         let buf = os_buf(&r, 512);
         r.mem.write(buf.pa.add(512), b"neighbor secret").unwrap();
-        let m = r.eng.map(&mut r.ctx, buf, DmaDirection::Bidirectional).unwrap();
+        let m = r
+            .eng
+            .map(&mut r.ctx, buf, DmaDirection::Bidirectional)
+            .unwrap();
         // Probing the OS buffer's physical address as an IOVA faults.
-        assert!(r
-            .bus
-            .read(DEV, buf.pa.get(), &mut [0u8; 16])
-            .is_err());
+        assert!(r.bus.read(DEV, buf.pa.get(), &mut [0u8; 16]).is_err());
         // Probing beyond the mapped shadow's own bytes stays inside shadow
         // memory (same rights), never in OS memory; the secret at
         // buf.pa+512 is unreachable because no IOVA maps its page.
@@ -327,7 +360,10 @@ mod tests {
         // recycled shadow, never the returned OS buffer (§5.2 Security).
         let mut r = rig();
         let buf = os_buf(&r, 1500);
-        let m = r.eng.map(&mut r.ctx, buf, DmaDirection::FromDevice).unwrap();
+        let m = r
+            .eng
+            .map(&mut r.ctx, buf, DmaDirection::FromDevice)
+            .unwrap();
         r.bus.write(DEV, m.iova.get(), &vec![1u8; 1500]).unwrap();
         r.eng.unmap(&mut r.ctx, m).unwrap();
         let os_after = r.mem.read_vec(buf.pa, 1500).unwrap();
@@ -342,10 +378,16 @@ mod tests {
         let mut r = rig();
         let buf = os_buf(&r, 1500);
         // Warm the pool.
-        let m = r.eng.map(&mut r.ctx, buf, DmaDirection::FromDevice).unwrap();
+        let m = r
+            .eng
+            .map(&mut r.ctx, buf, DmaDirection::FromDevice)
+            .unwrap();
         r.eng.unmap(&mut r.ctx, m).unwrap();
         r.ctx.reset_stats();
-        let m = r.eng.map(&mut r.ctx, buf, DmaDirection::FromDevice).unwrap();
+        let m = r
+            .eng
+            .map(&mut r.ctx, buf, DmaDirection::FromDevice)
+            .unwrap();
         r.eng.unmap(&mut r.ctx, m).unwrap();
         // RX 1500 B: one copy ≈ 0.11 µs, pool mgmt ≈ 0.02 µs (Fig. 5a).
         let memcpy_us = r
@@ -374,7 +416,10 @@ mod tests {
             u16::from_be_bytes([data[0], data[1]]) as usize
         }));
         let buf = os_buf(&r, 1500);
-        let m = r.eng.map(&mut r.ctx, buf, DmaDirection::FromDevice).unwrap();
+        let m = r
+            .eng
+            .map(&mut r.ctx, buf, DmaDirection::FromDevice)
+            .unwrap();
         // The device delivers a 300-byte packet into the MTU-sized buffer.
         let mut pkt = vec![0xaau8; 300];
         pkt[0] = 0x01; // length 0x012c = 300
@@ -390,7 +435,10 @@ mod tests {
         assert_eq!(r.mem.read_vec(buf.pa, 300).unwrap(), pkt);
         // A hint returning nonsense is clamped to the mapped length.
         r.eng.set_copy_hint(Arc::new(|_| usize::MAX));
-        let m = r.eng.map(&mut r.ctx, buf, DmaDirection::FromDevice).unwrap();
+        let m = r
+            .eng
+            .map(&mut r.ctx, buf, DmaDirection::FromDevice)
+            .unwrap();
         r.bus.write(DEV, m.iova.get(), &vec![5u8; 1500]).unwrap();
         r.eng.unmap(&mut r.ctx, m).unwrap();
         assert_eq!(r.mem.read_vec(buf.pa, 1500).unwrap(), vec![5u8; 1500]);
@@ -400,7 +448,10 @@ mod tests {
     fn huge_buffers_route_to_hybrid_path() {
         let mut r = rig();
         let buf = os_buf(&r, 300_000);
-        let m = r.eng.map(&mut r.ctx, buf, DmaDirection::FromDevice).unwrap();
+        let m = r
+            .eng
+            .map(&mut r.ctx, buf, DmaDirection::FromDevice)
+            .unwrap();
         assert_eq!(r.eng.huge().live_count(), 1);
         let data: Vec<u8> = (0..300_000).map(|i| (i % 239) as u8).collect();
         r.bus.write(DEV, m.iova.get(), &data).unwrap();

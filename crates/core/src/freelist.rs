@@ -16,7 +16,7 @@
 //! lock) mirroring the paper's separate-cache-line layout.
 
 use crate::slot::{MetadataArray, NIL};
-use parking_lot::Mutex;
+use simcore::sync::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// One shadow-buffer free list.

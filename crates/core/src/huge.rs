@@ -17,12 +17,15 @@
 use dma_api::{DmaBuf, DmaError, GlobalTreeIovaAllocator, IovaAllocator};
 use iommu::{DeviceId, Iommu, Iova, IovaPage, Perms};
 use memsim::{Pfn, PhysAddr, PhysMemory, PAGE_SIZE};
+use obs::{Counter, Obs};
 use simcore::{CoreCtx, Phase};
-use std::cell::{Cell, RefCell};
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Huge-path statistics.
+///
+/// A thin view over the unified metric registry (`huge.*{dev}` keys).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct HugeStats {
     /// Huge mappings established.
@@ -55,24 +58,31 @@ pub struct HugeMapper {
     mmu: Arc<Iommu>,
     dev: DeviceId,
     live: RefCell<HashMap<u64, HugeEntry>>,
-    maps: Cell<u64>,
-    unmaps: Cell<u64>,
-    shadowed_bytes: Cell<u64>,
-    zero_copy_bytes: Cell<u64>,
+    maps: Counter,
+    unmaps: Counter,
+    shadowed_bytes: Counter,
+    zero_copy_bytes: Counter,
 }
 
 impl HugeMapper {
-    /// Creates a mapper for `dev`.
+    /// Creates a mapper for `dev` sharing the IOMMU's telemetry handle.
     pub fn new(mem: Arc<PhysMemory>, mmu: Arc<Iommu>, dev: DeviceId) -> Self {
+        let obs = mmu.obs().clone();
+        Self::with_obs(mem, mmu, dev, obs)
+    }
+
+    /// Creates a mapper reporting into `obs` (metric keys `huge.*{dev}`).
+    pub fn with_obs(mem: Arc<PhysMemory>, mmu: Arc<Iommu>, dev: DeviceId, obs: Obs) -> Self {
+        let d = Some(dev.0);
         HugeMapper {
             mem,
             mmu,
             dev,
             live: RefCell::new(HashMap::new()),
-            maps: Cell::new(0),
-            unmaps: Cell::new(0),
-            shadowed_bytes: Cell::new(0),
-            zero_copy_bytes: Cell::new(0),
+            maps: obs.counter("huge", "maps", d),
+            unmaps: obs.counter("huge", "unmaps", d),
+            shadowed_bytes: obs.counter("huge", "shadowed_bytes", d),
+            zero_copy_bytes: obs.counter("huge", "zero_copy_bytes", d),
         }
     }
 
@@ -86,7 +96,7 @@ impl HugeMapper {
         self.live.borrow().len()
     }
 
-    /// Statistics snapshot.
+    /// Statistics snapshot (a view over the registry's `huge.*` counters).
     pub fn stats(&self) -> HugeStats {
         HugeStats {
             maps: self.maps.get(),
@@ -118,8 +128,7 @@ impl HugeMapper {
         let tail_len = after_head % PAGE_SIZE;
         let mid_len = after_head - tail_len;
         let mid_pages = (mid_len / PAGE_SIZE) as u64;
-        let n_pages =
-            u64::from(head_len > 0) + mid_pages + u64::from(tail_len > 0);
+        let n_pages = u64::from(head_len > 0) + mid_pages + u64::from(tail_len > 0);
         assert!(n_pages > 0, "huge mapping of empty buffer");
         let domain = self.mem.topology().domain_of_core(ctx.core);
         let first_page = iova_alloc.alloc(ctx, n_pages)?;
@@ -178,10 +187,9 @@ impl HugeMapper {
                 tail_len,
             },
         );
-        self.maps.set(self.maps.get() + 1);
-        self.shadowed_bytes
-            .set(self.shadowed_bytes.get() + (head_len + tail_len) as u64);
-        self.zero_copy_bytes.set(self.zero_copy_bytes.get() + mid_len as u64);
+        self.maps.inc();
+        self.shadowed_bytes.add((head_len + tail_len) as u64);
+        self.zero_copy_bytes.add(mid_len as u64);
         Ok(iova)
     }
 
@@ -214,7 +222,9 @@ impl HugeMapper {
             }
         }
         // Strict teardown: no vulnerability window for huge mappings.
-        let pages: Vec<IovaPage> = (0..entry.n_pages).map(|i| entry.first_page.add(i)).collect();
+        let pages: Vec<IovaPage> = (0..entry.n_pages)
+            .map(|i| entry.first_page.add(i))
+            .collect();
         for &p in &pages {
             self.mmu.unmap_page_nosync(ctx, self.dev, p)?;
         }
@@ -226,7 +236,7 @@ impl HugeMapper {
             self.mem.free_frames(f, 1)?;
         }
         iova_alloc.free(ctx, entry.first_page, entry.n_pages);
-        self.unmaps.set(self.unmaps.get() + 1);
+        self.unmaps.inc();
         Ok(())
     }
 }
@@ -271,10 +281,7 @@ mod tests {
         let buf = unaligned_buf(&r, 200_000, 1000);
         let data: Vec<u8> = (0..200_000).map(|i| (i % 251) as u8).collect();
         r.mem.write(buf.pa, &data).unwrap();
-        let iova = r
-            .huge
-            .map(&mut r.ctx, &r.alloc, buf, Perms::Read)
-            .unwrap();
+        let iova = r.huge.map(&mut r.ctx, &r.alloc, buf, Perms::Read).unwrap();
         let mut out = vec![0u8; 200_000];
         r.mmu.dma_read(&r.mem, DEV, iova, &mut out).unwrap();
         assert_eq!(out, data, "head+middle+tail stitch together");
@@ -285,10 +292,7 @@ mod tests {
     fn device_writes_reach_os_buffer_after_unmap() {
         let mut r = rig();
         let buf = unaligned_buf(&r, 150_000, 300);
-        let iova = r
-            .huge
-            .map(&mut r.ctx, &r.alloc, buf, Perms::Write)
-            .unwrap();
+        let iova = r.huge.map(&mut r.ctx, &r.alloc, buf, Perms::Write).unwrap();
         let data: Vec<u8> = (0..150_000).map(|i| (i % 241) as u8).collect();
         r.mmu.dma_write(&r.mem, DEV, iova, &data).unwrap();
         // Middle bytes land directly (zero copy)...
@@ -309,7 +313,9 @@ mod tests {
         let mut r = rig();
         let buf = unaligned_buf(&r, 100_000, 2048);
         // A secret lives on the same first page, before the buffer.
-        r.mem.write(buf.pa.page_base(), b"SECRET-AT-PAGE-START").unwrap();
+        r.mem
+            .write(buf.pa.page_base(), b"SECRET-AT-PAGE-START")
+            .unwrap();
         let iova = r
             .huge
             .map(&mut r.ctx, &r.alloc, buf, Perms::ReadWrite)
@@ -328,10 +334,7 @@ mod tests {
     fn unmap_is_strict() {
         let mut r = rig();
         let buf = unaligned_buf(&r, 100_000, 512);
-        let iova = r
-            .huge
-            .map(&mut r.ctx, &r.alloc, buf, Perms::Write)
-            .unwrap();
+        let iova = r.huge.map(&mut r.ctx, &r.alloc, buf, Perms::Write).unwrap();
         // Warm the IOTLB.
         r.mmu.dma_write(&r.mem, DEV, iova, b"warm").unwrap();
         let invals_before = r.mmu.invalq().stats().page_commands;
@@ -365,10 +368,7 @@ mod tests {
     fn copies_only_head_and_tail() {
         let mut r = rig();
         let buf = unaligned_buf(&r, 1_000_000, 100);
-        let iova = r
-            .huge
-            .map(&mut r.ctx, &r.alloc, buf, Perms::Read)
-            .unwrap();
+        let iova = r.huge.map(&mut r.ctx, &r.alloc, buf, Perms::Read).unwrap();
         let s = r.huge.stats();
         assert!(s.shadowed_bytes < 2 * PAGE_SIZE as u64);
         assert!(s.zero_copy_bytes > 990_000);
@@ -384,18 +384,12 @@ mod tests {
         let mut r = rig();
         let buf = unaligned_buf(&r, 100_000, 700);
         let frames_before = r.mem.stats().allocated_frames;
-        let iova1 = r
-            .huge
-            .map(&mut r.ctx, &r.alloc, buf, Perms::Write)
-            .unwrap();
+        let iova1 = r.huge.map(&mut r.ctx, &r.alloc, buf, Perms::Write).unwrap();
         r.huge.unmap(&mut r.ctx, &r.alloc, iova1).unwrap();
         assert_eq!(r.mem.stats().allocated_frames, frames_before);
         assert_eq!(r.huge.live_count(), 0);
         // IOVA range reusable.
-        let iova2 = r
-            .huge
-            .map(&mut r.ctx, &r.alloc, buf, Perms::Write)
-            .unwrap();
+        let iova2 = r.huge.map(&mut r.ctx, &r.alloc, buf, Perms::Write).unwrap();
         assert_eq!(iova2, iova1);
         r.huge.unmap(&mut r.ctx, &r.alloc, iova2).unwrap();
     }

@@ -4,10 +4,11 @@ use crate::{FreeList, IovaCodec, MetadataArray};
 use dma_api::{DmaBuf, DmaError};
 use iommu::{DeviceId, Iommu, Iova, IovaPage, Perms};
 use memsim::{PhysAddr, PhysMemory, PAGE_SIZE};
-use parking_lot::Mutex;
+use obs::{Counter, EventKind, Gauge, Obs};
+use simcore::sync::Mutex;
 use simcore::{CoreCtx, CoreId, Phase};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 /// Pool configuration.
@@ -31,6 +32,10 @@ impl Default for PoolConfig {
 }
 
 /// Pool statistics.
+///
+/// A thin view over the unified metric registry (`pool.*{dev}` keys):
+/// [`ShadowPool::stats`] reads the registry counters/gauges, never a
+/// private side-channel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PoolStats {
     /// Successful `acquire_shadow` calls.
@@ -146,16 +151,17 @@ pub struct ShadowPool {
     caches: Vec<Mutex<Vec<u64>>>,
     fallback: Mutex<HashMap<u64, FallbackEntry>>,
     fallback_pages: Mutex<FallbackIovaSpace>,
-    // stats
-    acquires: AtomicU64,
-    releases: AtomicU64,
-    grows: AtomicU64,
-    fallback_acquires: AtomicU64,
-    in_flight: AtomicU64,
-    peak_in_flight: AtomicU64,
-    shadow_bytes: AtomicU64,
-    peak_shadow_bytes: AtomicU64,
-    reclaimed: AtomicU64,
+    // Telemetry: registry-backed handles (single source of truth).
+    obs: Obs,
+    acquires: Counter,
+    releases: Counter,
+    grows: Counter,
+    fallback_acquires: Counter,
+    in_flight: Gauge,
+    peak_in_flight: Gauge,
+    shadow_bytes: Gauge,
+    peak_shadow_bytes: Gauge,
+    reclaimed: Counter,
 }
 
 /// Bump-with-reuse IOVA page allocator for the fallback region, standing in
@@ -184,8 +190,19 @@ impl FallbackIovaSpace {
 }
 
 impl ShadowPool {
-    /// Creates a pool for device `dev`.
+    /// Creates a pool for device `dev` with a private telemetry handle.
     pub fn new(mem: Arc<PhysMemory>, mmu: Arc<Iommu>, dev: DeviceId, cfg: PoolConfig) -> Self {
+        Self::with_obs(mem, mmu, dev, cfg, Obs::isolated())
+    }
+
+    /// Creates a pool reporting into `obs` (metric keys `pool.*{dev}`).
+    pub fn with_obs(
+        mem: Arc<PhysMemory>,
+        mmu: Arc<Iommu>,
+        dev: DeviceId,
+        cfg: PoolConfig,
+        obs: Obs,
+    ) -> Self {
         let topo = mem.topology().clone();
         let cores = topo.cores();
         assert!(
@@ -193,14 +210,12 @@ impl ShadowPool {
             "topology has more cores than the IOVA encoding can name"
         );
         let nclasses = cfg.codec.class_sizes().len();
-        let cap_per = |class: usize| {
-            cfg.max_buffers_per_class
-                .min(cfg.codec.max_index(class))
-        };
+        let cap_per = |class: usize| cfg.max_buffers_per_class.min(cfg.codec.max_index(class));
         let arrays = (0..topo.domains() as usize * nclasses)
             .map(|i| MetadataArray::new(cap_per(i % nclasses)))
             .collect();
         let nlists = cores as usize * nclasses * 3;
+        let d = Some(dev.0);
         ShadowPool {
             mem,
             mmu,
@@ -216,16 +231,22 @@ impl ShadowPool {
                 next: FALLBACK_PAGE_BASE,
                 free: HashMap::new(),
             }),
-            acquires: AtomicU64::new(0),
-            releases: AtomicU64::new(0),
-            grows: AtomicU64::new(0),
-            fallback_acquires: AtomicU64::new(0),
-            in_flight: AtomicU64::new(0),
-            peak_in_flight: AtomicU64::new(0),
-            shadow_bytes: AtomicU64::new(0),
-            peak_shadow_bytes: AtomicU64::new(0),
-            reclaimed: AtomicU64::new(0),
+            acquires: obs.counter("pool", "acquires", d),
+            releases: obs.counter("pool", "releases", d),
+            grows: obs.counter("pool", "grows", d),
+            fallback_acquires: obs.counter("pool", "fallback_acquires", d),
+            in_flight: obs.gauge("pool", "in_flight", d),
+            peak_in_flight: obs.gauge("pool", "peak_in_flight", d),
+            shadow_bytes: obs.gauge("pool", "shadow_bytes", d),
+            peak_shadow_bytes: obs.gauge("pool", "peak_shadow_bytes", d),
+            reclaimed: obs.counter("pool", "reclaimed", d),
+            obs,
         }
+    }
+
+    /// The telemetry handle this pool reports into.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// The IOVA codec in use.
@@ -268,9 +289,8 @@ impl ShadowPool {
             Some(class) => self.acquire_classed(ctx, os_buf, rights, class)?,
             None => self.acquire_fallback(ctx, os_buf, rights)?,
         };
-        self.acquires.fetch_add(1, Ordering::Relaxed);
-        let now = self.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
-        self.peak_in_flight.fetch_max(now, Ordering::Relaxed);
+        self.acquires.inc();
+        self.peak_in_flight.set_max(self.in_flight.add(1));
         Ok(iova)
     }
 
@@ -319,7 +339,7 @@ impl ShadowPool {
         let domain = self.mem.topology().domain_of_core(core);
         let array = &self.arrays[ai];
         ctx.charge(Phase::CopyMgmt, ctx.cost.shadow_pool_grow);
-        self.grows.fetch_add(1, Ordering::Relaxed);
+        self.grows.inc();
         if size >= PAGE_SIZE {
             let Some(index) = array.reserve() else {
                 return Ok(None);
@@ -334,6 +354,7 @@ impl ShadowPool {
             self.mmu
                 .map_range(ctx, self.dev, iova_page, pfn, pages, rights)?;
             self.add_shadow_bytes(size as u64);
+            self.trace_grow(ctx, class, size as u64);
             Ok(Some(index))
         } else {
             // Sub-page class: split one page into `k` buffers sharing one
@@ -356,10 +377,10 @@ impl ShadowPool {
                 0,
                 "aligned run must start an IOVA page"
             );
-            self.mmu
-                .map_page(ctx, self.dev, iova_page, pfn, rights)?;
+            self.mmu.map_page(ctx, self.dev, iova_page, pfn, rights)?;
             self.caches[li].lock().extend((start + 1..start + k).rev());
             self.add_shadow_bytes(PAGE_SIZE as u64);
+            self.trace_grow(ctx, class, PAGE_SIZE as u64);
             Ok(Some(start))
         }
     }
@@ -391,8 +412,18 @@ impl ShadowPool {
                 size,
             },
         );
-        self.fallback_acquires.fetch_add(1, Ordering::Relaxed);
+        self.fallback_acquires.inc();
         self.add_shadow_bytes(size as u64);
+        self.obs.set_now_hint(ctx.now());
+        self.obs.trace(
+            ctx.now(),
+            ctx.core.0,
+            Some(self.dev.0),
+            EventKind::FallbackAcquire {
+                iova: iova.get(),
+                len: os_buf.len as u64,
+            },
+        );
         Ok(iova)
     }
 
@@ -490,8 +521,8 @@ impl ShadowPool {
                 self.sub_shadow_bytes(entry.size as u64);
             }
         }
-        self.releases.fetch_add(1, Ordering::Relaxed);
-        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+        self.releases.inc();
+        self.in_flight.sub(1);
         Ok(())
     }
 
@@ -535,7 +566,7 @@ impl ShadowPool {
                         .expect("pool buffer frames must be allocated");
                     array.retire(index);
                     freed += size as u64;
-                    self.reclaimed.fetch_add(1, Ordering::Relaxed);
+                    self.reclaimed.inc();
                 }
                 if !to_inval.is_empty() {
                     self.mmu.invalidate_pages_sync(ctx, self.dev, &to_inval);
@@ -543,31 +574,65 @@ impl ShadowPool {
             }
         }
         self.sub_shadow_bytes(freed);
+        if freed > 0 {
+            self.obs.set_now_hint(ctx.now());
+            self.obs.trace(
+                ctx.now(),
+                ctx.core.0,
+                Some(self.dev.0),
+                EventKind::PoolShrink { bytes: freed },
+            );
+        }
         freed
     }
 
-    /// Statistics snapshot.
+    /// Statistics snapshot, consistent under concurrent acquire/release.
+    ///
+    /// `in_flight` is *derived* as `acquires - releases` from a stable
+    /// pair of reads (both counters are re-read until neither moved), so
+    /// the snapshot can never show a release without its acquire — the
+    /// torn view that independent per-field loads allowed.
     pub fn stats(&self) -> PoolStats {
-        PoolStats {
-            acquires: self.acquires.load(Ordering::Relaxed),
-            releases: self.releases.load(Ordering::Relaxed),
-            grows: self.grows.load(Ordering::Relaxed),
-            fallback_acquires: self.fallback_acquires.load(Ordering::Relaxed),
-            in_flight: self.in_flight.load(Ordering::Relaxed),
-            peak_in_flight: self.peak_in_flight.load(Ordering::Relaxed),
-            shadow_bytes: self.shadow_bytes.load(Ordering::Relaxed),
-            peak_shadow_bytes: self.peak_shadow_bytes.load(Ordering::Relaxed),
-            reclaimed: self.reclaimed.load(Ordering::Relaxed),
+        loop {
+            let acquires = self.acquires.get();
+            let releases = self.releases.get();
+            let s = PoolStats {
+                acquires,
+                releases,
+                grows: self.grows.get(),
+                fallback_acquires: self.fallback_acquires.get(),
+                in_flight: acquires.saturating_sub(releases),
+                peak_in_flight: self.peak_in_flight.get() as u64,
+                shadow_bytes: self.shadow_bytes.get() as u64,
+                peak_shadow_bytes: self.peak_shadow_bytes.get() as u64,
+                reclaimed: self.reclaimed.get(),
+            };
+            if self.acquires.get() == acquires && self.releases.get() == releases {
+                return s;
+            }
         }
     }
 
+    fn trace_grow(&self, ctx: &CoreCtx, class: usize, bytes: u64) {
+        self.obs.set_now_hint(ctx.now());
+        self.obs.trace(
+            ctx.now(),
+            ctx.core.0,
+            Some(self.dev.0),
+            EventKind::PoolGrow {
+                class: class as u64,
+                bytes,
+            },
+        );
+    }
+
     fn add_shadow_bytes(&self, n: u64) {
-        let now = self.shadow_bytes.fetch_add(n, Ordering::Relaxed) + n;
-        self.peak_shadow_bytes.fetch_max(now, Ordering::Relaxed);
+        self.peak_shadow_bytes
+            .set_max(self.shadow_bytes.add(n as i64));
     }
 
     fn sub_shadow_bytes(&self, n: u64) {
-        self.shadow_bytes.fetch_sub(n, Ordering::Relaxed);
+        self.shadow_bytes.sub(n as i64);
     }
 }
 
@@ -683,7 +748,11 @@ mod tests {
             r.pool.find_shadow(ir).unwrap().shadow_pa,
             r.pool.find_shadow(iw).unwrap().shadow_pa,
         );
-        assert_ne!(pr.pfn(), pw.pfn(), "read and write shadows never share a page");
+        assert_ne!(
+            pr.pfn(),
+            pw.pfn(),
+            "read and write shadows never share a page"
+        );
     }
 
     #[test]
@@ -706,7 +775,10 @@ mod tests {
         let r = rig();
         let mut c = ctx(0);
         let buf = os_buf(&r, 40_000);
-        let iova = r.pool.acquire_shadow(&mut c, buf, Perms::ReadWrite).unwrap();
+        let iova = r
+            .pool
+            .acquire_shadow(&mut c, buf, Perms::ReadWrite)
+            .unwrap();
         let sref = r.pool.find_shadow(iova).unwrap();
         assert_eq!(sref.size, 65536);
         // Whole 64 KB range is device-accessible.
@@ -772,7 +844,10 @@ mod tests {
         let mut c = ctx(0);
         let buf = os_buf(&r, 100_000); // > 64 KB largest class
         let iova = r.pool.acquire_shadow(&mut c, buf, Perms::Write).unwrap();
-        assert!(r.pool.codec().decode(iova).is_none(), "MSB-clear fallback IOVA");
+        assert!(
+            r.pool.codec().decode(iova).is_none(),
+            "MSB-clear fallback IOVA"
+        );
         assert_eq!(r.pool.stats().fallback_acquires, 1);
         let sref = r.pool.find_shadow(iova).unwrap();
         assert_eq!(sref.os_len, 100_000);
@@ -936,5 +1011,69 @@ mod tests {
         assert_eq!(s.acquires, 2000);
         assert_eq!(s.in_flight, s.acquires - s.releases);
         assert!(s.releases >= 1500, "most buffers released cross-core");
+    }
+
+    #[test]
+    fn stats_are_a_view_over_the_registry() {
+        let obs = Obs::isolated();
+        let mem = Arc::new(PhysMemory::new(NumaTopology::new(4, 2, 4096)));
+        let mmu = Arc::new(Iommu::with_obs(obs.clone()));
+        let pool = ShadowPool::with_obs(mem.clone(), mmu, DEV, PoolConfig::default(), obs.clone());
+        let mut c = ctx(0);
+        let pages = 1u64;
+        let pfn = mem.alloc_frames(NumaDomain(0), pages).unwrap();
+        let buf = DmaBuf::new(pfn.base(), 1500);
+        let iova = pool.acquire_shadow(&mut c, buf, Perms::Write).unwrap();
+        let snap = obs.registry().snapshot();
+        let s = pool.stats();
+        assert_eq!(snap.counter("pool", "acquires", Some(0)), Some(s.acquires));
+        assert_eq!(snap.counter("pool", "grows", Some(0)), Some(s.grows));
+        assert_eq!(
+            snap.gauge("pool", "in_flight", Some(0)),
+            Some(s.in_flight as i64)
+        );
+        assert_eq!(
+            snap.gauge("pool", "shadow_bytes", Some(0)),
+            Some(s.shadow_bytes as i64)
+        );
+        pool.release_shadow(&mut c, iova).unwrap();
+        let snap = obs.registry().snapshot();
+        assert_eq!(snap.counter("pool", "releases", Some(0)), Some(1));
+        assert_eq!(snap.gauge("pool", "in_flight", Some(0)), Some(0));
+    }
+
+    #[test]
+    fn pool_lifecycle_events_are_traced() {
+        let obs = Obs::isolated();
+        let mem = Arc::new(PhysMemory::new(NumaTopology::new(4, 2, 8192)));
+        let mmu = Arc::new(Iommu::with_obs(obs.clone()));
+        let pool = ShadowPool::with_obs(mem.clone(), mmu, DEV, PoolConfig::default(), obs.clone());
+        let mut c = ctx(0);
+        let mk_buf = |len: usize| {
+            let pages = (len as u64).div_ceil(PAGE_SIZE as u64);
+            let pfn = mem.alloc_frames(NumaDomain(0), pages).unwrap();
+            DmaBuf::new(pfn.base(), len)
+        };
+        // Grow (classed), fallback (oversized), reclaim (shrink).
+        let i1 = pool
+            .acquire_shadow(&mut c, mk_buf(1500), Perms::Write)
+            .unwrap();
+        let i2 = pool
+            .acquire_shadow(&mut c, mk_buf(100_000), Perms::Write)
+            .unwrap();
+        pool.release_shadow(&mut c, i1).unwrap();
+        pool.release_shadow(&mut c, i2).unwrap();
+        pool.reclaim(&mut c, CoreId(0), 8);
+        let names: Vec<&str> = obs
+            .tracer()
+            .events()
+            .iter()
+            .map(|e| e.kind.name())
+            .collect();
+        assert!(names.contains(&"PoolGrow"), "{names:?}");
+        assert!(names.contains(&"FallbackAcquire"), "{names:?}");
+        assert!(names.contains(&"PoolShrink"), "{names:?}");
+        // Fallback release + reclaim both strictly invalidate.
+        assert!(names.contains(&"IotlbInvalidate"), "{names:?}");
     }
 }

@@ -7,7 +7,7 @@
 //! can never touch it.
 
 use memsim::PhysAddr;
-use parking_lot::Mutex;
+use simcore::sync::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Sentinel for "no slot" in `next` links and for unset fields.

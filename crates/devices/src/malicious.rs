@@ -7,7 +7,7 @@
 
 use dma_api::{Bus, BusError};
 use iommu::DeviceId;
-use std::cell::Cell;
+use obs::{Counter, EventKind, Obs};
 
 /// Result of scanning an address range with probe DMAs.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -26,6 +26,13 @@ impl ScanReport {
 }
 
 /// The malicious device.
+///
+/// Every DMA it issues is counted (`malicious.*{dev}` metrics). Blocked
+/// accesses become [`EventKind::AttackBlocked`] trace events: accesses an
+/// IOMMU rejects are traced by the IOMMU itself (share its `Obs` via
+/// [`MaliciousDevice::with_obs`] to see them), while accesses that die on
+/// an unprotected bus (unbacked physical memory, reason `"unbacked"`) are
+/// traced here, since no IOMMU ever saw them.
 ///
 /// # Examples
 ///
@@ -48,9 +55,10 @@ impl ScanReport {
 pub struct MaliciousDevice {
     dev: DeviceId,
     bus: Bus,
-    reads: Cell<u64>,
-    writes: Cell<u64>,
-    faults: Cell<u64>,
+    obs: Obs,
+    reads: Counter,
+    writes: Counter,
+    faults: Counter,
 }
 
 impl MaliciousDevice {
@@ -59,13 +67,27 @@ impl MaliciousDevice {
     /// To model a *compromised* NIC (rather than a separate rogue device),
     /// construct it with the NIC's own `DeviceId` — it then enjoys every
     /// mapping the OS established for the NIC.
+    ///
+    /// If the bus is protected, the attacker shares the IOMMU's telemetry
+    /// handle so its blocked probes land in the stack's trace.
     pub fn new(dev: DeviceId, bus: Bus) -> Self {
+        let obs = match &bus {
+            Bus::Iommu { mmu, .. } => mmu.obs().clone(),
+            Bus::Direct(_) => Obs::isolated(),
+        };
+        Self::with_obs(dev, bus, obs)
+    }
+
+    /// Creates the attacker reporting into `obs` (`malicious.*{dev}`).
+    pub fn with_obs(dev: DeviceId, bus: Bus, obs: Obs) -> Self {
+        let d = Some(dev.0);
         MaliciousDevice {
             dev,
             bus,
-            reads: Cell::new(0),
-            writes: Cell::new(0),
-            faults: Cell::new(0),
+            reads: obs.counter("malicious", "reads", d),
+            writes: obs.counter("malicious", "writes", d),
+            faults: obs.counter("malicious", "faults", d),
+            obs,
         }
     }
 
@@ -74,15 +96,39 @@ impl MaliciousDevice {
         self.dev
     }
 
+    /// The telemetry handle blocked probes are traced into.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Records a blocked access. IOMMU faults are traced by the IOMMU
+    /// itself (sharing this handle); unprotected-bus failures are traced
+    /// here so every blocked DMA appears exactly once.
+    fn blocked(&self, addr: u64, access: &'static str, err: &BusError) {
+        self.faults.inc();
+        if let BusError::Mem(_) = err {
+            self.obs.trace(
+                self.obs.now_hint(),
+                iommu::DEVICE_SIDE_CORE,
+                Some(self.dev.0),
+                EventKind::AttackBlocked {
+                    iova: addr,
+                    access: access.into(),
+                    reason: "unbacked".into(),
+                },
+            );
+        }
+    }
+
     /// Attempts to read `len` bytes at `addr` (IOVA under protection, raw
     /// physical otherwise).
     pub fn try_read(&self, addr: u64, len: usize) -> Result<Vec<u8>, BusError> {
-        self.reads.set(self.reads.get() + 1);
+        self.reads.inc();
         let mut buf = vec![0u8; len];
         match self.bus.read(self.dev, addr, &mut buf) {
             Ok(()) => Ok(buf),
             Err(e) => {
-                self.faults.set(self.faults.get() + 1);
+                self.blocked(addr, "read", &e);
                 Err(e)
             }
         }
@@ -90,9 +136,9 @@ impl MaliciousDevice {
 
     /// Attempts to write `data` at `addr`.
     pub fn try_write(&self, addr: u64, data: &[u8]) -> Result<(), BusError> {
-        self.writes.set(self.writes.get() + 1);
-        self.bus.write(self.dev, addr, data).inspect_err(|_e| {
-            self.faults.set(self.faults.get() + 1);
+        self.writes.inc();
+        self.bus.write(self.dev, addr, data).inspect_err(|e| {
+            self.blocked(addr, "write", e);
         })
     }
 
@@ -120,7 +166,8 @@ impl MaliciousDevice {
         data.windows(needle.len()).position(|w| w == needle)
     }
 
-    /// Total (reads, writes, faulted) DMAs issued.
+    /// Total (reads, writes, faulted) DMAs issued — a view over the
+    /// registry's `malicious.*` counters.
     pub fn stats(&self) -> (u64, u64, u64) {
         (self.reads.get(), self.writes.get(), self.faults.get())
     }
@@ -146,12 +193,10 @@ mod tests {
         let report = evil.scan(0, 16 * 4096, 4096);
         assert!(report.accessible.contains(&pfn.base().get()));
         // ...and the secret is exfiltrated.
-        assert_eq!(
-            evil.hunt(pfn.base().get(), 4096, b"hunter2"),
-            Some(109)
-        );
+        assert_eq!(evil.hunt(pfn.base().get(), 4096, b"hunter2"), Some(109));
         // And it can be corrupted.
-        evil.try_write(pfn.base().add(100).get(), b"pwned!").unwrap();
+        evil.try_write(pfn.base().add(100).get(), b"pwned!")
+            .unwrap();
         assert_eq!(mem.read_vec(pfn.base().add(100), 6).unwrap(), b"pwned!");
     }
 
@@ -179,6 +224,33 @@ mod tests {
         assert_eq!(r, 0x100);
         assert_eq!(w, 0);
         assert_eq!(f, 0xff);
+        // Every blocked probe appears exactly once as an AttackBlocked
+        // trace event — the attacker shares the IOMMU's tracer.
+        assert!(evil.obs().same_as(mmu.obs()));
+        let blocked = evil
+            .obs()
+            .tracer()
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::AttackBlocked { .. }))
+            .count();
+        assert_eq!(blocked, 0xff);
+    }
+
+    #[test]
+    fn direct_bus_blocked_probes_are_traced_here() {
+        let mem = Arc::new(PhysMemory::new(NumaTopology::tiny(4)));
+        let evil = MaliciousDevice::new(DEV, Bus::Direct(mem));
+        // Nothing allocated: all probes die on unbacked memory.
+        let report = evil.scan(0, 3 * 4096, 4096);
+        assert_eq!(report.blocked, 3);
+        let evs = evil.obs().tracer().events();
+        assert_eq!(evs.len(), 3);
+        assert!(evs.iter().all(|e| matches!(
+            &e.kind,
+            EventKind::AttackBlocked { access, reason, .. }
+                if access == "read" && reason == "unbacked"
+        )));
     }
 
     #[test]

@@ -226,7 +226,10 @@ impl Nic {
         let slot = ring.next;
         let (addr, len, status) = self.fetch_descriptor(&ring, slot)?;
         if status != STATUS_READY {
-            return Err(NicError::NoDescriptor { ring: ring_id, slot });
+            return Err(NicError::NoDescriptor {
+                ring: ring_id,
+                slot,
+            });
         }
         let n = payload.len().min(len as usize);
         self.bus.write(self.dev, addr, &payload[..n])?;
@@ -250,7 +253,10 @@ impl Nic {
         let slot = ring.next;
         let (addr, len, status) = self.fetch_descriptor(&ring, slot)?;
         if status != STATUS_READY {
-            return Err(NicError::NoDescriptor { ring: ring_id, slot });
+            return Err(NicError::NoDescriptor {
+                ring: ring_id,
+                slot,
+            });
         }
         let len = len as usize;
         if len > self.cfg.tso_max {
@@ -270,7 +276,11 @@ impl Nic {
     /// descriptors exactly like this for fragmented skbs).
     ///
     /// Returns the combined completion and the gathered payload.
-    pub fn transmit_gather(&self, ring_id: usize, n: usize) -> Result<(TxCompletion, Vec<u8>), NicError> {
+    pub fn transmit_gather(
+        &self,
+        ring_id: usize,
+        n: usize,
+    ) -> Result<(TxCompletion, Vec<u8>), NicError> {
         assert!(n > 0, "empty gather chain");
         let mut ring = self
             .tx
@@ -283,7 +293,10 @@ impl Nic {
             let slot = (first_slot + k) % ring.entries;
             let (addr, len, status) = self.fetch_descriptor(&ring, slot)?;
             if status != STATUS_READY {
-                return Err(NicError::NoDescriptor { ring: ring_id, slot });
+                return Err(NicError::NoDescriptor {
+                    ring: ring_id,
+                    slot,
+                });
             }
             let len = len as usize;
             if payload.len() + len > self.cfg.tso_max {
@@ -297,7 +310,14 @@ impl Nic {
         ring.next = (first_slot + n) % ring.entries;
         let len = payload.len();
         let frames = len.div_ceil(MTU).max(1);
-        Ok((TxCompletion { slot: first_slot, len, frames }, payload))
+        Ok((
+            TxCompletion {
+                slot: first_slot,
+                len,
+                frames,
+            },
+            payload,
+        ))
     }
 
     /// The slot the device will consume next on an RX ring (for driver
@@ -360,7 +380,10 @@ mod tests {
         let ring_id = r.nic.attach_rx_ring(&r.ring);
         let pfn = r.mem.alloc_frame(NumaDomain(0)).unwrap();
         let buf = DmaBuf::new(pfn.base(), MTU);
-        let m = r.eng.map(&mut r.ctx, buf, DmaDirection::FromDevice).unwrap();
+        let m = r
+            .eng
+            .map(&mut r.ctx, buf, DmaDirection::FromDevice)
+            .unwrap();
         post_rx(&r, 0, m.iova.get(), MTU as u32);
 
         let pkt = vec![0xabu8; 900];
@@ -381,7 +404,13 @@ mod tests {
         let mut r = rig();
         let ring_id = r.nic.attach_rx_ring(&r.ring);
         let err = r.nic.receive(ring_id, b"frame").unwrap_err();
-        assert_eq!(err, NicError::NoDescriptor { ring: ring_id, slot: 0 });
+        assert_eq!(
+            err,
+            NicError::NoDescriptor {
+                ring: ring_id,
+                slot: 0
+            }
+        );
         let _ = &mut r.ctx;
     }
 
@@ -391,7 +420,10 @@ mod tests {
         let ring_id = r.nic.attach_rx_ring(&r.ring);
         let pfn = r.mem.alloc_frame(NumaDomain(0)).unwrap();
         let buf = DmaBuf::new(pfn.base(), 100);
-        let m = r.eng.map(&mut r.ctx, buf, DmaDirection::FromDevice).unwrap();
+        let m = r
+            .eng
+            .map(&mut r.ctx, buf, DmaDirection::FromDevice)
+            .unwrap();
         post_rx(&r, 0, m.iova.get(), 100);
         let c = r.nic.receive(ring_id, &vec![1u8; 500]).unwrap();
         assert_eq!(c.len, 100);
@@ -403,7 +435,10 @@ mod tests {
         let ring_id = r.nic.attach_rx_ring(&r.ring);
         let pfn = r.mem.alloc_frame(NumaDomain(0)).unwrap();
         let buf = DmaBuf::new(pfn.base(), 64);
-        let m = r.eng.map(&mut r.ctx, buf, DmaDirection::FromDevice).unwrap();
+        let m = r
+            .eng
+            .map(&mut r.ctx, buf, DmaDirection::FromDevice)
+            .unwrap();
         for i in 0..(256 + 3) {
             let slot = i % 256;
             post_rx(&r, slot, m.iova.get(), 64);

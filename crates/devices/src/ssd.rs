@@ -9,7 +9,7 @@
 
 use dma_api::{Bus, BusError};
 use iommu::DeviceId;
-use parking_lot::Mutex;
+use simcore::sync::Mutex;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -118,9 +118,7 @@ impl Ssd {
             let mut block = vec![0u8; SSD_BLOCK];
             self.bus
                 .read(self.dev, addr + b * SSD_BLOCK as u64, &mut block)?;
-            self.media
-                .lock()
-                .insert(lba + b, block.into_boxed_slice());
+            self.media.lock().insert(lba + b, block.into_boxed_slice());
         }
         Ok(())
     }
@@ -180,7 +178,10 @@ mod tests {
         let pfn = mem.alloc_frame(NumaDomain(0)).unwrap();
         mem.fill(pfn.base(), 0xff, SSD_BLOCK).unwrap();
         ssd.read_blocks(99, pfn.base().get(), SSD_BLOCK).unwrap();
-        assert_eq!(mem.read_vec(pfn.base(), SSD_BLOCK).unwrap(), vec![0u8; SSD_BLOCK]);
+        assert_eq!(
+            mem.read_vec(pfn.base(), SSD_BLOCK).unwrap(),
+            vec![0u8; SSD_BLOCK]
+        );
     }
 
     #[test]
@@ -192,7 +193,8 @@ mod tests {
             SsdError::BadLength(100)
         );
         assert_eq!(
-            ssd.read_blocks(1024, pfn.base().get(), SSD_BLOCK).unwrap_err(),
+            ssd.read_blocks(1024, pfn.base().get(), SSD_BLOCK)
+                .unwrap_err(),
             SsdError::BadLba(1024)
         );
     }

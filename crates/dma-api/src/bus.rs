@@ -125,7 +125,8 @@ mod tests {
             mem: mem.clone(),
         };
         assert!(bus.protected());
-        bus.write(DEV, IovaPage(0x10).base().get(), b"via iommu").unwrap();
+        bus.write(DEV, IovaPage(0x10).base().get(), b"via iommu")
+            .unwrap();
         assert_eq!(mem.read_vec(pfn.base(), 9).unwrap(), b"via iommu");
         // Unmapped IOVA faults.
         assert!(matches!(

@@ -31,7 +31,12 @@ pub trait DmaEngine {
 
     /// `dma_map`: authorizes a DMA to `buf` with direction `dir`; returns
     /// the mapping whose IOVA the driver programs into the device.
-    fn map(&self, ctx: &mut CoreCtx, buf: DmaBuf, dir: DmaDirection) -> Result<DmaMapping, DmaError>;
+    fn map(
+        &self,
+        ctx: &mut CoreCtx,
+        buf: DmaBuf,
+        dir: DmaDirection,
+    ) -> Result<DmaMapping, DmaError>;
 
     /// `dma_unmap`: revokes the mapping. For device-write directions,
     /// engines that copy (DMA shadowing) transfer the DMAed data back into
@@ -83,4 +88,56 @@ pub trait DmaEngine {
     /// Drains any deferred invalidations (the 10 ms timer / teardown
     /// path). No-op for strict engines.
     fn flush_deferred(&self, _ctx: &mut CoreCtx) {}
+}
+
+impl<T: DmaEngine + ?Sized> DmaEngine for Box<T> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn device(&self) -> DeviceId {
+        (**self).device()
+    }
+
+    fn profile(&self) -> ProtectionProfile {
+        (**self).profile()
+    }
+
+    fn map(
+        &self,
+        ctx: &mut CoreCtx,
+        buf: DmaBuf,
+        dir: DmaDirection,
+    ) -> Result<DmaMapping, DmaError> {
+        (**self).map(ctx, buf, dir)
+    }
+
+    fn unmap(&self, ctx: &mut CoreCtx, mapping: DmaMapping) -> Result<(), DmaError> {
+        (**self).unmap(ctx, mapping)
+    }
+
+    fn map_sg(
+        &self,
+        ctx: &mut CoreCtx,
+        bufs: &[DmaBuf],
+        dir: DmaDirection,
+    ) -> Result<Vec<DmaMapping>, DmaError> {
+        (**self).map_sg(ctx, bufs, dir)
+    }
+
+    fn unmap_sg(&self, ctx: &mut CoreCtx, mappings: Vec<DmaMapping>) -> Result<(), DmaError> {
+        (**self).unmap_sg(ctx, mappings)
+    }
+
+    fn alloc_coherent(&self, ctx: &mut CoreCtx, len: usize) -> Result<CoherentBuffer, DmaError> {
+        (**self).alloc_coherent(ctx, len)
+    }
+
+    fn free_coherent(&self, ctx: &mut CoreCtx, buf: CoherentBuffer) -> Result<(), DmaError> {
+        (**self).free_coherent(ctx, buf)
+    }
+
+    fn flush_deferred(&self, ctx: &mut CoreCtx) {
+        (**self).flush_deferred(ctx)
+    }
 }

@@ -9,8 +9,9 @@
 //! scalability. Both variants are modeled ([`FlushScope`]).
 
 use iommu::IovaPage;
+use obs::{Counter, Gauge, Obs};
 use simcore::{CoreCtx, Cycles, Phase, SimLock};
-use std::cell::{Cell, RefCell};
+use std::cell::RefCell;
 
 /// One deferred unmap: an IOVA range whose IOTLB entries are still live.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,14 +67,22 @@ pub struct DeferredFlusher {
     scope: FlushScope,
     global_lock: SimLock,
     lists: Vec<RefCell<PendingList>>,
-    drains: Cell<u64>,
-    deferred_total: Cell<u64>,
+    drains: Counter,
+    deferred_total: Counter,
+    /// Live vulnerability-window size, mirrored to the registry.
+    pending_gauge: Gauge,
+    peak_pending: Gauge,
 }
 
 impl DeferredFlusher {
     /// Creates a flusher; `cores` sizes the per-core lists (ignored for
     /// [`FlushScope::Global`], which uses a single list).
     pub fn new(policy: DeferPolicy, scope: FlushScope, cores: usize) -> Self {
+        Self::with_obs(policy, scope, cores, Obs::isolated())
+    }
+
+    /// Creates a flusher reporting into `obs` (`flush.*` metrics).
+    pub fn with_obs(policy: DeferPolicy, scope: FlushScope, cores: usize, obs: Obs) -> Self {
         let n = match scope {
             FlushScope::Global => 1,
             FlushScope::PerCore => cores.max(1),
@@ -82,9 +91,13 @@ impl DeferredFlusher {
             policy,
             scope,
             global_lock: SimLock::new("deferred-flush-list"),
-            lists: (0..n).map(|_| RefCell::new(PendingList::default())).collect(),
-            drains: Cell::new(0),
-            deferred_total: Cell::new(0),
+            lists: (0..n)
+                .map(|_| RefCell::new(PendingList::default()))
+                .collect(),
+            drains: obs.counter("flush", "drains", None),
+            deferred_total: obs.counter("flush", "deferred_total", None),
+            pending_gauge: obs.gauge("flush", "pending", None),
+            peak_pending: obs.gauge("flush", "peak_pending", None),
         }
     }
 
@@ -93,12 +106,13 @@ impl DeferredFlusher {
         &self.global_lock
     }
 
-    /// Number of drains performed.
+    /// Number of drains performed (a view over `flush.drains`).
     pub fn drains(&self) -> u64 {
         self.drains.get()
     }
 
-    /// Total unmaps that went through the deferred path.
+    /// Total unmaps that went through the deferred path (a view over
+    /// `flush.deferred_total`).
     pub fn deferred_total(&self) -> u64 {
         self.deferred_total.get()
     }
@@ -127,39 +141,48 @@ impl DeferredFlusher {
         entry: PendingUnmap,
         drain: impl FnOnce(&mut CoreCtx, &[PendingUnmap]),
     ) {
-        self.deferred_total.set(self.deferred_total.get() + 1);
+        self.deferred_total.inc();
+        self.peak_pending.set_max(self.pending_gauge.add(1));
         let idx = self.list_index(ctx);
-        let append = |ctx: &mut CoreCtx, lists: &RefCell<PendingList>| -> Option<Vec<PendingUnmap>> {
-            ctx.charge(Phase::IommuPageTableMgmt, ctx.cost.defer_list_append);
-            let mut list = lists.borrow_mut();
-            list.entries.push(entry);
-            if list.oldest.is_none() {
-                list.oldest = Some(ctx.now());
-            }
-            let over_batch = list.entries.len() >= self.policy.batch;
-            let over_time = list
-                .oldest
-                .is_some_and(|t| ctx.now().saturating_sub(t) >= self.policy.timeout);
-            if over_batch || over_time {
-                list.oldest = None;
-                Some(std::mem::take(&mut list.entries))
-            } else {
-                None
-            }
-        };
+        let append =
+            |ctx: &mut CoreCtx, lists: &RefCell<PendingList>| -> Option<Vec<PendingUnmap>> {
+                ctx.charge(Phase::IommuPageTableMgmt, ctx.cost.defer_list_append);
+                let mut list = lists.borrow_mut();
+                list.entries.push(entry);
+                if list.oldest.is_none() {
+                    list.oldest = Some(ctx.now());
+                }
+                let over_batch = list.entries.len() >= self.policy.batch;
+                let over_time = list
+                    .oldest
+                    .is_some_and(|t| ctx.now().saturating_sub(t) >= self.policy.timeout);
+                if over_batch || over_time {
+                    list.oldest = None;
+                    Some(std::mem::take(&mut list.entries))
+                } else {
+                    None
+                }
+            };
         let batch = match self.scope {
-            FlushScope::Global => self.global_lock.with(ctx, |ctx| append(ctx, &self.lists[0])),
+            FlushScope::Global => self
+                .global_lock
+                .with(ctx, |ctx| append(ctx, &self.lists[0])),
             FlushScope::PerCore => append(ctx, &self.lists[idx]),
         };
         if let Some(batch) = batch {
-            self.drains.set(self.drains.get() + 1);
+            self.drains.inc();
+            self.pending_gauge.sub(batch.len() as i64);
             drain(ctx, &batch);
         }
     }
 
     /// Forces a drain of every pending entry (all cores' lists), e.g. at
     /// the 10 ms timer, under memory pressure, or at experiment teardown.
-    pub fn force_flush(&self, ctx: &mut CoreCtx, mut drain: impl FnMut(&mut CoreCtx, &[PendingUnmap])) {
+    pub fn force_flush(
+        &self,
+        ctx: &mut CoreCtx,
+        mut drain: impl FnMut(&mut CoreCtx, &[PendingUnmap]),
+    ) {
         for list in &self.lists {
             let batch = match self.scope {
                 FlushScope::Global => self.global_lock.with(ctx, |_| {
@@ -174,7 +197,8 @@ impl DeferredFlusher {
                 }
             };
             if !batch.is_empty() {
-                self.drains.set(self.drains.get() + 1);
+                self.drains.inc();
+                self.pending_gauge.sub(batch.len() as i64);
                 drain(ctx, &batch);
             }
         }

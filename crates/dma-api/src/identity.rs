@@ -48,7 +48,14 @@ impl IdentityDma {
     /// Creates the deferred variant (*identity−*): invalidations batch
     /// per-core (250 unmaps / 10 ms).
     pub fn deferred(mem: Arc<PhysMemory>, mmu: Arc<Iommu>, dev: DeviceId, cores: usize) -> Self {
-        Self::with_scope(mem, mmu, dev, Strictness::Deferred, cores, FlushScope::PerCore)
+        Self::with_scope(
+            mem,
+            mmu,
+            dev,
+            Strictness::Deferred,
+            cores,
+            FlushScope::PerCore,
+        )
     }
 
     /// Creates a deferred variant with an explicit batching scope — the
@@ -85,10 +92,11 @@ impl IdentityDma {
     ) -> Self {
         let flusher = match strictness {
             Strictness::Strict => None,
-            Strictness::Deferred => Some(DeferredFlusher::new(
+            Strictness::Deferred => Some(DeferredFlusher::with_obs(
                 DeferPolicy::linux_default(),
                 scope,
                 cores,
+                mmu.obs().clone(),
             )),
         };
         IdentityDma {
@@ -138,7 +146,12 @@ impl DmaEngine for IdentityDma {
         }
     }
 
-    fn map(&self, ctx: &mut CoreCtx, buf: DmaBuf, dir: DmaDirection) -> Result<DmaMapping, DmaError> {
+    fn map(
+        &self,
+        ctx: &mut CoreCtx,
+        buf: DmaBuf,
+        dir: DmaDirection,
+    ) -> Result<DmaMapping, DmaError> {
         let first = buf.pa.pfn();
         for i in 0..buf.pages() {
             let pfn = first.add(i);
@@ -184,7 +197,8 @@ impl DmaEngine for IdentityDma {
         }
         match self.strictness {
             Strictness::Strict => {
-                self.mmu.invalidate_pages_sync(ctx, self.dev, &to_invalidate);
+                self.mmu
+                    .invalidate_pages_sync(ctx, self.dev, &to_invalidate);
             }
             Strictness::Deferred => {
                 let flusher = self.flusher.as_ref().expect("deferred mode has a flusher");
@@ -210,7 +224,9 @@ impl DmaEngine for IdentityDma {
 
     fn flush_deferred(&self, ctx: &mut CoreCtx) {
         if let Some(flusher) = &self.flusher {
-            flusher.force_flush(ctx, |ctx, batch| Self::drain(&self.mmu, self.dev, ctx, batch));
+            flusher.force_flush(ctx, |ctx, batch| {
+                Self::drain(&self.mmu, self.dev, ctx, batch)
+            });
         }
     }
 }
@@ -269,7 +285,11 @@ mod tests {
         let eng = IdentityDma::strict(r.mem.clone(), r.mmu.clone(), DEV);
         let pfn = r.mem.alloc_frame(NumaDomain(0)).unwrap();
         let m = eng
-            .map(&mut r.ctx, DmaBuf::new(pfn.base(), 100), DmaDirection::ToDevice)
+            .map(
+                &mut r.ctx,
+                DmaBuf::new(pfn.base(), 100),
+                DmaDirection::ToDevice,
+            )
             .unwrap();
         eng.unmap(&mut r.ctx, m).unwrap();
         assert!(r.ctx.breakdown.get(Phase::InvalidateIotlb) >= r.ctx.cost.iotlb_inval_wait);
@@ -281,12 +301,19 @@ mod tests {
         let eng = IdentityDma::deferred(r.mem.clone(), r.mmu.clone(), DEV, 1);
         let pfn = r.mem.alloc_frame(NumaDomain(0)).unwrap();
         let m = eng
-            .map(&mut r.ctx, DmaBuf::new(pfn.base(), 1500), DmaDirection::FromDevice)
+            .map(
+                &mut r.ctx,
+                DmaBuf::new(pfn.base(), 1500),
+                DmaDirection::FromDevice,
+            )
             .unwrap();
         // Device touches the buffer: IOTLB warm.
         r.bus.write(DEV, m.iova.get(), b"packet").unwrap();
         eng.unmap(&mut r.ctx, m).unwrap();
-        assert_eq!(r.ctx.breakdown.get(Phase::InvalidateIotlb), simcore::Cycles::ZERO);
+        assert_eq!(
+            r.ctx.breakdown.get(Phase::InvalidateIotlb),
+            simcore::Cycles::ZERO
+        );
 
         // VULNERABILITY WINDOW: the device can still write the buffer.
         assert!(r.bus.write(DEV, m.iova.get(), b"attack").is_ok());
@@ -307,7 +334,11 @@ mod tests {
         // entry; the 250th triggers the drain.
         for i in 0..250 {
             let m = eng
-                .map(&mut r.ctx, DmaBuf::new(pfn.base(), 64), DmaDirection::ToDevice)
+                .map(
+                    &mut r.ctx,
+                    DmaBuf::new(pfn.base(), 64),
+                    DmaDirection::ToDevice,
+                )
                 .unwrap();
             eng.unmap(&mut r.ctx, m).unwrap();
             if i < 249 {
@@ -325,7 +356,11 @@ mod tests {
         let pfn = r.mem.alloc_frame(NumaDomain(0)).unwrap();
         // Two kmalloc-style buffers on the same page.
         let a = eng
-            .map(&mut r.ctx, DmaBuf::new(pfn.base(), 512), DmaDirection::ToDevice)
+            .map(
+                &mut r.ctx,
+                DmaBuf::new(pfn.base(), 512),
+                DmaDirection::ToDevice,
+            )
             .unwrap();
         let b = eng
             .map(
@@ -352,7 +387,11 @@ mod tests {
         let pfn = r.mem.alloc_frame(NumaDomain(0)).unwrap();
         r.mem.write(pfn.base().add(3000), b"SECRET").unwrap();
         let m = eng
-            .map(&mut r.ctx, DmaBuf::new(pfn.base(), 512), DmaDirection::ToDevice)
+            .map(
+                &mut r.ctx,
+                DmaBuf::new(pfn.base(), 512),
+                DmaDirection::ToDevice,
+            )
             .unwrap();
         // The device reads the neighbor's secret through the same page.
         let mut stolen = [0u8; 6];

@@ -8,9 +8,27 @@
 
 use crate::DmaError;
 use iommu::IovaPage;
-use simcore::{CoreCtx, Phase, SimLock};
+use obs::{Counter, EventKind, Obs};
+use simcore::{CoreCtx, Cycles, Phase, SimLock};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
+
+/// Emits a `LockContention` trace event if `lock` spun since `spin_before`.
+fn trace_contention(obs: &Obs, ctx: &CoreCtx, lock: &SimLock, spin_before: Cycles) {
+    let spun = lock.stats().total_spin.saturating_sub(spin_before);
+    if spun > Cycles::ZERO {
+        obs.set_now_hint(ctx.now());
+        obs.trace(
+            ctx.now(),
+            ctx.core.0,
+            None,
+            EventKind::LockContention {
+                lock: lock.name().into(),
+                spin_cycles: spun.get(),
+            },
+        );
+    }
+}
 
 /// The page range allocators hand out from: `[1, 2^35)` IOVA pages — the
 /// half of the 48-bit IOVA space with the MSB clear. The MSB-set half is
@@ -83,14 +101,26 @@ impl Runs {
 pub struct GlobalTreeIovaAllocator {
     lock: SimLock,
     runs: RefCell<Runs>,
+    obs: Obs,
+    allocs: Counter,
+    frees: Counter,
 }
 
 impl GlobalTreeIovaAllocator {
     /// Creates the allocator over the full zero-copy IOVA range.
     pub fn new() -> Self {
+        Self::with_obs(Obs::isolated())
+    }
+
+    /// Creates the allocator reporting into `obs` (`iova.tree_*` metrics,
+    /// `LockContention` events on contended lock acquisitions).
+    pub fn with_obs(obs: Obs) -> Self {
         GlobalTreeIovaAllocator {
             lock: SimLock::new("linux-iova-rbtree"),
             runs: RefCell::new(Runs::full()),
+            allocs: obs.counter("iova", "tree_allocs", None),
+            frees: obs.counter("iova", "tree_frees", None),
+            obs,
         }
     }
 
@@ -109,21 +139,28 @@ impl Default for GlobalTreeIovaAllocator {
 impl IovaAllocator for GlobalTreeIovaAllocator {
     fn alloc(&self, ctx: &mut CoreCtx, n: u64) -> Result<IovaPage, DmaError> {
         assert!(n > 0);
-        self.lock.with(ctx, |ctx| {
+        let spin_before = self.lock.stats().total_spin;
+        let r = self.lock.with(ctx, |ctx| {
             ctx.charge(Phase::IommuPageTableMgmt, ctx.cost.iova_tree_alloc);
             self.runs
                 .borrow_mut()
                 .alloc(n)
                 .map(IovaPage)
                 .ok_or(DmaError::IovaExhausted)
-        })
+        });
+        self.allocs.inc();
+        trace_contention(&self.obs, ctx, &self.lock, spin_before);
+        r
     }
 
     fn free(&self, ctx: &mut CoreCtx, page: IovaPage, n: u64) {
+        let spin_before = self.lock.stats().total_spin;
         self.lock.with(ctx, |ctx| {
             ctx.charge(Phase::IommuPageTableMgmt, ctx.cost.iova_tree_free);
             self.runs.borrow_mut().free(page.0, n);
         });
+        self.frees.inc();
+        trace_contention(&self.obs, ctx, &self.lock, spin_before);
     }
 }
 
@@ -141,16 +178,27 @@ pub struct PerCoreIovaAllocator {
     shared: RefCell<Runs>,
     /// magazines[core] maps range-size -> cached range starts.
     magazines: Vec<RefCell<BTreeMap<u64, Vec<u64>>>>,
+    allocs: Counter,
+    frees: Counter,
+    refills: Counter,
 }
 
 impl PerCoreIovaAllocator {
     /// Creates the allocator with one magazine per core.
     pub fn new(cores: usize) -> Self {
+        Self::with_obs(cores, Obs::isolated())
+    }
+
+    /// Creates the allocator reporting into `obs` (`iova.magazine_*`).
+    pub fn with_obs(cores: usize, obs: Obs) -> Self {
         assert!(cores > 0);
         PerCoreIovaAllocator {
             shared_lock: SimLock::new("scalable-iova-shared"),
             shared: RefCell::new(Runs::full()),
             magazines: (0..cores).map(|_| RefCell::new(BTreeMap::new())).collect(),
+            allocs: obs.counter("iova", "magazine_allocs", None),
+            frees: obs.counter("iova", "magazine_frees", None),
+            refills: obs.counter("iova", "magazine_refills", None),
         }
     }
 
@@ -168,6 +216,7 @@ impl IovaAllocator for PerCoreIovaAllocator {
     fn alloc(&self, ctx: &mut CoreCtx, n: u64) -> Result<IovaPage, DmaError> {
         assert!(n > 0);
         ctx.charge(Phase::IommuPageTableMgmt, ctx.cost.iova_magazine_alloc);
+        self.allocs.inc();
         if let Some(start) = self
             .magazine(ctx)
             .borrow_mut()
@@ -176,6 +225,7 @@ impl IovaAllocator for PerCoreIovaAllocator {
         {
             return Ok(IovaPage(start));
         }
+        self.refills.inc();
         // Refill from the shared tree.
         let refill = self.shared_lock.with(ctx, |ctx| {
             ctx.charge(Phase::IommuPageTableMgmt, ctx.cost.iova_tree_alloc);
@@ -200,6 +250,7 @@ impl IovaAllocator for PerCoreIovaAllocator {
 
     fn free(&self, ctx: &mut CoreCtx, page: IovaPage, n: u64) {
         ctx.charge(Phase::IommuPageTableMgmt, ctx.cost.iova_magazine_free);
+        self.frees.inc();
         let spill: Option<Vec<u64>> = {
             let mut mag = self.magazine(ctx).borrow_mut();
             let slot = mag.entry(n).or_default();
@@ -233,15 +284,26 @@ pub struct GlobalCachedIovaAllocator {
     runs: RefCell<Runs>,
     /// size (pages) -> cached range starts, shared by all cores.
     cache: RefCell<BTreeMap<u64, Vec<u64>>>,
+    obs: Obs,
+    allocs: Counter,
+    frees: Counter,
 }
 
 impl GlobalCachedIovaAllocator {
     /// Creates the allocator.
     pub fn new() -> Self {
+        Self::with_obs(Obs::isolated())
+    }
+
+    /// Creates the allocator reporting into `obs` (`iova.cached_*`).
+    pub fn with_obs(obs: Obs) -> Self {
         GlobalCachedIovaAllocator {
             lock: SimLock::new("eiovar-iova-cache"),
             runs: RefCell::new(Runs::full()),
             cache: RefCell::new(BTreeMap::new()),
+            allocs: obs.counter("iova", "cached_allocs", None),
+            frees: obs.counter("iova", "cached_frees", None),
+            obs,
         }
     }
 
@@ -260,7 +322,8 @@ impl Default for GlobalCachedIovaAllocator {
 impl IovaAllocator for GlobalCachedIovaAllocator {
     fn alloc(&self, ctx: &mut CoreCtx, n: u64) -> Result<IovaPage, DmaError> {
         assert!(n > 0);
-        self.lock.with(ctx, |ctx| {
+        let spin_before = self.lock.stats().total_spin;
+        let r = self.lock.with(ctx, |ctx| {
             if let Some(start) = self.cache.borrow_mut().get_mut(&n).and_then(|v| v.pop()) {
                 // Cache hit: cheap, like a magazine op.
                 ctx.charge(Phase::IommuPageTableMgmt, ctx.cost.iova_magazine_alloc);
@@ -272,16 +335,22 @@ impl IovaAllocator for GlobalCachedIovaAllocator {
                 .alloc(n)
                 .map(IovaPage)
                 .ok_or(DmaError::IovaExhausted)
-        })
+        });
+        self.allocs.inc();
+        trace_contention(&self.obs, ctx, &self.lock, spin_before);
+        r
     }
 
     fn free(&self, ctx: &mut CoreCtx, page: IovaPage, n: u64) {
+        let spin_before = self.lock.stats().total_spin;
         self.lock.with(ctx, |ctx| {
             // Frees go to the cache, matching EiovaR's observation that the
             // ring pattern re-allocates the same sizes immediately.
             ctx.charge(Phase::IommuPageTableMgmt, ctx.cost.iova_magazine_free);
             self.cache.borrow_mut().entry(n).or_default().push(page.0);
         });
+        self.frees.inc();
+        trace_contention(&self.obs, ctx, &self.lock, spin_before);
     }
 }
 
@@ -448,7 +517,12 @@ mod tests {
             let q = mag.alloc(&mut cm, 1).unwrap();
             mag.free(&mut cm, q, 1);
         }
-        assert!(cm.busy() * 3 < ct.busy(), "magazine {} vs tree {}", cm.busy(), ct.busy());
+        assert!(
+            cm.busy() * 3 < ct.busy(),
+            "magazine {} vs tree {}",
+            cm.busy(),
+            ct.busy()
+        );
     }
 
     #[test]

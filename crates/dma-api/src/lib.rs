@@ -31,6 +31,7 @@ mod iova_alloc;
 mod linux;
 mod noiommu;
 mod selfinval;
+mod traced;
 mod types;
 
 pub use bus::{Bus, BusError};
@@ -45,6 +46,7 @@ pub use iova_alloc::{
 pub use linux::LinuxDma;
 pub use noiommu::NoIommu;
 pub use selfinval::SelfInvalidatingDma;
+pub use traced::TracedDma;
 pub use types::{
     CoherentBuffer, DmaBuf, DmaDirection, DmaError, DmaMapping, ProtectionProfile, Strictness,
 };

@@ -66,7 +66,7 @@ impl LinuxDma {
     /// page granularity; the single allocator lock still limits scaling.
     pub fn eiovar_strict(mem: Arc<PhysMemory>, mmu: Arc<Iommu>, dev: DeviceId) -> Self {
         let mut e = Self::new(mem, mmu, dev, Strictness::Strict);
-        e.allocator = Box::new(GlobalCachedIovaAllocator::new());
+        e.allocator = Box::new(GlobalCachedIovaAllocator::with_obs(e.mmu.obs().clone()));
         e.name = "eiovar+";
         e
     }
@@ -74,25 +74,22 @@ impl LinuxDma {
     /// Creates EiovaR's deferred variant (FAST'15 \[38\]).
     pub fn eiovar_deferred(mem: Arc<PhysMemory>, mmu: Arc<Iommu>, dev: DeviceId) -> Self {
         let mut e = Self::new(mem, mmu, dev, Strictness::Deferred);
-        e.allocator = Box::new(GlobalCachedIovaAllocator::new());
+        e.allocator = Box::new(GlobalCachedIovaAllocator::with_obs(e.mmu.obs().clone()));
         e.name = "eiovar-";
         e
     }
 
-    fn new(
-        mem: Arc<PhysMemory>,
-        mmu: Arc<Iommu>,
-        dev: DeviceId,
-        strictness: Strictness,
-    ) -> Self {
+    fn new(mem: Arc<PhysMemory>, mmu: Arc<Iommu>, dev: DeviceId, strictness: Strictness) -> Self {
         let flusher = match strictness {
             Strictness::Strict => None,
-            Strictness::Deferred => Some(DeferredFlusher::new(
+            Strictness::Deferred => Some(DeferredFlusher::with_obs(
                 DeferPolicy::linux_default(),
                 FlushScope::Global,
                 1,
+                mmu.obs().clone(),
             )),
         };
+        let allocator = Box::new(GlobalTreeIovaAllocator::with_obs(mmu.obs().clone()));
         LinuxDma {
             coherent: CoherentHelper::new(mem, mmu.clone(), dev),
             mmu,
@@ -102,7 +99,7 @@ impl LinuxDma {
                 Strictness::Strict => "strict",
                 Strictness::Deferred => "defer",
             },
-            allocator: Box::new(GlobalTreeIovaAllocator::new()),
+            allocator,
             live: RefCell::new(HashMap::new()),
             flusher,
         }
@@ -150,7 +147,12 @@ impl DmaEngine for LinuxDma {
         }
     }
 
-    fn map(&self, ctx: &mut CoreCtx, buf: DmaBuf, dir: DmaDirection) -> Result<DmaMapping, DmaError> {
+    fn map(
+        &self,
+        ctx: &mut CoreCtx,
+        buf: DmaBuf,
+        dir: DmaDirection,
+    ) -> Result<DmaMapping, DmaError> {
         let pages = buf.pages();
         let first = self.allocator.alloc(ctx, pages)?;
         self.mmu
@@ -274,7 +276,11 @@ mod tests {
         let eng = LinuxDma::strict(r.mem.clone(), r.mmu.clone(), DEV);
         let pfn = r.mem.alloc_frame(NumaDomain(0)).unwrap();
         let m = eng
-            .map(&mut r.ctx, DmaBuf::new(pfn.base(), 64), DmaDirection::ToDevice)
+            .map(
+                &mut r.ctx,
+                DmaBuf::new(pfn.base(), 64),
+                DmaDirection::ToDevice,
+            )
             .unwrap();
         let pt = r.ctx.breakdown.get(Phase::IommuPageTableMgmt);
         assert!(pt >= r.ctx.cost.iova_tree_alloc + r.ctx.cost.pagetable_map_page);
@@ -325,7 +331,11 @@ mod tests {
         let eng = LinuxDma::strict(r.mem.clone(), r.mmu.clone(), DEV);
         let pfn = r.mem.alloc_frame(NumaDomain(0)).unwrap();
         let m = eng
-            .map(&mut r.ctx, DmaBuf::new(pfn.base(), 256), DmaDirection::ToDevice)
+            .map(
+                &mut r.ctx,
+                DmaBuf::new(pfn.base(), 256),
+                DmaDirection::ToDevice,
+            )
             .unwrap();
         // ToDevice = device may read, not write.
         let mut b = [0u8; 8];
@@ -343,7 +353,11 @@ mod tests {
         let pfn = r.mem.alloc_frame(NumaDomain(0)).unwrap();
         r.mem.write(pfn.base().add(2000), b"NEIGHBOR").unwrap();
         let m = eng
-            .map(&mut r.ctx, DmaBuf::new(pfn.base(), 256), DmaDirection::ToDevice)
+            .map(
+                &mut r.ctx,
+                DmaBuf::new(pfn.base(), 256),
+                DmaDirection::ToDevice,
+            )
             .unwrap();
         let mut stolen = [0u8; 8];
         r.bus
@@ -361,7 +375,9 @@ mod tests {
         let bufs: Vec<DmaBuf> = (0..3)
             .map(|i| DmaBuf::new(pfn.add(i).base(), 512))
             .collect();
-        let ms = eng.map_sg(&mut r.ctx, &bufs, DmaDirection::FromDevice).unwrap();
+        let ms = eng
+            .map_sg(&mut r.ctx, &bufs, DmaDirection::FromDevice)
+            .unwrap();
         assert_eq!(ms.len(), 3);
         for (i, m) in ms.iter().enumerate() {
             r.bus.write(DEV, m.iova.get(), &[i as u8; 16]).unwrap();

@@ -45,7 +45,12 @@ impl DmaEngine for NoIommu {
         }
     }
 
-    fn map(&self, _ctx: &mut CoreCtx, buf: DmaBuf, dir: DmaDirection) -> Result<DmaMapping, DmaError> {
+    fn map(
+        &self,
+        _ctx: &mut CoreCtx,
+        buf: DmaBuf,
+        dir: DmaDirection,
+    ) -> Result<DmaMapping, DmaError> {
         Ok(DmaMapping {
             iova: Iova::new(buf.pa.get()),
             len: buf.len,
@@ -108,7 +113,8 @@ mod tests {
         let buf = DmaBuf::new(pfn.base(), 64);
         let m = eng.map(&mut ctx, buf, DmaDirection::FromDevice).unwrap();
         let bus = Bus::Direct(mem.clone());
-        bus.write(DeviceId(0), m.iova.get(), b"device data").unwrap();
+        bus.write(DeviceId(0), m.iova.get(), b"device data")
+            .unwrap();
         eng.unmap(&mut ctx, m).unwrap();
         assert_eq!(mem.read_vec(buf.pa, 11).unwrap(), b"device data");
     }

@@ -64,7 +64,12 @@ impl DmaEngine for SelfInvalidatingDma {
         }
     }
 
-    fn map(&self, ctx: &mut CoreCtx, buf: DmaBuf, dir: DmaDirection) -> Result<DmaMapping, DmaError> {
+    fn map(
+        &self,
+        ctx: &mut CoreCtx,
+        buf: DmaBuf,
+        dir: DmaDirection,
+    ) -> Result<DmaMapping, DmaError> {
         let first = buf.pa.pfn();
         for i in 0..buf.pages() {
             let pfn = first.add(i);
@@ -146,7 +151,11 @@ mod tests {
         };
         let pfn = mem.alloc_frame(NumaDomain(0)).unwrap();
         let m = eng
-            .map(&mut ctx, DmaBuf::new(pfn.base(), 1500), DmaDirection::FromDevice)
+            .map(
+                &mut ctx,
+                DmaBuf::new(pfn.base(), 1500),
+                DmaDirection::FromDevice,
+            )
             .unwrap();
         bus.write(DEV, m.iova.get(), b"warm the iotlb").unwrap();
         eng.unmap(&mut ctx, m).unwrap();
@@ -170,11 +179,16 @@ mod tests {
         let pfn = mem.alloc_frame(NumaDomain(0)).unwrap();
         mem.write(pfn.base().add(3000), b"SECRET").unwrap();
         let m = eng
-            .map(&mut ctx, DmaBuf::new(pfn.base(), 512), DmaDirection::ToDevice)
+            .map(
+                &mut ctx,
+                DmaBuf::new(pfn.base(), 512),
+                DmaDirection::ToDevice,
+            )
             .unwrap();
         // Hardware self-invalidation does not fix the sub-page hole.
         let mut stolen = [0u8; 6];
-        bus.read(DEV, pfn.base().add(3000).get(), &mut stolen).unwrap();
+        bus.read(DEV, pfn.base().add(3000).get(), &mut stolen)
+            .unwrap();
         assert_eq!(&stolen, b"SECRET");
         eng.unmap(&mut ctx, m).unwrap();
     }

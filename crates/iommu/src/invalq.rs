@@ -10,10 +10,14 @@
 //!    serialize (§2.2.1) — modeled with a [`SimLock`].
 
 use crate::{DeviceId, Iotlb, IovaPage};
-use simcore::{CoreCtx, Phase, SimLock};
-use std::sync::atomic::{AtomicU64, Ordering};
+use obs::{Counter, EventKind, MetricKey, Obs};
+use simcore::{CoreCtx, Cycles, Phase, SimLock};
 
 /// Invalidation-queue statistics.
+///
+/// A thin view over the unified metric registry: the authoritative
+/// counts live in `obs` as `invalq.page_commands` / `invalq.flush_commands`
+/// / `invalq.waits`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct InvalQueueStats {
     /// Page-selective invalidation commands posted.
@@ -25,21 +29,52 @@ pub struct InvalQueueStats {
 }
 
 /// The (single, global) IOMMU invalidation queue.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct InvalQueue {
     lock: SimLock,
-    page_commands: AtomicU64,
-    flush_commands: AtomicU64,
-    waits: AtomicU64,
+    obs: Obs,
+    page_commands: Counter,
+    flush_commands: Counter,
+    waits: Counter,
+}
+
+impl Default for InvalQueue {
+    fn default() -> Self {
+        InvalQueue::new()
+    }
 }
 
 impl InvalQueue {
-    /// Creates the queue.
+    /// Creates the queue with a private, isolated telemetry handle.
     pub fn new() -> Self {
+        InvalQueue::with_obs(Obs::isolated())
+    }
+
+    /// Creates the queue reporting into a shared telemetry handle.
+    pub fn with_obs(obs: Obs) -> Self {
         InvalQueue {
             lock: SimLock::new("iommu-invalidation-queue"),
-            ..Default::default()
+            page_commands: obs.counter("invalq", "page_commands", None),
+            flush_commands: obs.counter("invalq", "flush_commands", None),
+            waits: obs.counter("invalq", "waits", None),
+            obs,
         }
+    }
+
+    /// Re-registers this queue's counters into `obs`'s registry and routes
+    /// future events to its tracer. Counts made so far stay visible.
+    pub fn rehome(&mut self, obs: Obs) {
+        let r = obs.registry();
+        r.adopt_counter(
+            MetricKey::new("invalq", "page_commands", None),
+            &self.page_commands,
+        );
+        r.adopt_counter(
+            MetricKey::new("invalq", "flush_commands", None),
+            &self.flush_commands,
+        );
+        r.adopt_counter(MetricKey::new("invalq", "waits", None), &self.waits);
+        self.obs = obs;
     }
 
     /// The queue's lock (exposed for contention statistics).
@@ -79,6 +114,8 @@ impl InvalQueue {
             return;
         }
         let active = ctx.active_cores;
+        let spin_before = self.lock.stats().total_spin;
+        let wait_start = ctx.breakdown.get(Phase::InvalidateIotlb);
         self.lock.with(ctx, |ctx| {
             let mut i = 0;
             while i < pages.len() {
@@ -91,12 +128,53 @@ impl InvalQueue {
                 for &page in &pages[i..j] {
                     iotlb.invalidate_page(dev, page);
                 }
-                self.page_commands.fetch_add(1, Ordering::Relaxed);
+                self.page_commands.inc();
                 ctx.charge(Phase::InvalidateIotlb, ctx.cost.inval_wait(active));
                 i = j;
             }
-            self.waits.fetch_add(1, Ordering::Relaxed);
+            // Exactly one wait descriptor completes per synchronous
+            // operation, regardless of how many range commands it posted.
+            self.waits.inc();
         });
+        self.trace_op(ctx, dev, pages.len() as u64, wait_start, spin_before);
+    }
+
+    /// Emits the `IotlbInvalidate` (and, if the queue lock spun, the
+    /// `LockContention`) trace events for one completed sync op.
+    fn trace_op(
+        &self,
+        ctx: &mut CoreCtx,
+        dev: DeviceId,
+        pages: u64,
+        wait_start: Cycles,
+        spin_before: Cycles,
+    ) {
+        self.obs.set_now_hint(ctx.now());
+        let wait_cycles = ctx
+            .breakdown
+            .get(Phase::InvalidateIotlb)
+            .saturating_sub(wait_start);
+        self.obs.trace(
+            ctx.now(),
+            ctx.core.0,
+            Some(dev.0),
+            EventKind::IotlbInvalidate {
+                pages,
+                wait_cycles: wait_cycles.0,
+            },
+        );
+        let spun = self.lock.stats().total_spin.saturating_sub(spin_before);
+        if spun > Cycles::ZERO {
+            self.obs.trace(
+                ctx.now(),
+                ctx.core.0,
+                Some(dev.0),
+                EventKind::LockContention {
+                    lock: "invalq".into(),
+                    spin_cycles: spun.0,
+                },
+            );
+        }
     }
 
     /// Synchronously flushes every cached translation of `dev` with a
@@ -104,29 +182,33 @@ impl InvalQueue {
     /// protection pays once per drained batch (§2.2.1: every 250 unmaps or
     /// 10 ms).
     pub fn flush_device_sync(&self, ctx: &mut CoreCtx, iotlb: &mut Iotlb, dev: DeviceId) {
+        let spin_before = self.lock.stats().total_spin;
+        let wait_start = ctx.breakdown.get(Phase::InvalidateIotlb);
         self.lock.with(ctx, |ctx| {
             ctx.charge(Phase::InvalidateIotlb, ctx.cost.inval_queue_post);
             iotlb.invalidate_device(dev);
-            self.flush_commands.fetch_add(1, Ordering::Relaxed);
+            self.flush_commands.inc();
             ctx.charge(Phase::InvalidateIotlb, ctx.cost.global_iotlb_flush);
-            self.waits.fetch_add(1, Ordering::Relaxed);
+            self.waits.inc();
         });
+        // pages = 0 marks a full device flush.
+        self.trace_op(ctx, dev, 0, wait_start, spin_before);
     }
 
-    /// Statistics snapshot.
+    /// Statistics snapshot (thin view over the registry counters).
     pub fn stats(&self) -> InvalQueueStats {
         InvalQueueStats {
-            page_commands: self.page_commands.load(Ordering::Relaxed),
-            flush_commands: self.flush_commands.load(Ordering::Relaxed),
-            waits: self.waits.load(Ordering::Relaxed),
+            page_commands: self.page_commands.get(),
+            flush_commands: self.flush_commands.get(),
+            waits: self.waits.get(),
         }
     }
 
     /// Clears statistics (lock contention stats included).
     pub fn reset_stats(&self) {
-        self.page_commands.store(0, Ordering::Relaxed);
-        self.flush_commands.store(0, Ordering::Relaxed);
-        self.waits.store(0, Ordering::Relaxed);
+        self.page_commands.reset();
+        self.flush_commands.reset();
+        self.waits.reset();
         self.lock.reset_stats();
     }
 }
@@ -239,6 +321,58 @@ mod tests {
         // A single flush is far cheaper than 250 selective invalidations.
         let flush_cost = c.breakdown.get(Phase::InvalidateIotlb);
         assert!(flush_cost < c.cost.iotlb_inval_wait * 10);
+    }
+
+    #[test]
+    fn waits_counted_exactly_once_per_sync_op() {
+        // Regression: a scattered batch posts several range commands but
+        // completes exactly ONE wait descriptor; mixing page ops and
+        // device flushes never double-counts.
+        let q = InvalQueue::new();
+        let mut tlb = Iotlb::new(64);
+        let mut c = ctx();
+        let scattered: Vec<IovaPage> = [0u64, 2, 4, 6].into_iter().map(IovaPage).collect();
+        q.invalidate_pages_sync(&mut c, &mut tlb, DEV, &scattered);
+        assert_eq!(q.stats().waits, 1);
+        q.invalidate_page_sync(&mut c, &mut tlb, DEV, IovaPage(100));
+        assert_eq!(q.stats().waits, 2);
+        q.flush_device_sync(&mut c, &mut tlb, DEV);
+        assert_eq!(q.stats().waits, 3);
+        q.invalidate_pages_sync(&mut c, &mut tlb, DEV, &[]);
+        assert_eq!(q.stats().waits, 3, "empty batch posts no wait descriptor");
+        assert_eq!(q.stats().page_commands, 4 + 1);
+        assert_eq!(q.stats().flush_commands, 1);
+    }
+
+    #[test]
+    fn sync_ops_emit_iotlb_invalidate_events() {
+        let shared = obs::Obs::isolated();
+        let q = InvalQueue::with_obs(shared.clone());
+        let mut tlb = Iotlb::new(8);
+        let mut c = ctx();
+        q.invalidate_pages_sync(&mut c, &mut tlb, DEV, &[IovaPage(1), IovaPage(2)]);
+        q.flush_device_sync(&mut c, &mut tlb, DEV);
+        let events = shared.tracer().events();
+        let invs: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e.kind {
+                obs::EventKind::IotlbInvalidate { pages, wait_cycles } => {
+                    Some((pages, wait_cycles))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(invs.len(), 2);
+        assert_eq!(invs[0].0, 2, "page count recorded");
+        assert!(invs[0].1 > 0, "wait cycles recorded");
+        assert_eq!(invs[1].0, 0, "device flush marked with pages=0");
+        // Stats view and registry agree — single source of truth.
+        let snap = shared.registry().snapshot();
+        assert_eq!(snap.counter("invalq", "waits", None), Some(q.stats().waits));
+        assert_eq!(
+            snap.counter("invalq", "page_commands", None),
+            Some(q.stats().page_commands)
+        );
     }
 
     #[test]

@@ -31,6 +31,6 @@ mod types;
 
 pub use invalq::{InvalQueue, InvalQueueStats};
 pub use iotlb::{Iotlb, IotlbStats};
-pub use mmu::{Iommu, IommuError};
+pub use mmu::{Iommu, IommuError, DEVICE_SIDE_CORE};
 pub use pagetable::{IoPageTable, PtEntry, PtError};
 pub use types::{Access, DeviceId, DmaFault, FaultReason, Iova, IovaPage, Perms};

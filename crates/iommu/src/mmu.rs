@@ -1,14 +1,19 @@
 //! The IOMMU: OS-side management operations and device-side translation.
 
 use crate::{
-    Access, DeviceId, DmaFault, FaultReason, InvalQueue, Iotlb, IotlbStats, Iova, IovaPage,
-    IoPageTable, Perms, PtEntry, PtError,
+    Access, DeviceId, DmaFault, FaultReason, InvalQueue, IoPageTable, Iotlb, IotlbStats, Iova,
+    IovaPage, Perms, PtEntry, PtError,
 };
-use memsim::{MemError, PhysAddr, PhysMemory, Pfn, PAGE_SIZE};
-use parking_lot::{Mutex, RwLock};
+use memsim::{MemError, Pfn, PhysAddr, PhysMemory, PAGE_SIZE};
+use obs::{Counter, EventKind, Obs};
+use simcore::sync::{Mutex, RwLock};
 use simcore::{CoreCtx, Phase};
 use std::collections::HashMap;
 use std::fmt;
+
+/// Sentinel `core` used on trace events initiated by a device rather
+/// than a CPU (devices are not cores; see [`obs::Event::core`]).
+pub const DEVICE_SIDE_CORE: u16 = u16::MAX;
 
 /// Errors from OS-side IOMMU management.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,6 +77,12 @@ pub struct Iommu {
     iotlb: Mutex<Iotlb>,
     invalq: InvalQueue,
     faults: Mutex<Vec<DmaFault>>,
+    obs: Obs,
+    iotlb_hits: Counter,
+    iotlb_misses: Counter,
+    map_ops: Counter,
+    unmap_ops: Counter,
+    fault_ctr: Counter,
 }
 
 impl Default for Iommu {
@@ -81,13 +92,25 @@ impl Default for Iommu {
 }
 
 impl Iommu {
-    /// Creates an IOMMU with the default hardware IOTLB capacity.
+    /// Creates an IOMMU with the default hardware IOTLB capacity and a
+    /// private, isolated telemetry handle.
     pub fn new() -> Self {
+        Iommu::with_obs(Obs::isolated())
+    }
+
+    /// Creates an IOMMU reporting into a shared telemetry handle.
+    pub fn with_obs(obs: Obs) -> Self {
         Iommu {
             tables: RwLock::new(HashMap::new()),
             iotlb: Mutex::new(Iotlb::default_hw()),
-            invalq: InvalQueue::new(),
+            invalq: InvalQueue::with_obs(obs.clone()),
             faults: Mutex::new(Vec::new()),
+            iotlb_hits: obs.counter("iotlb", "hits", None),
+            iotlb_misses: obs.counter("iotlb", "misses", None),
+            map_ops: obs.counter("mmu", "map_pages", None),
+            unmap_ops: obs.counter("mmu", "unmap_pages", None),
+            fault_ctr: obs.counter("mmu", "faults", None),
+            obs,
         }
     }
 
@@ -97,6 +120,11 @@ impl Iommu {
             iotlb: Mutex::new(Iotlb::new(capacity)),
             ..Self::new()
         }
+    }
+
+    /// The telemetry handle this IOMMU reports into.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     // ---------------------------------------------------------------
@@ -113,11 +141,13 @@ impl Iommu {
         perms: Perms,
     ) -> Result<(), IommuError> {
         ctx.charge(Phase::IommuPageTableMgmt, ctx.cost.pagetable_map_page);
+        self.obs.set_now_hint(ctx.now());
         self.tables
             .write()
             .entry(dev)
             .or_default()
             .map(page, pfn, perms)?;
+        self.map_ops.inc();
         Ok(())
     }
 
@@ -149,11 +179,14 @@ impl Iommu {
         page: IovaPage,
     ) -> Result<PtEntry, IommuError> {
         ctx.charge(Phase::IommuPageTableMgmt, ctx.cost.pagetable_unmap_page);
+        self.obs.set_now_hint(ctx.now());
         let mut tables = self.tables.write();
         let table = tables
             .get_mut(&dev)
             .ok_or(IommuError::PageTable(PtError::NotMapped(page)))?;
-        Ok(table.unmap(page)?)
+        let entry = table.unmap(page)?;
+        self.unmap_ops.inc();
+        Ok(entry)
     }
 
     /// Synchronously invalidates one IOVA page of `dev` in the IOTLB
@@ -192,12 +225,21 @@ impl Iommu {
     /// miss → page walk, inserting into the IOTLB on success.
     ///
     /// Blocked accesses are recorded in the fault log.
-    pub fn translate(&self, dev: DeviceId, iova: Iova, access: Access) -> Result<PhysAddr, DmaFault> {
+    pub fn translate(
+        &self,
+        dev: DeviceId,
+        iova: Iova,
+        access: Access,
+    ) -> Result<PhysAddr, DmaFault> {
         let page = iova.page();
         let mut iotlb = self.iotlb.lock();
         let entry = match iotlb.lookup(dev, page) {
-            Some(e) => e,
+            Some(e) => {
+                self.iotlb_hits.inc();
+                e
+            }
             None => {
+                self.iotlb_misses.inc();
                 let tables = self.tables.read();
                 match tables.get(&dev).and_then(|t| t.translate(page)) {
                     Some(e) => {
@@ -313,10 +355,7 @@ impl Iommu {
 
     /// Number of pages mapped for a device.
     pub fn mapped_pages(&self, dev: DeviceId) -> u64 {
-        self.tables
-            .read()
-            .get(&dev)
-            .map_or(0, |t| t.mapped_pages())
+        self.tables.read().get(&dev).map_or(0, |t| t.mapped_pages())
     }
 
     fn fault(&self, dev: DeviceId, iova: Iova, access: Access, reason: FaultReason) -> DmaFault {
@@ -327,6 +366,24 @@ impl Iommu {
             reason,
         };
         self.faults.lock().push(f);
+        // Every blocked device access is a traced security event.
+        self.fault_ctr.inc();
+        self.obs.trace(
+            self.obs.now_hint(),
+            DEVICE_SIDE_CORE,
+            Some(dev.0),
+            EventKind::AttackBlocked {
+                iova: iova.get(),
+                access: match access {
+                    Access::Read => "read".into(),
+                    Access::Write => "write".into(),
+                },
+                reason: match reason {
+                    FaultReason::NotMapped => "not_mapped".into(),
+                    FaultReason::PermissionDenied => "permission_denied".into(),
+                },
+            },
+        );
         f
     }
 }
@@ -351,13 +408,19 @@ mod tests {
         let (mmu, mem, mut ctx) = setup();
         let pfn = mem.alloc_frame(NumaDomain(0)).unwrap();
         let page = IovaPage(0x100);
-        mmu.map_page(&mut ctx, DEV, page, pfn, Perms::ReadWrite).unwrap();
+        mmu.map_page(&mut ctx, DEV, page, pfn, Perms::ReadWrite)
+            .unwrap();
 
-        mmu.dma_write(&mem, DEV, page.base().add(16), b"from the device").unwrap();
-        assert_eq!(mem.read_vec(pfn.base().add(16), 15).unwrap(), b"from the device");
+        mmu.dma_write(&mem, DEV, page.base().add(16), b"from the device")
+            .unwrap();
+        assert_eq!(
+            mem.read_vec(pfn.base().add(16), 15).unwrap(),
+            b"from the device"
+        );
 
         let mut buf = vec![0u8; 15];
-        mmu.dma_read(&mem, DEV, page.base().add(16), &mut buf).unwrap();
+        mmu.dma_read(&mem, DEV, page.base().add(16), &mut buf)
+            .unwrap();
         assert_eq!(buf, b"from the device");
     }
 
@@ -391,7 +454,8 @@ mod tests {
         let (mmu, mem, mut ctx) = setup();
         let pfn = mem.alloc_frame(NumaDomain(0)).unwrap();
         let page = IovaPage(0x10);
-        mmu.map_page(&mut ctx, DeviceId(1), page, pfn, Perms::ReadWrite).unwrap();
+        mmu.map_page(&mut ctx, DeviceId(1), page, pfn, Perms::ReadWrite)
+            .unwrap();
         // Device 2 cannot use device 1's mapping.
         let err = mmu
             .dma_write(&mem, DeviceId(2), page.base(), b"x")
@@ -405,7 +469,8 @@ mod tests {
         let (mmu, mem, mut ctx) = setup();
         let pfn = mem.alloc_frame(NumaDomain(0)).unwrap();
         let page = IovaPage(0x20);
-        mmu.map_page(&mut ctx, DEV, page, pfn, Perms::ReadWrite).unwrap();
+        mmu.map_page(&mut ctx, DEV, page, pfn, Perms::ReadWrite)
+            .unwrap();
 
         // Device touches the page: IOTLB now caches the translation.
         mmu.dma_write(&mem, DEV, page.base(), b"first").unwrap();
@@ -416,12 +481,15 @@ mod tests {
         assert!(!mmu.is_mapped(DEV, page));
 
         // The device can STILL write through the stale IOTLB entry.
-        mmu.dma_write(&mem, DEV, page.base(), b"stale-write!").unwrap();
+        mmu.dma_write(&mem, DEV, page.base(), b"stale-write!")
+            .unwrap();
         assert_eq!(mem.read_vec(pfn.base(), 12).unwrap(), b"stale-write!");
 
         // After invalidation the access is blocked.
         mmu.invalidate_page_sync(&mut ctx, DEV, page);
-        let err = mmu.dma_write(&mem, DEV, page.base(), b"blocked").unwrap_err();
+        let err = mmu
+            .dma_write(&mem, DEV, page.base(), b"blocked")
+            .unwrap_err();
         assert_eq!(err.reason, FaultReason::NotMapped);
     }
 
@@ -432,7 +500,8 @@ mod tests {
         let (mmu, mem, mut ctx) = setup();
         let pfn = mem.alloc_frame(NumaDomain(0)).unwrap();
         let page = IovaPage(0x30);
-        mmu.map_page(&mut ctx, DEV, page, pfn, Perms::ReadWrite).unwrap();
+        mmu.map_page(&mut ctx, DEV, page, pfn, Perms::ReadWrite)
+            .unwrap();
         mmu.unmap_page_nosync(&mut ctx, DEV, page).unwrap();
         assert!(mmu.dma_write(&mem, DEV, page.base(), b"x").is_err());
     }
@@ -442,9 +511,11 @@ mod tests {
         let (mmu, mem, mut ctx) = setup();
         let pfn = mem.alloc_frames(NumaDomain(0), 2).unwrap();
         let page = IovaPage(0x40);
-        mmu.map_range(&mut ctx, DEV, page, pfn, 2, Perms::ReadWrite).unwrap();
+        mmu.map_range(&mut ctx, DEV, page, pfn, 2, Perms::ReadWrite)
+            .unwrap();
         let data: Vec<u8> = (0..6000).map(|i| (i % 256) as u8).collect();
-        mmu.dma_write(&mem, DEV, page.base().add(100), &data).unwrap();
+        mmu.dma_write(&mem, DEV, page.base().add(100), &data)
+            .unwrap();
         assert_eq!(mem.read_vec(pfn.base().add(100), 6000).unwrap(), data);
     }
 
@@ -453,7 +524,8 @@ mod tests {
         let (mmu, mem, mut ctx) = setup();
         let pfn = mem.alloc_frame(NumaDomain(0)).unwrap();
         let page = IovaPage(0x50);
-        mmu.map_page(&mut ctx, DEV, page, pfn, Perms::Write).unwrap();
+        mmu.map_page(&mut ctx, DEV, page, pfn, Perms::Write)
+            .unwrap();
         // Write spans into the next (unmapped) page: fault.
         let data = vec![0xaa; PAGE_SIZE + 100];
         let err = mmu.dma_write(&mem, DEV, page.base(), &data).unwrap_err();
@@ -469,7 +541,8 @@ mod tests {
     fn map_unmap_charge_pagetable_costs() {
         let (mmu, mem, mut ctx) = setup();
         let pfn = mem.alloc_frame(NumaDomain(0)).unwrap();
-        mmu.map_page(&mut ctx, DEV, IovaPage(1), pfn, Perms::Read).unwrap();
+        mmu.map_page(&mut ctx, DEV, IovaPage(1), pfn, Perms::Read)
+            .unwrap();
         mmu.unmap_page_nosync(&mut ctx, DEV, IovaPage(1)).unwrap();
         let charged = ctx.breakdown.get(Phase::IommuPageTableMgmt);
         assert_eq!(
@@ -485,7 +558,8 @@ mod tests {
     fn unmap_nosync_does_not_touch_inval_queue() {
         let (mmu, mem, mut ctx) = setup();
         let pfn = mem.alloc_frame(NumaDomain(0)).unwrap();
-        mmu.map_page(&mut ctx, DEV, IovaPage(1), pfn, Perms::Read).unwrap();
+        mmu.map_page(&mut ctx, DEV, IovaPage(1), pfn, Perms::Read)
+            .unwrap();
         mmu.unmap_page_nosync(&mut ctx, DEV, IovaPage(1)).unwrap();
         assert_eq!(ctx.breakdown.get(Phase::InvalidateIotlb), Cycles::ZERO);
         assert_eq!(mmu.invalq().stats().page_commands, 0);
@@ -496,10 +570,18 @@ mod tests {
         let (mmu, mem, mut ctx) = setup();
         let pfn = mem.alloc_frames(NumaDomain(0), 4).unwrap();
         for i in 0..4 {
-            mmu.map_page(&mut ctx, DEV, IovaPage(0x60 + i), pfn.add(i), Perms::ReadWrite)
+            mmu.map_page(
+                &mut ctx,
+                DEV,
+                IovaPage(0x60 + i),
+                pfn.add(i),
+                Perms::ReadWrite,
+            )
+            .unwrap();
+            mmu.dma_write(&mem, DEV, IovaPage(0x60 + i).base(), b"warm")
                 .unwrap();
-            mmu.dma_write(&mem, DEV, IovaPage(0x60 + i).base(), b"warm").unwrap();
-            mmu.unmap_page_nosync(&mut ctx, DEV, IovaPage(0x60 + i)).unwrap();
+            mmu.unmap_page_nosync(&mut ctx, DEV, IovaPage(0x60 + i))
+                .unwrap();
         }
         // All four entries are stale-but-usable.
         for i in 0..4 {
@@ -508,7 +590,9 @@ mod tests {
         mmu.flush_device_sync(&mut ctx, DEV);
         for i in 0..4 {
             assert!(!mmu.iotlb_contains(DEV, IovaPage(0x60 + i)));
-            assert!(mmu.dma_write(&mem, DEV, IovaPage(0x60 + i).base(), b"x").is_err());
+            assert!(mmu
+                .dma_write(&mem, DEV, IovaPage(0x60 + i).base(), b"x")
+                .is_err());
         }
     }
 
@@ -517,9 +601,11 @@ mod tests {
         let (mmu, mem, mut ctx) = setup();
         let pfn = mem.alloc_frames(NumaDomain(0), 3).unwrap();
         assert_eq!(mmu.mapped_pages(DEV), 0);
-        mmu.map_range(&mut ctx, DEV, IovaPage(0x80), pfn, 3, Perms::Read).unwrap();
+        mmu.map_range(&mut ctx, DEV, IovaPage(0x80), pfn, 3, Perms::Read)
+            .unwrap();
         assert_eq!(mmu.mapped_pages(DEV), 3);
-        mmu.unmap_page_nosync(&mut ctx, DEV, IovaPage(0x81)).unwrap();
+        mmu.unmap_page_nosync(&mut ctx, DEV, IovaPage(0x81))
+            .unwrap();
         assert_eq!(mmu.mapped_pages(DEV), 2);
     }
 }

@@ -87,7 +87,9 @@ impl IoPageTable {
         let mut table = &mut self.root;
         for level in 0..LEVELS - 1 {
             let idx = level_index(page, level);
-            let node = table.entry(idx).or_insert_with(|| Node::Table(HashMap::new()));
+            let node = table
+                .entry(idx)
+                .or_insert_with(|| Node::Table(HashMap::new()));
             table = match node {
                 Node::Table(t) => t,
                 _ => unreachable!("interior node must be a table"),

@@ -7,8 +7,8 @@
 //! weakness (§4): mapping that page in the IOMMU exposes the co-located
 //! data to the device.
 
-use crate::{MemError, NumaDomain, PhysAddr, PhysMemory, Pfn, PAGE_SIZE};
-use parking_lot::Mutex;
+use crate::{MemError, NumaDomain, Pfn, PhysAddr, PhysMemory, PAGE_SIZE};
+use simcore::sync::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 

@@ -24,7 +24,7 @@ mod kmalloc;
 mod numa;
 mod phys;
 
-pub use addr::{PhysAddr, Pfn, PAGE_SHIFT, PAGE_SIZE};
+pub use addr::{Pfn, PhysAddr, PAGE_SHIFT, PAGE_SIZE};
 pub use kmalloc::{Kmalloc, KmallocStats};
 pub use numa::{NumaDomain, NumaTopology};
 pub use phys::{MemError, MemStats, PhysMemory};

@@ -1,8 +1,7 @@
 //! The simulated physical memory: frames, allocator, byte access.
 
-
-use crate::{NumaDomain, NumaTopology, PhysAddr, Pfn, PAGE_SIZE};
-use parking_lot::Mutex;
+use crate::{NumaDomain, NumaTopology, Pfn, PhysAddr, PAGE_SIZE};
+use simcore::sync::Mutex;
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
@@ -308,7 +307,10 @@ mod tests {
     fn frames_start_zeroed() {
         let m = mem(4);
         let pfn = m.alloc_frame(NumaDomain(0)).unwrap();
-        assert_eq!(m.read_vec(pfn.base(), PAGE_SIZE).unwrap(), vec![0u8; PAGE_SIZE]);
+        assert_eq!(
+            m.read_vec(pfn.base(), PAGE_SIZE).unwrap(),
+            vec![0u8; PAGE_SIZE]
+        );
     }
 
     #[test]
@@ -356,8 +358,8 @@ mod tests {
         let a = m.alloc_frames(NumaDomain(0), 3).unwrap(); // [0,3)
         let _b = m.alloc_frames(NumaDomain(0), 2).unwrap(); // [3,5)
         m.free_frames(a, 3).unwrap(); // free [0,3)
-        // 3 + 3 free frames exist ([0,3) and [5,8)) but not 4 contiguous... wait,
-        // [5,8) is 3 frames. Ask for 4 contiguous: must fail.
+                                      // 3 + 3 free frames exist ([0,3) and [5,8)) but not 4 contiguous... wait,
+                                      // [5,8) is 3 frames. Ask for 4 contiguous: must fail.
         let err = m.alloc_frames(NumaDomain(0), 4).unwrap_err();
         assert!(matches!(err, MemError::OutOfMemory { frames: 4, .. }));
         // 3 contiguous still works.

@@ -121,6 +121,9 @@ impl CoreDriver {
         }
         ctx.charge(Phase::Other, ctx.cost.kmalloc_free);
         stack.kmalloc.free(skb).expect("kfree");
+        stack.obs.set_now_hint(ctx.now());
+        stack.net.rx_packets.inc();
+        stack.net.rx_bytes.add(completion.len as u64);
         completion.len
     }
 
@@ -165,7 +168,8 @@ impl CoreDriver {
             .expect("NIC transmit must succeed through a live mapping");
         if verify {
             assert_eq!(
-                wire_bytes, payload,
+                wire_bytes,
+                payload,
                 "payload corrupted on the way to the wire ({})",
                 stack.engine.name()
             );
@@ -175,6 +179,10 @@ impl CoreDriver {
         stack.engine.unmap(ctx, mapping).expect("dma_unmap");
         ctx.charge(Phase::Other, ctx.cost.kmalloc_free);
         stack.kmalloc.free(skb).expect("kfree");
+        stack.obs.set_now_hint(ctx.now());
+        stack.net.tx_buffers.inc();
+        stack.net.tx_bytes.add(completion.len as u64);
+        stack.net.tx_frames.add(completion.frames as u64);
         (completion.len, completion.frames)
     }
 
@@ -209,7 +217,10 @@ impl CoreDriver {
                 .kmalloc
                 .alloc(take, domain)
                 .expect("fragment allocation");
-            stack.mem.write(pa, &payload[off..off + take]).expect("frag");
+            stack
+                .mem
+                .write(pa, &payload[off..off + take])
+                .expect("frag");
             bufs.push(DmaBuf::new(pa, take));
             pas.push(pa);
             off += take;
@@ -226,7 +237,13 @@ impl CoreDriver {
         let entries = stack.nic.config().ring_entries;
         let first = stack.nic.tx_next(self.ring);
         for (k, m) in mappings.iter().enumerate() {
-            post_tx_at(stack, self.ring, (first + k) % entries, m.iova.get(), m.len as u32);
+            post_tx_at(
+                stack,
+                self.ring,
+                (first + k) % entries,
+                m.iova.get(),
+                m.len as u32,
+            );
         }
         let (completion, wire_bytes) = stack
             .nic
@@ -234,7 +251,8 @@ impl CoreDriver {
             .expect("NIC gather transmit");
         if verify {
             assert_eq!(
-                wire_bytes, payload,
+                wire_bytes,
+                payload,
                 "scatter/gather payload corrupted ({})",
                 stack.engine.name()
             );
@@ -244,6 +262,10 @@ impl CoreDriver {
             ctx.charge(Phase::Other, ctx.cost.kmalloc_free);
             stack.kmalloc.free(pa).expect("kfree");
         }
+        stack.obs.set_now_hint(ctx.now());
+        stack.net.tx_buffers.inc();
+        stack.net.tx_bytes.add(completion.len as u64);
+        stack.net.tx_frames.add(completion.frames as u64);
         (completion.len, completion.frames)
     }
 
@@ -315,7 +337,10 @@ mod tests {
         assert!(rx_copy > Cycles::ZERO, "RX copies at unmap");
         let mut c2 = ctx(&stack, 0);
         drv.tx_one(&stack, &mut c2, &vec![2u8; 1500], true);
-        assert!(c2.breakdown.get(Phase::Memcpy) > Cycles::ZERO, "TX copies at map");
+        assert!(
+            c2.breakdown.get(Phase::Memcpy) > Cycles::ZERO,
+            "TX copies at map"
+        );
     }
 
     #[test]

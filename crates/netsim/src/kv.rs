@@ -152,7 +152,13 @@ pub fn memcached(kind: EngineKind, cfg: &ExpConfig) -> ExpResult {
         sim.run(&mut boxed, Cycles::MAX);
     }
     let mut tctx = CoreCtx::new(CoreId(0), stack.cost.clone());
-    tctx.seek(sim.ctxs().iter().map(|c| c.now()).max().unwrap_or(Cycles(1)));
+    tctx.seek(
+        sim.ctxs()
+            .iter()
+            .map(|c| c.now())
+            .max()
+            .unwrap_or(Cycles(1)),
+    );
     stack.engine.flush_deferred(&mut tctx);
 
     let clock = cfg.cost.clock_ghz;
@@ -170,7 +176,10 @@ pub fn memcached(kind: EngineKind, cfg: &ExpConfig) -> ExpResult {
         bytes += t.meas_bytes;
     }
     let cpu = sim.ctxs().iter().map(|c| c.utilization()).sum::<f64>() / cfg.cores as f64;
-    let per_item: Breakdown = sim.ctxs().iter().map(|c| c.breakdown).sum::<Breakdown>();
+    let total: Breakdown = sim.ctxs().iter().map(|c| c.breakdown).sum::<Breakdown>();
+    let dev = Some(crate::setup::NIC_DEV.0);
+    obs::breakdown::record_breakdown(stack.obs.registry(), dev, &total);
+    let per_item = obs::breakdown::breakdown_view(stack.obs.registry(), dev);
     ExpResult {
         engine: kind.name(),
         cores: cfg.cores,
@@ -210,7 +219,12 @@ mod tests {
         let idm = memcached(EngineKind::IdentityMinus, &cfg16());
         let idp = memcached(EngineKind::IdentityPlus, &cfg16());
         let t = |r: &ExpResult| r.transactions_per_sec.unwrap();
-        assert!(t(&copy) / t(&no) > 0.9, "copy ~ no-iommu: {} vs {}", t(&copy), t(&no));
+        assert!(
+            t(&copy) / t(&no) > 0.9,
+            "copy ~ no-iommu: {} vs {}",
+            t(&copy),
+            t(&no)
+        );
         assert!(t(&idm) / t(&no) > 0.85);
         let collapse = t(&no) / t(&idp);
         assert!(collapse > 3.0, "identity+ collapse {collapse}");

@@ -126,8 +126,8 @@ pub fn merged_breakdown(rows: &[ExpResult]) -> Breakdown {
 
 #[cfg(test)]
 mod tests {
-    use simcore::Phase;
     use super::*;
+    use simcore::Phase;
 
     fn result(engine: &'static str, gbps: f64, cpu: f64) -> ExpResult {
         let mut b = Breakdown::new();

@@ -42,7 +42,12 @@ pub fn tcp_rr(kind: EngineKind, cfg: &ExpConfig) -> ExpResult {
         let mut wire_done = ctx.now();
         while sent < payload.len() {
             let chunk = (payload.len() - sent).min(64 * 1024);
-            let (n, _frames) = drv.tx_one(&stack, &mut ctx, &payload[sent..sent + chunk], cfg.verify_data);
+            let (n, _frames) = drv.tx_one(
+                &stack,
+                &mut ctx,
+                &payload[sent..sent + chunk],
+                cfg.verify_data,
+            );
             sent += n;
             // Request frames serialize on the TX direction.
             let mut remaining = n;
@@ -63,7 +68,12 @@ pub fn tcp_rr(kind: EngineKind, cfg: &ExpConfig) -> ExpResult {
             let seg = (payload.len() - received).min(MTU);
             arrival = stack.wire.transmit(arrival, seg + HEADER_BYTES);
             ctx.wait_until(arrival);
-            let delivered = drv.rx_one(&stack, &mut ctx, &payload[received..received + seg], cfg.verify_data);
+            let delivered = drv.rx_one(
+                &stack,
+                &mut ctx,
+                &payload[received..received + seg],
+                cfg.verify_data,
+            );
             received += delivered;
         }
 
@@ -81,7 +91,10 @@ pub fn tcp_rr(kind: EngineKind, cfg: &ExpConfig) -> ExpResult {
     } else {
         0.0
     };
-    let per_item: Breakdown = ctx.breakdown.per_item(measured);
+    let dev = Some(crate::setup::NIC_DEV.0);
+    obs::breakdown::record_breakdown(stack.obs.registry(), dev, &ctx.breakdown);
+    let per_item: Breakdown =
+        obs::breakdown::breakdown_view(stack.obs.registry(), dev).per_item(measured);
     ExpResult {
         engine: kind.name(),
         cores: 1,

@@ -1,9 +1,12 @@
 //! Experiment configuration and machine construction.
 
-use dma_api::{Bus, CoherentBuffer, DmaEngine, IdentityDma, LinuxDma, NoIommu, SelfInvalidatingDma};
 use devices::{Nic, NicConfig, DESC_BYTES};
+use dma_api::{
+    Bus, CoherentBuffer, DmaEngine, IdentityDma, LinuxDma, NoIommu, SelfInvalidatingDma, TracedDma,
+};
 use iommu::{DeviceId, Iommu};
 use memsim::{Kmalloc, NumaTopology, PhysMemory};
+use obs::{Counter, Obs};
 use shadow_core::ShadowDma;
 use simcore::{CoreCtx, CoreId, CostModel, Cycles, SimRng, Wire};
 use std::fmt;
@@ -172,6 +175,12 @@ pub struct SimStack {
     pub cost: Arc<CostModel>,
     /// Deterministic workload RNG.
     pub rng: std::cell::RefCell<SimRng>,
+    /// The stack-wide telemetry handle: the IOMMU, the engine (wrapped in
+    /// [`TracedDma`]), its pool/allocator/flusher internals, and the driver
+    /// all report into this one registry and tracer.
+    pub obs: Obs,
+    /// Driver traffic counters (views over `net.*` registry entries).
+    pub net: NetCounters,
 }
 
 impl fmt::Debug for SimStack {
@@ -186,13 +195,48 @@ impl fmt::Debug for SimStack {
 /// The NIC's requester id in every experiment.
 pub const NIC_DEV: DeviceId = DeviceId(0);
 
+/// Driver-level traffic counters (`net.*` on the NIC device), shared by
+/// all cores and incremented by [`crate::CoreDriver`]'s fast paths.
+#[derive(Debug, Clone)]
+pub struct NetCounters {
+    /// Packets delivered up the stack (`net.rx_packets`).
+    pub rx_packets: Counter,
+    /// Payload bytes delivered (`net.rx_bytes`).
+    pub rx_bytes: Counter,
+    /// TSO buffers transmitted (`net.tx_buffers`).
+    pub tx_buffers: Counter,
+    /// Payload bytes handed to the NIC (`net.tx_bytes`).
+    pub tx_bytes: Counter,
+    /// Wire frames the NIC segmented those buffers into (`net.tx_frames`).
+    pub tx_frames: Counter,
+}
+
+impl NetCounters {
+    fn new(obs: &Obs) -> Self {
+        let d = Some(NIC_DEV.0);
+        NetCounters {
+            rx_packets: obs.counter("net", "rx_packets", d),
+            rx_bytes: obs.counter("net", "rx_bytes", d),
+            tx_buffers: obs.counter("net", "tx_buffers", d),
+            tx_bytes: obs.counter("net", "tx_bytes", d),
+            tx_frames: obs.counter("net", "tx_frames", d),
+        }
+    }
+}
+
 impl SimStack {
     /// Builds the machine for `kind` with the paper's topology (16 cores,
     /// 2 NUMA domains, 32 GB) and per-core NIC rings.
     pub fn new(kind: EngineKind, cfg: &ExpConfig) -> Self {
+        Self::with_obs(kind, cfg, Obs::isolated())
+    }
+
+    /// Builds the machine reporting into an existing telemetry handle
+    /// (e.g. to aggregate several stacks, or to feed external sinks).
+    pub fn with_obs(kind: EngineKind, cfg: &ExpConfig, obs: Obs) -> Self {
         let topo = NumaTopology::dual_socket_haswell();
         let mem = Arc::new(PhysMemory::new(topo));
-        let mmu = Arc::new(Iommu::new());
+        let mmu = Arc::new(Iommu::with_obs(obs.clone()));
         let cost = Arc::new(cfg.cost.clone());
         let cores = cfg.cores.max(1);
         let engine: Box<dyn DmaEngine> = match kind {
@@ -233,12 +277,13 @@ impl SimStack {
             EngineKind::EiovarDefer => {
                 Box::new(LinuxDma::eiovar_deferred(mem.clone(), mmu.clone(), NIC_DEV))
             }
-            EngineKind::SelfInvalHw => Box::new(SelfInvalidatingDma::new(
-                mem.clone(),
-                mmu.clone(),
-                NIC_DEV,
-            )),
+            EngineKind::SelfInvalHw => {
+                Box::new(SelfInvalidatingDma::new(mem.clone(), mmu.clone(), NIC_DEV))
+            }
         };
+        // Wrap the engine so every dma_map/dma_unmap is counted and traced;
+        // unmap-induced invalidations chain to their DmaUnmap event.
+        let engine: Box<dyn DmaEngine> = Box::new(TracedDma::new(engine, obs.clone()));
         let bus = match kind {
             EngineKind::NoIommu => Bus::Direct(mem.clone()),
             _ => Bus::Iommu {
@@ -278,6 +323,8 @@ impl SimStack {
             kind,
             cost,
             rng: std::cell::RefCell::new(SimRng::seed(cfg.seed)),
+            net: NetCounters::new(&obs),
+            obs,
         }
     }
 
@@ -295,7 +342,11 @@ impl SimStack {
             .expect("skb allocation");
         let m = self
             .engine
-            .map(&mut ctx, DmaBuf::new(skb, payload.len().max(64)), DmaDirection::FromDevice)
+            .map(
+                &mut ctx,
+                DmaBuf::new(skb, payload.len().max(64)),
+                DmaDirection::FromDevice,
+            )
             .expect("dma_map");
         crate::driver::post_rx(self, 0, m.iova.get(), payload.len().max(64) as u32);
         self.nic.receive(0, payload).expect("NIC receive");

@@ -6,7 +6,9 @@ use crate::driver::{CoreDriver, HEADER_BYTES};
 use crate::report::ExpResult;
 use crate::setup::{EngineKind, ExpConfig, SimStack};
 use devices::MTU;
-use simcore::{Breakdown, CoreCtx, CoreId, CoreTask, CostModel, Cycles, MultiCoreSim, Phase, StepOutcome};
+use simcore::{
+    Breakdown, CoreCtx, CoreId, CoreTask, CostModel, Cycles, MultiCoreSim, Phase, StepOutcome,
+};
 
 /// Per-core measurement window.
 #[derive(Debug, Clone, Copy, Default)]
@@ -73,17 +75,15 @@ impl CoreTask for RxTask<'_> {
         // senders serialize on the shared wire.
         self.count += 1;
         self.sender_ready += self.sender_gap;
-        let arrival = self
-            .stack
-            .wire
-            .transmit(self.sender_ready.max(Cycles(1)), self.payload.len() + HEADER_BYTES);
+        let arrival = self.stack.wire.transmit(
+            self.sender_ready.max(Cycles(1)),
+            self.payload.len() + HEADER_BYTES,
+        );
         ctx.wait_until(arrival);
 
         // Stamp the frame so every packet's bytes are distinct.
         self.payload[2..10].copy_from_slice(&self.count.to_le_bytes());
-        let n = self
-            .drv
-            .rx_one(self.stack, ctx, &self.payload, self.verify);
+        let n = self.drv.rx_one(self.stack, ctx, &self.payload, self.verify);
 
         if self.count == self.warmup {
             ctx.reset_stats();
@@ -181,7 +181,7 @@ fn collect(
     cfg: &ExpConfig,
     sim: &MultiCoreSim,
     meas: &[Meas],
-    shadow_peak: Option<u64>,
+    stack: &SimStack,
 ) -> ExpResult {
     let clock = cfg.cost.clock_ghz;
     let mut gbps = 0.0;
@@ -195,13 +195,13 @@ fn collect(
         bytes += m.bytes;
         items += m.items;
     }
-    let cpu = sim
-        .ctxs()
-        .iter()
-        .map(|c| c.utilization())
-        .sum::<f64>()
-        / sim.n_cores() as f64;
-    let per_item: Breakdown = sim.ctxs().iter().map(|c| c.breakdown).sum::<Breakdown>();
+    let cpu = sim.ctxs().iter().map(|c| c.utilization()).sum::<f64>() / sim.n_cores() as f64;
+    // Publish the cores' accumulated phase breakdown to the registry, then
+    // report from the registry — it is the single source of truth.
+    let total: Breakdown = sim.ctxs().iter().map(|c| c.breakdown).sum::<Breakdown>();
+    let dev = Some(crate::setup::NIC_DEV.0);
+    obs::breakdown::record_breakdown(stack.obs.registry(), dev, &total);
+    let per_item = obs::breakdown::breakdown_view(stack.obs.registry(), dev);
     ExpResult {
         engine,
         cores: cfg.cores,
@@ -214,22 +214,19 @@ fn collect(
         clock_ghz: clock,
         latency_us: None,
         transactions_per_sec: None,
-        shadow_bytes_peak: shadow_peak,
+        shadow_bytes_peak: shadow_peak(stack),
     }
 }
 
 fn shadow_peak(stack: &SimStack) -> Option<u64> {
-    // Only the copy engine has a pool; reach it through the stats it
-    // exposes on the Debug path — SimStack keeps the engine behind the
-    // trait, so track via kind.
-    if stack.kind == EngineKind::Copy {
-        // Rebuilding stats through downcast is not possible on a trait
-        // object without `Any`; instead the peak equals the memory the
-        // engine mapped permanently, observable via the IOMMU.
-        Some(stack.mmu.mapped_pages(crate::setup::NIC_DEV) * memsim::PAGE_SIZE as u64)
-    } else {
-        None
-    }
+    // Only the copy engine grows a shadow pool; its peak footprint lives
+    // in the stack-wide registry as the `pool.peak_shadow_bytes` gauge.
+    stack
+        .obs
+        .registry()
+        .snapshot()
+        .gauge("pool", "peak_shadow_bytes", Some(crate::setup::NIC_DEV.0))
+        .map(|v| v as u64)
 }
 
 /// Runs the `TCP_STREAM` **receive** experiment: the evaluated machine
@@ -247,27 +244,32 @@ fn shadow_peak(stack: &SimStack) -> Option<u64> {
 /// assert!(copy.gbps > strict.gbps, "shadowing beats strict zero-copy on RX");
 /// ```
 pub fn tcp_stream_rx(kind: EngineKind, cfg: &ExpConfig) -> ExpResult {
-    let stack = SimStack::new(kind, cfg);
-    let tasks: Vec<RxTask> = (0..cfg.cores)
-        .map(|c| RxTask::new(&stack, cfg, c))
-        .collect();
-    let mut tasks = tasks;
-    let (sim, _) = run_tasks(cfg, &mut tasks, &stack);
+    tcp_stream_rx_on(&SimStack::new(kind, cfg), cfg)
+}
+
+/// Runs the receive experiment on a caller-built stack — e.g. one created
+/// with [`SimStack::with_obs`] so its metrics and trace feed an external
+/// registry.
+pub fn tcp_stream_rx_on(stack: &SimStack, cfg: &ExpConfig) -> ExpResult {
+    let mut tasks: Vec<RxTask> = (0..cfg.cores).map(|c| RxTask::new(stack, cfg, c)).collect();
+    let (sim, _) = run_tasks(cfg, &mut tasks, stack);
     let meas: Vec<Meas> = tasks.iter().map(|t| t.meas).collect();
-    collect(kind.name(), cfg, &sim, &meas, shadow_peak(&stack))
+    collect(stack.kind.name(), cfg, &sim, &meas, stack)
 }
 
 /// Runs the `TCP_STREAM` **transmit** experiment: the evaluated machine
 /// sends `cfg.items_per_core` TSO buffers per core.
 pub fn tcp_stream_tx(kind: EngineKind, cfg: &ExpConfig) -> ExpResult {
-    let stack = SimStack::new(kind, cfg);
-    let tasks: Vec<TxTask> = (0..cfg.cores)
-        .map(|c| TxTask::new(&stack, cfg, c))
-        .collect();
-    let mut tasks = tasks;
-    let (sim, _) = run_tasks(cfg, &mut tasks, &stack);
+    tcp_stream_tx_on(&SimStack::new(kind, cfg), cfg)
+}
+
+/// Runs the transmit experiment on a caller-built stack (see
+/// [`tcp_stream_rx_on`]).
+pub fn tcp_stream_tx_on(stack: &SimStack, cfg: &ExpConfig) -> ExpResult {
+    let mut tasks: Vec<TxTask> = (0..cfg.cores).map(|c| TxTask::new(stack, cfg, c)).collect();
+    let (sim, _) = run_tasks(cfg, &mut tasks, stack);
     let meas: Vec<Meas> = tasks.iter().map(|t| t.meas).collect();
-    collect(kind.name(), cfg, &sim, &meas, shadow_peak(&stack))
+    collect(stack.kind.name(), cfg, &sim, &meas, stack)
 }
 
 fn run_tasks<T>(cfg: &ExpConfig, tasks: &mut [T], stack: &SimStack) -> (MultiCoreSim, ())
@@ -286,7 +288,13 @@ where
         sim.run(&mut boxed, Cycles::MAX);
     }
     let mut tctx = CoreCtx::new(CoreId(0), stack.cost.clone());
-    tctx.seek(sim.ctxs().iter().map(|c| c.now()).max().unwrap_or(Cycles(1)));
+    tctx.seek(
+        sim.ctxs()
+            .iter()
+            .map(|c| c.now())
+            .max()
+            .unwrap_or(Cycles(1)),
+    );
     stack.engine.flush_deferred(&mut tctx);
     (sim, ())
 }
@@ -314,7 +322,12 @@ mod tests {
         let idm = tcp_stream_rx(EngineKind::IdentityMinus, &cfg);
         let idp = tcp_stream_rx(EngineKind::IdentityPlus, &cfg);
         assert!(no.gbps > copy.gbps, "{} vs {}", no.gbps, copy.gbps);
-        assert!(copy.gbps > idm.gbps, "copy {} vs identity- {}", copy.gbps, idm.gbps);
+        assert!(
+            copy.gbps > idm.gbps,
+            "copy {} vs identity- {}",
+            copy.gbps,
+            idm.gbps
+        );
         assert!(idm.gbps > idp.gbps);
         // copy is within the paper's 0.76x of no-iommu, and ~2x identity+.
         let rel = copy.gbps / no.gbps;
@@ -331,7 +344,10 @@ mod tests {
         let no = tcp_stream_rx(EngineKind::NoIommu, &cfg);
         let idp = tcp_stream_rx(EngineKind::IdentityPlus, &cfg);
         let ratio = idp.gbps / no.gbps;
-        assert!((0.95..=1.05).contains(&ratio), "throughput equal, got {ratio}");
+        assert!(
+            (0.95..=1.05).contains(&ratio),
+            "throughput equal, got {ratio}"
+        );
         assert!(no.gbps < 3.0, "64B stream is slow: {}", no.gbps);
         assert!(idp.cpu > no.cpu, "identity+ burns more CPU");
         assert!(no.cpu < 0.9, "receiver is not the bottleneck");
@@ -345,7 +361,12 @@ mod tests {
         let no = tcp_stream_tx(EngineKind::NoIommu, &cfg);
         let copy = tcp_stream_tx(EngineKind::Copy, &cfg);
         let idp = tcp_stream_tx(EngineKind::IdentityPlus, &cfg);
-        assert!(copy.gbps <= idp.gbps * 1.02, "copy {} vs identity+ {}", copy.gbps, idp.gbps);
+        assert!(
+            copy.gbps <= idp.gbps * 1.02,
+            "copy {} vs identity+ {}",
+            copy.gbps,
+            idp.gbps
+        );
         let rel = copy.gbps / no.gbps;
         assert!(rel > 0.6 && rel <= 1.0, "copy/noiommu TX = {rel}");
         assert!(copy.cpu > no.cpu);
@@ -365,7 +386,11 @@ mod tests {
         let no = tcp_stream_rx(EngineKind::NoIommu, &cfg);
         let copy = tcp_stream_rx(EngineKind::Copy, &cfg);
         let idp = tcp_stream_rx(EngineKind::IdentityPlus, &cfg);
-        assert!(no.gbps > 30.0, "no-iommu reaches near line rate: {}", no.gbps);
+        assert!(
+            no.gbps > 30.0,
+            "no-iommu reaches near line rate: {}",
+            no.gbps
+        );
         assert!(copy.gbps > 30.0, "copy scales to 16 cores: {}", copy.gbps);
         let collapse = no.gbps / idp.gbps;
         assert!(collapse > 3.0, "identity+ collapse factor {collapse}");

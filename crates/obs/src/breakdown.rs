@@ -1,0 +1,80 @@
+//! Bridge between [`simcore::Breakdown`] (the hot-path per-core phase
+//! accumulator) and the metric [`Registry`].
+//!
+//! `simcore` sits below `obs` in the dependency graph, so `CoreCtx`
+//! accumulates phase cycles locally; at collection points (end of a
+//! workload run) the accumulated breakdown is published to the registry
+//! as `phase.<slug>{device}` counters. The registry is then the single
+//! source of truth: [`breakdown_view`] reconstitutes a [`Breakdown`]
+//! from registry counters, which is what reporting reads.
+
+use crate::metrics::{MetricKey, Registry};
+use simcore::{Breakdown, Cycles, Phase};
+
+/// Metric-name slug for a phase (`subsystem.name` friendly).
+pub fn phase_slug(p: Phase) -> &'static str {
+    match p {
+        Phase::CopyMgmt => "copy_mgmt",
+        Phase::Spinlock => "spinlock",
+        Phase::InvalidateIotlb => "invalidate_iotlb",
+        Phase::IommuPageTableMgmt => "iommu_page_table_mgmt",
+        Phase::Memcpy => "memcpy",
+        Phase::RxParsing => "rx_parsing",
+        Phase::CopyUser => "copy_user",
+        Phase::Other => "other",
+    }
+}
+
+/// Subsystem under which phase counters are registered.
+pub const PHASE_SUBSYSTEM: &str = "phase";
+
+/// Publishes `b` into `registry` as `phase.<slug>{device}` counters
+/// (adds to whatever is already there, mirroring `Breakdown: AddAssign`).
+pub fn record_breakdown(registry: &Registry, device: Option<u16>, b: &Breakdown) {
+    for p in Phase::ALL {
+        let cycles = b.get(p);
+        if cycles > Cycles::ZERO {
+            registry
+                .counter(MetricKey::new(PHASE_SUBSYSTEM, phase_slug(p), device))
+                .add(cycles.0);
+        }
+    }
+}
+
+/// Reconstitutes a [`Breakdown`] from the registry's phase counters —
+/// the thin-view direction: reports read this, not private accumulators.
+pub fn breakdown_view(registry: &Registry, device: Option<u16>) -> Breakdown {
+    let mut b = Breakdown::default();
+    for p in Phase::ALL {
+        let c = registry.counter(MetricKey::new(PHASE_SUBSYSTEM, phase_slug(p), device));
+        b.record(p, Cycles(c.get()));
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_through_registry() {
+        let r = Registry::new();
+        let mut b = Breakdown::default();
+        b.record(Phase::Memcpy, Cycles(1000));
+        b.record(Phase::Spinlock, Cycles(7));
+        record_breakdown(&r, None, &b);
+        assert_eq!(breakdown_view(&r, None), b);
+
+        // Recording again accumulates, like AddAssign.
+        record_breakdown(&r, None, &b);
+        assert_eq!(breakdown_view(&r, None).get(Phase::Memcpy), Cycles(2000));
+    }
+
+    #[test]
+    fn slugs_unique() {
+        let mut slugs: Vec<_> = Phase::ALL.iter().map(|&p| phase_slug(p)).collect();
+        slugs.sort_unstable();
+        slugs.dedup();
+        assert_eq!(slugs.len(), 8);
+    }
+}

@@ -1,0 +1,168 @@
+//! # obs — unified telemetry for the DMA-shadowing stack
+//!
+//! The paper's argument is entirely about *where cycles go* (Figures 5, 8
+//! and 10 break packet-processing time into copy-mgmt / spinlock / IOTLB
+//! invalidation / page-table / memcpy phases). This crate is the single
+//! observability layer every subsystem reports into:
+//!
+//! - [`Registry`] — counters, gauges and log-bucketed histograms keyed by
+//!   `(subsystem, name, device)`; see [`MetricKey`] for the
+//!   `subsystem.name{device}` naming convention.
+//! - [`Tracer`] — a bounded ring buffer of structured [`Event`]s
+//!   (`DmaMap`/`DmaUnmap`, `IotlbInvalidate`, `PoolGrow`/`PoolShrink`,
+//!   `FallbackAcquire`, `AttackBlocked`, lock-contention spins) with
+//!   cause-chain spans.
+//! - [`sink`] — a pretty-table text reporter and a JSON-lines exporter
+//!   (`BENCH_*.json` trajectory format) with a lossless importer.
+//! - [`breakdown`] — bridges [`simcore::Breakdown`] phase accounting onto
+//!   the registry.
+//!
+//! All timestamps are **simulated cycles** ([`simcore::Cycles`]); `obs`
+//! deliberately never reads host wall-clock time, keeping experiments
+//! deterministic. The crate has zero external dependencies.
+//!
+//! ## Threading model
+//!
+//! An [`Obs`] handle bundles one registry + one tracer and clones cheaply
+//! (two `Arc`s). A simulation stack creates one `Obs` and hands clones to
+//! every component; components created standalone (unit tests) default to
+//! [`Obs::isolated`] so their numbers never bleed across tests.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod breakdown;
+pub mod json;
+pub mod metrics;
+pub mod sink;
+pub mod trace;
+
+pub use json::Json;
+pub use metrics::{
+    bucket_index, bucket_upper_bound, Counter, Gauge, Histogram, HistogramSnapshot, MetricKey,
+    Registry, RegistrySnapshot, HIST_BUCKETS,
+};
+pub use trace::{current_cause, span, Event, EventKind, SpanGuard, Tracer, DEFAULT_TRACE_CAPACITY};
+
+use simcore::Cycles;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A cheaply clonable handle bundling the metric [`Registry`] and the
+/// event [`Tracer`] for one simulation stack.
+#[derive(Debug, Clone)]
+pub struct Obs {
+    registry: Arc<Registry>,
+    tracer: Arc<Tracer>,
+    /// Latest virtual time any instrumented OS-side operation reported;
+    /// device-side events (which carry no `CoreCtx`) are stamped with it.
+    now_hint: Arc<AtomicU64>,
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Obs::isolated()
+    }
+}
+
+impl Obs {
+    /// A fresh, private registry + tracer (default ring capacity).
+    ///
+    /// Components constructed without an explicit `Obs` use this so
+    /// concurrent tests never share counters.
+    pub fn isolated() -> Self {
+        Obs::with_trace_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// A fresh handle whose tracer retains at most `capacity` events.
+    pub fn with_trace_capacity(capacity: usize) -> Self {
+        Obs {
+            registry: Arc::new(Registry::new()),
+            tracer: Arc::new(Tracer::with_capacity(capacity)),
+            now_hint: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Advances the shared virtual-time hint (monotonic).
+    pub fn set_now_hint(&self, at: Cycles) {
+        self.now_hint.fetch_max(at.0, Ordering::Relaxed);
+    }
+
+    /// Latest virtual time reported via [`Obs::set_now_hint`].
+    pub fn now_hint(&self) -> Cycles {
+        Cycles(self.now_hint.load(Ordering::Relaxed))
+    }
+
+    /// The metric registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The event tracer.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Shorthand: get-or-create a counter.
+    pub fn counter(
+        &self,
+        subsystem: &'static str,
+        name: &'static str,
+        device: Option<u16>,
+    ) -> Counter {
+        self.registry
+            .counter(MetricKey::new(subsystem, name, device))
+    }
+
+    /// Shorthand: get-or-create a gauge.
+    pub fn gauge(&self, subsystem: &'static str, name: &'static str, device: Option<u16>) -> Gauge {
+        self.registry.gauge(MetricKey::new(subsystem, name, device))
+    }
+
+    /// Shorthand: get-or-create a histogram.
+    pub fn histogram(
+        &self,
+        subsystem: &'static str,
+        name: &'static str,
+        device: Option<u16>,
+    ) -> Histogram {
+        self.registry
+            .histogram(MetricKey::new(subsystem, name, device))
+    }
+
+    /// Shorthand: record a trace event, returning its sequence number.
+    pub fn trace(&self, at: Cycles, core: u16, device: Option<u16>, kind: EventKind) -> u64 {
+        self.tracer.record(at, core, device, kind)
+    }
+
+    /// Shorthand: record a trace event caused by event `cause`.
+    pub fn trace_caused(
+        &self,
+        at: Cycles,
+        core: u16,
+        device: Option<u16>,
+        cause: u64,
+        kind: EventKind,
+    ) -> u64 {
+        self.tracer.record_caused(at, core, device, cause, kind)
+    }
+
+    /// True when `other` shares this handle's registry and tracer.
+    pub fn same_as(&self, other: &Obs) -> bool {
+        Arc::ptr_eq(&self.registry, &other.registry) && Arc::ptr_eq(&self.tracer, &other.tracer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_state() {
+        let a = Obs::isolated();
+        let b = a.clone();
+        a.counter("x", "y", None).inc();
+        assert_eq!(b.registry().snapshot().counter("x", "y", None), Some(1));
+        assert!(a.same_as(&b));
+        assert!(!a.same_as(&Obs::isolated()));
+    }
+}

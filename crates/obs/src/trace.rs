@@ -1,0 +1,350 @@
+//! Bounded ring-buffer event tracer.
+//!
+//! Every structurally interesting action in the stack — a DMA map, an
+//! IOTLB invalidation, a pool grow, a blocked malicious access — is
+//! recorded as a timestamped [`Event`]. Events form **cause chains**: an
+//! event may name the `seq` of the event that caused it, so a single
+//! `DmaUnmap` can be attributed to the `IotlbInvalidate` (and its wait)
+//! it triggered.
+//!
+//! The buffer is bounded: when full, the oldest events are dropped and
+//! counted in [`Tracer::dropped`], so tracing never grows without bound
+//! during long experiments.
+
+use simcore::sync::Mutex;
+use simcore::Cycles;
+use std::borrow::Cow;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Structured payload of a trace event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// A buffer was mapped for DMA.
+    DmaMap {
+        /// Device-visible address of the mapping.
+        iova: u64,
+        /// Mapping length in bytes.
+        len: u64,
+        /// Transfer direction (`to_device`, `from_device`, `bidirectional`).
+        dir: Cow<'static, str>,
+    },
+    /// A DMA mapping was destroyed.
+    DmaUnmap {
+        /// Device-visible address of the mapping.
+        iova: u64,
+        /// Mapping length in bytes.
+        len: u64,
+    },
+    /// The IOMMU invalidation queue completed a synchronous invalidation.
+    IotlbInvalidate {
+        /// Pages invalidated (0 for a full device flush).
+        pages: u64,
+        /// Cycles spent waiting on the wait descriptor.
+        wait_cycles: u64,
+    },
+    /// The shadow pool grew a size class.
+    PoolGrow {
+        /// Size class index.
+        class: u64,
+        /// Bytes of shadow memory added.
+        bytes: u64,
+    },
+    /// The shadow pool released memory back (reclaim).
+    PoolShrink {
+        /// Bytes of shadow memory returned.
+        bytes: u64,
+    },
+    /// The shadow pool fell back to a transient strict mapping.
+    FallbackAcquire {
+        /// Device-visible address of the fallback mapping.
+        iova: u64,
+        /// Mapping length in bytes.
+        len: u64,
+    },
+    /// The IOMMU blocked a device access — a (potential) DMA attack.
+    AttackBlocked {
+        /// Address the device attempted to touch.
+        iova: u64,
+        /// Attempted access (`read` / `write`).
+        access: Cow<'static, str>,
+        /// Why it was blocked (`not_mapped` / `permission_denied`).
+        reason: Cow<'static, str>,
+    },
+    /// A virtual-time lock acquisition spun on contention.
+    LockContention {
+        /// Which lock (e.g. `invalq`).
+        lock: Cow<'static, str>,
+        /// Cycles spent spinning.
+        spin_cycles: u64,
+    },
+}
+
+impl EventKind {
+    /// Stable name used by sinks (`"DmaMap"`, `"AttackBlocked"`, ...).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::DmaMap { .. } => "DmaMap",
+            EventKind::DmaUnmap { .. } => "DmaUnmap",
+            EventKind::IotlbInvalidate { .. } => "IotlbInvalidate",
+            EventKind::PoolGrow { .. } => "PoolGrow",
+            EventKind::PoolShrink { .. } => "PoolShrink",
+            EventKind::FallbackAcquire { .. } => "FallbackAcquire",
+            EventKind::AttackBlocked { .. } => "AttackBlocked",
+            EventKind::LockContention { .. } => "LockContention",
+        }
+    }
+}
+
+/// One recorded trace event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Monotonic sequence number (unique per tracer, never reused).
+    pub seq: u64,
+    /// Virtual timestamp (simulated cycles) when the event occurred.
+    pub at: Cycles,
+    /// Virtual core that performed the action.
+    pub core: u16,
+    /// Device the action concerns, if any.
+    pub device: Option<u16>,
+    /// `seq` of the event that caused this one, forming a cause chain.
+    pub cause: Option<u64>,
+    /// Structured payload.
+    pub kind: EventKind,
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:>12}] core{} {}{}",
+            self.at.0,
+            self.core,
+            self.kind.name(),
+            match self.cause {
+                Some(c) => format!(" (cause #{c})"),
+                None => String::new(),
+            }
+        )
+    }
+}
+
+thread_local! {
+    static CAUSE_STACK: std::cell::RefCell<Vec<u64>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// RAII guard marking the enclosing event as the *cause* of every event
+/// recorded (on this host thread) until the guard drops.
+///
+/// This is how cause chains cross layer boundaries without threading a
+/// span id through every signature: the DMA layer records a `DmaUnmap`,
+/// opens a span on its seq, and the invalidation-queue events recorded
+/// underneath automatically point back at it. The simulator interleaves
+/// virtual cores on one host thread only *between* steps, so span
+/// nesting is always well-bracketed.
+#[derive(Debug)]
+pub struct SpanGuard {
+    _priv: (),
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        CAUSE_STACK.with(|s| {
+            s.borrow_mut().pop();
+        });
+    }
+}
+
+/// Opens a cause span: events recorded while the guard lives default
+/// their `cause` to `seq`.
+pub fn span(seq: u64) -> SpanGuard {
+    CAUSE_STACK.with(|s| s.borrow_mut().push(seq));
+    SpanGuard { _priv: () }
+}
+
+/// The innermost open span's event seq, if any.
+pub fn current_cause() -> Option<u64> {
+    CAUSE_STACK.with(|s| s.borrow().last().copied())
+}
+
+#[derive(Debug, Default)]
+struct Ring {
+    events: VecDeque<Event>,
+    next_seq: u64,
+    dropped: u64,
+}
+
+/// Bounded, thread-safe event ring buffer.
+#[derive(Debug)]
+pub struct Tracer {
+    ring: Mutex<Ring>,
+    capacity: usize,
+}
+
+/// Default ring capacity (events retained before the oldest are dropped).
+pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::with_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+}
+
+impl Tracer {
+    /// Creates a tracer retaining at most `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Tracer {
+            ring: Mutex::new(Ring::default()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Records an event, returning its sequence number (usable as the
+    /// `cause` of follow-on events). If a [`span`] is open on this host
+    /// thread, the event's cause defaults to it.
+    pub fn record(&self, at: Cycles, core: u16, device: Option<u16>, kind: EventKind) -> u64 {
+        self.push(at, core, device, current_cause(), kind)
+    }
+
+    /// Records an event caused by event `cause`.
+    pub fn record_caused(
+        &self,
+        at: Cycles,
+        core: u16,
+        device: Option<u16>,
+        cause: u64,
+        kind: EventKind,
+    ) -> u64 {
+        self.push(at, core, device, Some(cause), kind)
+    }
+
+    fn push(
+        &self,
+        at: Cycles,
+        core: u16,
+        device: Option<u16>,
+        cause: Option<u64>,
+        kind: EventKind,
+    ) -> u64 {
+        let mut r = self.ring.lock();
+        let seq = r.next_seq;
+        r.next_seq += 1;
+        if r.events.len() == self.capacity {
+            r.events.pop_front();
+            r.dropped += 1;
+        }
+        r.events.push_back(Event {
+            seq,
+            at,
+            core,
+            device,
+            cause,
+            kind,
+        });
+        seq
+    }
+
+    /// Snapshot of retained events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.ring.lock().events.iter().cloned().collect()
+    }
+
+    /// Events dropped because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.ring.lock().dropped
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.ring.lock().events.len()
+    }
+
+    /// True when no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Discards all retained events (keeps the sequence counter).
+    pub fn clear(&self) {
+        self.ring.lock().events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(i: u64) -> EventKind {
+        EventKind::DmaMap {
+            iova: i,
+            len: 64,
+            dir: Cow::Borrowed("to_device"),
+        }
+    }
+
+    #[test]
+    fn wraparound_keeps_newest_and_counts_drops() {
+        let t = Tracer::with_capacity(4);
+        for i in 0..10u64 {
+            let seq = t.record(Cycles(i), 0, None, ev(i));
+            assert_eq!(seq, i, "seq numbers monotonic across wrap");
+        }
+        let evs = t.events();
+        assert_eq!(evs.len(), 4);
+        assert_eq!(t.dropped(), 6);
+        let seqs: Vec<u64> = evs.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9], "oldest dropped, order preserved");
+    }
+
+    #[test]
+    fn cause_chain_recorded() {
+        let t = Tracer::default();
+        let m = t.record(Cycles(1), 0, Some(0), ev(0));
+        let inv = t.record_caused(
+            Cycles(2),
+            0,
+            Some(0),
+            m,
+            EventKind::IotlbInvalidate {
+                pages: 1,
+                wait_cycles: 300,
+            },
+        );
+        let u = t.record_caused(
+            Cycles(3),
+            0,
+            Some(0),
+            inv,
+            EventKind::DmaUnmap { iova: 0, len: 64 },
+        );
+        let evs = t.events();
+        assert_eq!(evs[1].cause, Some(m));
+        assert_eq!(evs[2].seq, u);
+        assert_eq!(evs[2].cause, Some(inv));
+    }
+
+    #[test]
+    fn concurrent_records_unique_seqs() {
+        let t = std::sync::Arc::new(Tracer::default());
+        std::thread::scope(|s| {
+            for c in 0..4u16 {
+                let t = t.clone();
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        t.record(Cycles(i), c, None, ev(i));
+                    }
+                });
+            }
+        });
+        let mut seqs: Vec<u64> = t.events().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs.len(), 4000);
+        seqs.sort_unstable();
+        seqs.dedup();
+        assert_eq!(seqs.len(), 4000, "no duplicated sequence numbers");
+    }
+}

@@ -174,7 +174,7 @@ impl CostModel {
         CostModel {
             clock_ghz: 2.4,
 
-            iotlb_inval_wait: Cycles(1464),             // 0.61 us
+            iotlb_inval_wait: Cycles(1464),                // 0.61 us
             iotlb_inval_wait_per_active_core: Cycles(150), // -> ~1.5us at 16 cores
             inval_queue_post: Cycles(120),
             pagetable_map_page: Cycles(200),
@@ -204,8 +204,8 @@ impl CostModel {
 
             spinlock_uncontended: Cycles(40),
 
-            rx_parse: Cycles(480),    // 0.20 us
-            rx_other: Cycles(640),    // 0.27 us
+            rx_parse: Cycles(480),            // 0.20 us
+            rx_other: Cycles(640),            // 0.27 us
             tx_other_per_buffer: Cycles(600), // 0.25 us fixed per buffer
             tx_per_segment: Cycles(140),
             syscall_per_message: Cycles(600), // ~0.25 us per sendmsg
@@ -288,7 +288,8 @@ impl CostModel {
         } else {
             self.memcpy_cyc_per_byte_streaming * stream_mul
         };
-        let mut cyc = self.memcpy_startup.scale(startup_mul) + Cycles((bytes as f64 * per_byte).round() as u64);
+        let mut cyc = self.memcpy_startup.scale(startup_mul)
+            + Cycles((bytes as f64 * per_byte).round() as u64);
         if cross_numa {
             cyc = cyc.scale(self.cross_numa_memcpy_factor);
         }

@@ -34,6 +34,7 @@ mod cycles;
 mod lock;
 mod rng;
 mod sched;
+pub mod sync;
 mod wire;
 
 pub use breakdown::{Breakdown, Phase};

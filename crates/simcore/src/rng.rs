@@ -1,21 +1,53 @@
 //! Deterministic random number generation for workloads.
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+//!
+//! Implemented in-tree (xoshiro256++ seeded via SplitMix64) so the
+//! workspace builds with no external dependencies. Streams are stable
+//! for a given seed on every platform, which is all the workloads rely
+//! on — experiments are reproducible bit-for-bit.
 
 /// A seeded RNG used by workload generators (memslap keys, payload bytes)
 /// so that every experiment is reproducible bit-for-bit.
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    state: [u64; 4],
+}
+
+/// SplitMix64 step, used to expand the 64-bit seed into the 256-bit
+/// xoshiro state (the initialization recommended by the xoshiro authors).
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Creates an RNG from a 64-bit seed.
     pub fn seed(seed: u64) -> Self {
+        let mut s = seed;
         SimRng {
-            inner: StdRng::seed_from_u64(seed),
+            state: [
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+            ],
         }
+    }
+
+    /// Next raw 64-bit output (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Uniform integer in `[0, bound)`.
@@ -25,23 +57,45 @@ impl SimRng {
     /// Panics if `bound == 0`.
     pub fn below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "below(0)");
-        self.inner.gen_range(0..bound)
+        // Debiased multiply-shift (Lemire): rejection keeps the
+        // distribution exactly uniform while almost never looping.
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut lo = m as u64;
+        if lo < bound {
+            let t = bound.wrapping_neg() % bound;
+            while lo < t {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
     }
 
     /// Uniform integer in `[lo, hi)`.
     pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty range");
-        self.inner.gen_range(lo..hi)
+        lo + self.below(hi - lo)
     }
 
     /// Bernoulli trial with probability `p`.
     pub fn chance(&mut self, p: f64) -> bool {
-        self.inner.gen_bool(p.clamp(0.0, 1.0))
+        let p = p.clamp(0.0, 1.0);
+        if p >= 1.0 {
+            return true;
+        }
+        // Compare a uniform [0,1) double (53 random bits) against p.
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < p
     }
 
     /// Fills `buf` with pseudo-random bytes.
     pub fn fill(&mut self, buf: &mut [u8]) {
-        self.inner.fill(buf);
+        for chunk in buf.chunks_mut(8) {
+            let w = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&w[..chunk.len()]);
+        }
     }
 
     /// A pseudo-random byte vector of length `len`.
@@ -85,10 +139,30 @@ mod tests {
     }
 
     #[test]
+    fn below_is_roughly_uniform() {
+        let mut r = SimRng::seed(1234);
+        let mut buckets = [0u32; 8];
+        for _ in 0..8000 {
+            buckets[r.below(8) as usize] += 1;
+        }
+        for (i, &b) in buckets.iter().enumerate() {
+            assert!((700..1300).contains(&b), "bucket {i} count {b}");
+        }
+    }
+
+    #[test]
     fn chance_extremes() {
         let mut r = SimRng::seed(9);
         assert!(!r.chance(0.0));
         assert!(r.chance(1.0));
+    }
+
+    #[test]
+    fn fill_covers_partial_words() {
+        let mut r = SimRng::seed(3);
+        let v = r.bytes(13);
+        assert_eq!(v.len(), 13);
+        assert!(v.iter().any(|&b| b != 0));
     }
 
     #[test]

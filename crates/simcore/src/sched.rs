@@ -209,7 +209,11 @@ mod tests {
         // ~100 acquisitions fit in 10k cycles at 100 cycles each.
         assert!((95..=105).contains(&s.acquisitions), "{}", s.acquisitions);
         // Every acquisition after the first pair should have spun ~100 cyc.
-        assert!(s.total_spin >= Cycles(4000), "spin = {}", s.total_spin.get());
+        assert!(
+            s.total_spin >= Cycles(4000),
+            "spin = {}",
+            s.total_spin.get()
+        );
     }
 
     #[test]

@@ -48,7 +48,10 @@ fn main() {
         ..ExpConfig::default()
     };
 
-    println!("engine={} cores={cores} msg_size={msg_size}B\n", engine.name());
+    println!(
+        "engine={} cores={cores} msg_size={msg_size}B\n",
+        engine.name()
+    );
 
     let rx = tcp_stream_rx(engine, &cfg);
     println!(
@@ -57,7 +60,10 @@ fn main() {
         rx.cpu * 100.0,
         rx.items
     );
-    println!("                {}", format_breakdown_us(&rx.per_item, rx.clock_ghz));
+    println!(
+        "                {}",
+        format_breakdown_us(&rx.per_item, rx.clock_ghz)
+    );
 
     let tx = tcp_stream_tx(engine, &cfg);
     println!(
@@ -66,7 +72,10 @@ fn main() {
         tx.cpu * 100.0,
         tx.items
     );
-    println!("                {}", format_breakdown_us(&tx.per_item, tx.clock_ghz));
+    println!(
+        "                {}",
+        format_breakdown_us(&tx.per_item, tx.clock_ghz)
+    );
 
     let rr_cfg = ExpConfig {
         cores: 1,

@@ -38,9 +38,13 @@ fn main() {
 
     // Device side: the NIC DMA-writes a packet — it lands in the shadow
     // buffer, never in OS memory.
-    let bus = Bus::Iommu { mmu: mmu.clone(), mem: mem.clone() };
+    let bus = Bus::Iommu {
+        mmu: mmu.clone(),
+        mem: mem.clone(),
+    };
     let packet: Vec<u8> = (0..1500u32).map(|i| (i % 251) as u8).collect();
-    bus.write(nic, mapping.iova.get(), &packet).expect("device DMA");
+    bus.write(nic, mapping.iova.get(), &packet)
+        .expect("device DMA");
 
     // Driver side: dma_unmap copies the packet into the OS buffer.
     engine.unmap(&mut ctx, mapping).expect("dma_unmap");

@@ -40,18 +40,31 @@ fn main() {
         .base();
     mem.write(buf_pa, &file).expect("fill page cache");
     let m = engine
-        .map(&mut ctx, DmaBuf::new(buf_pa, file.len()), DmaDirection::ToDevice)
+        .map(
+            &mut ctx,
+            DmaBuf::new(buf_pa, file.len()),
+            DmaDirection::ToDevice,
+        )
         .expect("dma_map");
-    ssd.write_blocks(100, m.iova.get(), file.len()).expect("SSD write");
+    ssd.write_blocks(100, m.iova.get(), file.len())
+        .expect("SSD write");
     engine.unmap(&mut ctx, m).expect("dma_unmap");
-    println!("wrote {} blocks through shadowed DMA", file.len() / SSD_BLOCK);
+    println!(
+        "wrote {} blocks through shadowed DMA",
+        file.len() / SSD_BLOCK
+    );
 
     // --- read them back into fresh page-cache pages ---
     let read_pa = mem.alloc_frames(domain, 8).expect("pages").base();
     let m = engine
-        .map(&mut ctx, DmaBuf::new(read_pa, file.len()), DmaDirection::FromDevice)
+        .map(
+            &mut ctx,
+            DmaBuf::new(read_pa, file.len()),
+            DmaDirection::FromDevice,
+        )
         .expect("dma_map");
-    ssd.read_blocks(100, m.iova.get(), file.len()).expect("SSD read");
+    ssd.read_blocks(100, m.iova.get(), file.len())
+        .expect("SSD read");
     engine.unmap(&mut ctx, m).expect("dma_unmap");
     assert_eq!(mem.read_vec(read_pa, file.len()).expect("read"), file);
     println!("read-back verified ({} bytes)", file.len());

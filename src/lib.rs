@@ -15,6 +15,7 @@
 //! - [`devices`] — simulated NIC / SSD / malicious device.
 //! - [`netsim`] — netperf-like and memcached-like workloads.
 //! - [`attacks`] — DMA-attack scenarios used to validate Table 1.
+//! - [`obs`] — telemetry: metrics registry, event tracer, report sinks.
 #![forbid(unsafe_code)]
 
 pub use attacks;
@@ -23,5 +24,6 @@ pub use dma_api;
 pub use iommu;
 pub use memsim;
 pub use netsim;
+pub use obs;
 pub use shadow_core;
 pub use simcore;

@@ -49,7 +49,11 @@ fn many_packets_with_buffer_churn() {
     // Interleave RX and TX with slab reuse for thousands of iterations; any
     // mapping-accounting bug (double release, stale association, IOVA
     // collision) surfaces as corruption or a panic.
-    for kind in [EngineKind::Copy, EngineKind::IdentityMinus, EngineKind::LinuxDefer] {
+    for kind in [
+        EngineKind::Copy,
+        EngineKind::IdentityMinus,
+        EngineKind::LinuxDefer,
+    ] {
         let stack = SimStack::new(kind, &ExpConfig::quick());
         let drv = CoreDriver::new(CoreId(0));
         let mut c = ctx();
@@ -113,7 +117,10 @@ fn copy_engine_issues_no_datapath_invalidations() {
         drv.tx_one(&stack, &mut c, &p, true);
     }
     let stats = stack.mmu.invalq().stats();
-    assert_eq!(stats.page_commands, 0, "no page invalidations on the data path");
+    assert_eq!(
+        stats.page_commands, 0,
+        "no page invalidations on the data path"
+    );
     assert_eq!(stats.flush_commands, 0, "no flushes either");
 }
 

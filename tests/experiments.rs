@@ -31,7 +31,10 @@ fn figure3_shape_single_core_rx() {
     let rel = copy.gbps / no.gbps;
     assert!((0.70..1.0).contains(&rel), "copy/no-iommu = {rel}");
     let vs_idm = copy.gbps / idm.gbps;
-    assert!((1.02..1.35).contains(&vs_idm), "copy vs identity- = {vs_idm}");
+    assert!(
+        (1.02..1.35).contains(&vs_idm),
+        "copy vs identity- = {vs_idm}"
+    );
     let vs_idp = copy.gbps / idp.gbps;
     assert!(vs_idp > 1.6, "copy vs identity+ = {vs_idp}");
 }
@@ -56,7 +59,12 @@ fn figure4_shape_single_core_tx() {
     let copy = tcp_stream_tx(EngineKind::Copy, &c);
     let idp = tcp_stream_tx(EngineKind::IdentityPlus, &c);
     let idm = tcp_stream_tx(EngineKind::IdentityMinus, &c);
-    assert!(copy.gbps <= idp.gbps * 1.02, "copy {} vs identity+ {}", copy.gbps, idp.gbps);
+    assert!(
+        copy.gbps <= idp.gbps * 1.02,
+        "copy {} vs identity+ {}",
+        copy.gbps,
+        idp.gbps
+    );
     assert!(copy.gbps <= idm.gbps * 1.02);
     let rel = copy.gbps / no.gbps;
     assert!((0.6..=1.0).contains(&rel), "copy 10-20% down: {rel}");
@@ -76,11 +84,14 @@ fn figure6_shape_16core_rx() {
         assert!(r.gbps > 30.0, "{} only {}", r.engine, r.gbps);
     }
     let collapse = no.gbps / idp.gbps;
-    assert!((3.0..12.0).contains(&collapse), "identity+ collapse {collapse}");
+    assert!(
+        (3.0..12.0).contains(&collapse),
+        "identity+ collapse {collapse}"
+    );
     // identity+ burns all its CPU, mostly on the invalidation path.
     assert!(idp.cpu > 0.9);
-    let iommu_share = idp.per_item.fraction(Phase::InvalidateIotlb)
-        + idp.per_item.fraction(Phase::Spinlock);
+    let iommu_share =
+        idp.per_item.fraction(Phase::InvalidateIotlb) + idp.per_item.fraction(Phase::Spinlock);
     assert!(iommu_share > 0.5, "share {iommu_share}");
 }
 
@@ -116,7 +127,9 @@ fn figure9_latency_shape() {
     // All designs comparable at each size.
     for kind in EngineKind::FIGURE_SET {
         let l = tcp_rr(kind, &cfg(1, 1024)).latency_us.unwrap();
-        let base = tcp_rr(EngineKind::NoIommu, &cfg(1, 1024)).latency_us.unwrap();
+        let base = tcp_rr(EngineKind::NoIommu, &cfg(1, 1024))
+            .latency_us
+            .unwrap();
         assert!(l / base < 1.3, "{kind}: {l} vs {base}");
     }
 }
@@ -138,7 +151,10 @@ fn figure11_memcached_shape() {
     assert!(t(&copy) / t(&no) > 0.92);
     // identity+ is several-fold worse (paper: 6.6x).
     let collapse = t(&no) / t(&idp);
-    assert!((3.0..12.0).contains(&collapse), "memcached collapse {collapse}");
+    assert!(
+        (3.0..12.0).contains(&collapse),
+        "memcached collapse {collapse}"
+    );
 }
 
 #[test]
@@ -149,9 +165,8 @@ fn figure5_breakdown_calibration() {
     let c = cfg(1, 64 * 1024);
     let copy = tcp_stream_rx(EngineKind::Copy, &c);
     let idp = tcp_stream_rx(EngineKind::IdentityPlus, &c);
-    let us = |r: &dma_shadowing::netsim::ExpResult, p: Phase| {
-        r.per_item.get(p).to_micros(r.clock_ghz)
-    };
+    let us =
+        |r: &dma_shadowing::netsim::ExpResult, p: Phase| r.per_item.get(p).to_micros(r.clock_ghz);
     assert!((us(&copy, Phase::Memcpy) - 0.11).abs() < 0.03);
     assert!((us(&copy, Phase::CopyMgmt) - 0.02).abs() < 0.015);
     assert!((us(&idp, Phase::InvalidateIotlb) - 0.61).abs() < 0.15);
@@ -167,7 +182,11 @@ fn strict_baselines_are_worst() {
     for cores in [1usize, 16] {
         let c = cfg(cores, 1500);
         let strict = tcp_stream_rx(EngineKind::LinuxStrict, &c);
-        for other in [EngineKind::NoIommu, EngineKind::Copy, EngineKind::IdentityMinus] {
+        for other in [
+            EngineKind::NoIommu,
+            EngineKind::Copy,
+            EngineKind::IdentityMinus,
+        ] {
             let r = tcp_stream_rx(other, &c);
             assert!(
                 strict.gbps <= r.gbps,

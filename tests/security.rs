@@ -14,7 +14,11 @@ fn observed_security_matches_table1() {
     for (engine, iommu, subpage, window) in attacks::expected_table1() {
         let row = rows.iter().find(|r| r.engine == engine).unwrap();
         assert_eq!(
-            (row.iommu_protection, row.sub_page_protect, row.no_vulnerability_window),
+            (
+                row.iommu_protection,
+                row.sub_page_protect,
+                row.no_vulnerability_window
+            ),
             (iommu, subpage, window),
             "Table 1 row for {engine}"
         );
@@ -59,7 +63,11 @@ fn shadowing_is_secure_even_though_shadows_stay_mapped() {
         .engine
         .map(&mut ctx, DmaBuf::new(b, 1000), DmaDirection::FromDevice)
         .unwrap();
-    assert_ne!(mb.iova.page(), ma.iova.page(), "write shadow != read shadow page");
+    assert_ne!(
+        mb.iova.page(),
+        ma.iova.page(),
+        "write shadow != read shadow page"
+    );
 
     // A malicious late read of the OLD read-mapping's IOVA sees stale
     // shadow data (0xaa) — data the device was already given. Never fresh
@@ -69,7 +77,8 @@ fn shadowing_is_secure_even_though_shadows_stay_mapped() {
     assert_eq!(stale, vec![0xaa; 1000], "only previously-authorized bytes");
 
     // The device writes the live write-shadow; after unmap the OS gets it.
-    bus.write(NIC_DEV, mb.iova.get(), &vec![0xbb; 1000]).unwrap();
+    bus.write(NIC_DEV, mb.iova.get(), &vec![0xbb; 1000])
+        .unwrap();
     stack.engine.unmap(&mut ctx, mb).unwrap();
     assert_eq!(stack.mem.read_vec(b, 1000).unwrap(), vec![0xbb; 1000]);
 
@@ -133,7 +142,11 @@ fn vulnerability_window_bounded_by_batch() {
     let victim = stack.kmalloc.alloc(4096, domain).unwrap();
     let m = stack
         .engine
-        .map(&mut ctx, DmaBuf::new(victim, 4096), DmaDirection::FromDevice)
+        .map(
+            &mut ctx,
+            DmaBuf::new(victim, 4096),
+            DmaDirection::FromDevice,
+        )
         .unwrap();
     let bus = Bus::Iommu {
         mmu: stack.mmu.clone(),

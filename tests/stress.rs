@@ -36,15 +36,14 @@ fn pool_owner_acquire_remote_release_storm() {
     ));
     let total_released = Arc::new(AtomicU64::new(0));
 
-    crossbeam::scope(|s| {
-        let (txs, rxs): (Vec<_>, Vec<_>) =
-            (0..8).map(|_| crossbeam::channel::unbounded()).unzip();
+    std::thread::scope(|s| {
+        let (txs, rxs): (Vec<_>, Vec<_>) = (0..8).map(|_| std::sync::mpsc::channel()).unzip();
         for (core, rx) in (0..8u16).zip(rxs) {
             let pool = pool.clone();
             let mem = mem.clone();
             let next = txs[((core as usize) + 3) % 8].clone();
             let total_released = total_released.clone();
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let mut ctx = zero_ctx(core);
                 let os = mem
                     .alloc_frames(NumaDomain(core % 2), 1)
@@ -62,7 +61,8 @@ fn pool_owner_acquire_remote_release_storm() {
                         total_released.fetch_add(1, Ordering::Relaxed);
                     }
                     while let Ok(other) = rx.try_recv() {
-                        pool.release_shadow(&mut ctx, other).expect("remote release");
+                        pool.release_shadow(&mut ctx, other)
+                            .expect("remote release");
                         total_released.fetch_add(1, Ordering::Relaxed);
                     }
                 }
@@ -74,8 +74,7 @@ fn pool_owner_acquire_remote_release_storm() {
             });
         }
         drop(txs);
-    })
-    .expect("threads join");
+    });
 
     let s = pool.stats();
     assert_eq!(s.acquires, 8 * 2_000);
