@@ -4,5 +4,7 @@ set -eux
 export CARGO_NET_OFFLINE=true
 cargo build --release --workspace --all-targets
 cargo test -q --workspace
+cargo test -q --workspace --features dmasan-strict
+cargo run -q --bin lint
 cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings

@@ -1,6 +1,8 @@
 //! `ShadowDma` — the *copy* engine: the DMA API implemented by DMA
 //! shadowing (§5.2).
 
+// lint: allow(panic) — pool-reclaim invariants are bugs if violated, not runtime errors
+
 use crate::{HugeMapper, PoolConfig, ShadowPool};
 use dma_api::{
     CoherentBuffer, CoherentHelper, DmaBuf, DmaDirection, DmaEngine, DmaError, DmaMapping,

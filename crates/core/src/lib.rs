@@ -42,5 +42,5 @@ pub use enc::{DecodedIova, IovaCodec};
 pub use engine::{CopyHint, ShadowDma};
 pub use freelist::FreeList;
 pub use huge::{HugeMapper, HugeStats};
-pub use pool::{PoolConfig, PoolStats, ShadowPool};
+pub use pool::{PoolConfig, PoolStats, ShadowPool, POOL_CACHE_LOCK, POOL_FALLBACK_LOCK};
 pub(crate) use slot::MetadataArray;

@@ -1,5 +1,7 @@
 //! The shadow DMA buffer pool (§5.3, Table 2).
 
+// lint: allow(panic) — slot bookkeeping invariants are bugs if violated, not runtime errors
+
 use crate::{FreeList, IovaCodec, MetadataArray};
 use dma_api::{DmaBuf, DmaError};
 use iommu::{DeviceId, Iommu, Iova, IovaPage, Perms};
@@ -87,6 +89,11 @@ struct FallbackEntry {
 /// First IOVA page of the fallback region: the upper quarter of the
 /// MSB-clear half, disjoint from the `dma-api` allocators' range.
 const FALLBACK_PAGE_BASE: u64 = 1 << 34;
+
+/// Lock name reported in lockset events for the sub-page fragment caches.
+pub const POOL_CACHE_LOCK: &str = "pool-cache";
+/// Lock name reported in lockset events for the fallback table.
+pub const POOL_FALLBACK_LOCK: &str = "pool-fallback";
 
 fn rights_idx(p: Perms) -> usize {
     match p {
@@ -249,6 +256,31 @@ impl ShadowPool {
         &self.obs
     }
 
+    /// Emits a detail-gated lockset triple — acquire, shared access,
+    /// release — around a mutex-guarded pool access. The host mutexes are
+    /// instantaneous in virtual time, so the triple brackets the access
+    /// exactly; `find_shadow` (which has no `CoreCtx`) is deliberately
+    /// uninstrumented.
+    fn lockset_guarded(&self, ctx: &CoreCtx, lock: &'static str, var: String) {
+        if !self.obs.detail_enabled() {
+            return;
+        }
+        let (at, core) = (ctx.now(), ctx.core.0);
+        self.obs
+            .trace(at, core, None, EventKind::LockAcquire { lock: lock.into() });
+        self.obs.trace(
+            at,
+            core,
+            None,
+            EventKind::SharedAccess {
+                var: var.into(),
+                write: true,
+            },
+        );
+        self.obs
+            .trace(at, core, None, EventKind::LockRelease { lock: lock.into() });
+    }
+
     /// The IOVA codec in use.
     pub fn codec(&self) -> &IovaCodec {
         &self.codec
@@ -307,6 +339,7 @@ impl ShadowPool {
         let array = &self.arrays[ai];
         // NOTE: bind the cache pop to a statement so its lock guard drops
         // here — `grow` re-locks the same cache when splitting a page.
+        self.lockset_guarded(ctx, POOL_CACHE_LOCK, format!("pool.cache[{li}]"));
         let cached = self.caches[li].lock().pop();
         let index = if let Some(i) = cached {
             i
@@ -378,6 +411,7 @@ impl ShadowPool {
                 "aligned run must start an IOVA page"
             );
             self.mmu.map_page(ctx, self.dev, iova_page, pfn, rights)?;
+            self.lockset_guarded(ctx, POOL_CACHE_LOCK, format!("pool.cache[{li}]"));
             self.caches[li].lock().extend((start + 1..start + k).rev());
             self.add_shadow_bytes(PAGE_SIZE as u64);
             self.trace_grow(ctx, class, PAGE_SIZE as u64);
@@ -401,6 +435,7 @@ impl ShadowPool {
         self.mmu
             .map_range(ctx, self.dev, iova_page, pfn, pages, rights)?;
         let iova = iova_page.base();
+        self.lockset_guarded(ctx, POOL_FALLBACK_LOCK, "pool.fallback_table".into());
         self.fallback.lock().insert(
             iova.get(),
             FallbackEntry {
@@ -503,6 +538,7 @@ impl ShadowPool {
                 self.lists[li].push(array, d.index);
             }
             None => {
+                self.lockset_guarded(ctx, POOL_FALLBACK_LOCK, "pool.fallback_table".into());
                 let entry = self
                     .fallback
                     .lock()

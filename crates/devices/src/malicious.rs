@@ -6,8 +6,10 @@
 //! protection scheme permits.
 
 use dma_api::{Bus, BusError};
+use dmasan::{AccessVerdict, DmaSan};
 use iommu::DeviceId;
 use obs::{Counter, EventKind, Obs};
+use std::sync::Arc;
 
 /// Result of scanning an address range with probe DMAs.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -56,6 +58,7 @@ pub struct MaliciousDevice {
     dev: DeviceId,
     bus: Bus,
     obs: Obs,
+    san: Option<Arc<DmaSan>>,
     reads: Counter,
     writes: Counter,
     faults: Counter,
@@ -71,10 +74,14 @@ impl MaliciousDevice {
     /// If the bus is protected, the attacker shares the IOMMU's telemetry
     /// handle so its blocked probes land in the stack's trace.
     pub fn new(dev: DeviceId, bus: Bus) -> Self {
-        let obs = match &bus {
-            Bus::Iommu { mmu, .. } => mmu.obs().clone(),
-            Bus::Direct(_) => Obs::isolated(),
-        };
+        fn bus_obs(bus: &Bus) -> Obs {
+            match bus {
+                Bus::Iommu { mmu, .. } => mmu.obs().clone(),
+                Bus::Direct(_) => Obs::isolated(),
+                Bus::Observed { inner, .. } => bus_obs(inner),
+            }
+        }
+        let obs = bus_obs(&bus);
         Self::with_obs(dev, bus, obs)
     }
 
@@ -84,10 +91,31 @@ impl MaliciousDevice {
         MaliciousDevice {
             dev,
             bus,
+            san: None,
             reads: obs.counter("malicious", "reads", d),
             writes: obs.counter("malicious", "writes", d),
             faults: obs.counter("malicious", "faults", d),
             obs,
+        }
+    }
+
+    /// Attaches a sanitizer so [`MaliciousDevice::attempt_read`] /
+    /// [`MaliciousDevice::attempt_write`] classify each probe against the
+    /// stack's live-mapping registry (share the victim stack's checker).
+    pub fn with_sanitizer(mut self, san: Arc<DmaSan>) -> Self {
+        self.san = Some(san);
+        self
+    }
+
+    /// The sanitizer's verdict on an access the hardware resolved as
+    /// `granted` / `err`. Without a sanitizer attached, only the hardware
+    /// outcome is reported.
+    fn classify(&self, addr: u64, len: usize, err: Option<&BusError>) -> AccessVerdict {
+        match (err, &self.san) {
+            (Some(BusError::Mem(_)), _) => AccessVerdict::BlockedUnbacked,
+            (Some(BusError::Fault(_)), _) => AccessVerdict::BlockedByIommu,
+            (None, Some(san)) => san.verdict(self.dev, addr, len, true),
+            (None, None) => AccessVerdict::Permitted,
         }
     }
 
@@ -140,6 +168,29 @@ impl MaliciousDevice {
         self.bus.write(self.dev, addr, data).inspect_err(|e| {
             self.blocked(addr, "write", e);
         })
+    }
+
+    /// Like [`MaliciousDevice::try_read`], but also returns the
+    /// sanitizer's verdict: did the hardware block the probe
+    /// ([`AccessVerdict::BlockedByIommu`] / [`AccessVerdict::BlockedUnbacked`]),
+    /// or did it permit an access the DMA-API contract forbids
+    /// ([`AccessVerdict::SanitizerViolation`])?
+    pub fn attempt_read(
+        &self,
+        addr: u64,
+        len: usize,
+    ) -> (Result<Vec<u8>, BusError>, AccessVerdict) {
+        let r = self.try_read(addr, len);
+        let verdict = self.classify(addr, len, r.as_ref().err());
+        (r, verdict)
+    }
+
+    /// Like [`MaliciousDevice::try_write`], but also returns the
+    /// sanitizer's verdict on the probe.
+    pub fn attempt_write(&self, addr: u64, data: &[u8]) -> (Result<(), BusError>, AccessVerdict) {
+        let r = self.try_write(addr, data);
+        let verdict = self.classify(addr, data.len(), r.as_ref().err());
+        (r, verdict)
     }
 
     /// Probes every `step` bytes in `[start, end)` with small reads,
@@ -251,6 +302,66 @@ mod tests {
             EventKind::AttackBlocked { access, reason, .. }
                 if access == "read" && reason == "unbacked"
         )));
+    }
+
+    #[test]
+    fn verdicts_classify_hardware_and_contract_outcomes() {
+        use dma_api::{DmaDirection, DmaMapping, DmaObserver};
+        use dmasan::ViolationKind;
+        use iommu::Iova;
+
+        let mem = Arc::new(PhysMemory::new(NumaTopology::tiny(16)));
+        let mmu = Arc::new(Iommu::new());
+        let mut ctx = CoreCtx::new(CoreId(0), Arc::new(CostModel::zero()));
+        let pfn = mem.alloc_frame(NumaDomain(0)).unwrap();
+        mmu.map_page(&mut ctx, DEV, IovaPage(0x40), pfn, Perms::ReadWrite)
+            .unwrap();
+        // The DMA API only vouches for 100 bytes of that page.
+        let san = Arc::new(DmaSan::lenient(mmu.obs().clone()));
+        let iova = 0x40 * 4096u64;
+        san.on_map(
+            &ctx,
+            DEV,
+            &DmaMapping {
+                iova: Iova::new(iova),
+                len: 100,
+                dir: DmaDirection::FromDevice,
+                os_pa: pfn.base(),
+            },
+            1,
+        );
+        let evil = MaliciousDevice::new(
+            DEV,
+            Bus::Iommu {
+                mmu: mmu.clone(),
+                mem: mem.clone(),
+            },
+        )
+        .with_sanitizer(san);
+
+        let (r, v) = evil.attempt_read(iova, 100);
+        assert!(r.is_ok());
+        assert_eq!(v, AccessVerdict::Permitted);
+        // The IOMMU's page granularity permits the overrun; the
+        // byte-granular sanitizer calls it out.
+        let (r, v) = evil.attempt_read(iova + 96, 16);
+        assert!(r.is_ok());
+        assert_eq!(
+            v,
+            AccessVerdict::SanitizerViolation(ViolationKind::OobAccess)
+        );
+        let (r, v) = evil.attempt_read(0, 8);
+        assert!(r.is_err());
+        assert_eq!(v, AccessVerdict::BlockedByIommu);
+
+        // On an unprotected bus, unbacked memory is the only defense.
+        let bare = MaliciousDevice::new(
+            DEV,
+            Bus::Direct(Arc::new(PhysMemory::new(NumaTopology::tiny(4)))),
+        );
+        let (r, v) = bare.attempt_write(2 * 4096, b"x");
+        assert!(r.is_err());
+        assert_eq!(v, AccessVerdict::BlockedUnbacked);
     }
 
     #[test]

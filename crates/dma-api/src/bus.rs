@@ -1,5 +1,6 @@
 //! The device-side view of memory: how device models issue DMAs.
 
+use crate::observe::BusObserver;
 use iommu::{DeviceId, DmaFault, Iommu, Iova};
 use memsim::{MemError, PhysAddr, PhysMemory};
 use std::fmt;
@@ -43,20 +44,43 @@ pub enum Bus {
         /// The memory behind it.
         mem: Arc<PhysMemory>,
     },
+    /// A bus whose traffic is reported to a [`BusObserver`] (the DMA
+    /// sanitizer). The observer sees every access *after* the inner bus
+    /// decided it, so it can layer the DMA-API-contract check on top of
+    /// the hardware verdict.
+    Observed {
+        /// The bus actually performing the access.
+        inner: Box<Bus>,
+        /// Receives every access with the inner bus's verdict.
+        observer: Arc<dyn BusObserver>,
+    },
 }
 
 impl Bus {
+    /// Wraps this bus so every device access is reported to `observer`.
+    pub fn observed(self, observer: Arc<dyn BusObserver>) -> Bus {
+        Bus::Observed {
+            inner: Box::new(self),
+            observer,
+        }
+    }
+
     /// The underlying physical memory.
     pub fn mem(&self) -> &Arc<PhysMemory> {
         match self {
             Bus::Direct(mem) => mem,
             Bus::Iommu { mem, .. } => mem,
+            Bus::Observed { inner, .. } => inner.mem(),
         }
     }
 
     /// Whether an IOMMU sits between devices and memory.
     pub fn protected(&self) -> bool {
-        matches!(self, Bus::Iommu { .. })
+        match self {
+            Bus::Direct(_) => false,
+            Bus::Iommu { .. } => true,
+            Bus::Observed { inner, .. } => inner.protected(),
+        }
     }
 
     /// Device read (`addr` is an IOVA when protected, else physical).
@@ -66,6 +90,11 @@ impl Bus {
             Bus::Iommu { mmu, mem } => mmu
                 .dma_read(mem, dev, Iova::new(addr), buf)
                 .map_err(BusError::Fault),
+            Bus::Observed { inner, observer } => {
+                let r = inner.read(dev, addr, buf);
+                observer.on_device_access(dev, addr, buf.len(), false, r.is_ok());
+                r
+            }
         }
     }
 
@@ -76,6 +105,11 @@ impl Bus {
             Bus::Iommu { mmu, mem } => mmu
                 .dma_write(mem, dev, Iova::new(addr), data)
                 .map_err(BusError::Fault),
+            Bus::Observed { inner, observer } => {
+                let r = inner.write(dev, addr, data);
+                observer.on_device_access(dev, addr, data.len(), true, r.is_ok());
+                r
+            }
         }
     }
 }

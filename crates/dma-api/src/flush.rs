@@ -9,8 +9,9 @@
 //! scalability. Both variants are modeled ([`FlushScope`]).
 
 use iommu::IovaPage;
-use obs::{Counter, Gauge, Obs};
+use obs::{Counter, EventKind, Gauge, Obs};
 use simcore::{CoreCtx, Cycles, Phase, SimLock};
+use std::borrow::Cow;
 use std::cell::RefCell;
 
 /// One deferred unmap: an IOVA range whose IOTLB entries are still live.
@@ -67,12 +68,16 @@ pub struct DeferredFlusher {
     scope: FlushScope,
     global_lock: SimLock,
     lists: Vec<RefCell<PendingList>>,
+    obs: Obs,
     drains: Counter,
     deferred_total: Counter,
     /// Live vulnerability-window size, mirrored to the registry.
     pending_gauge: Gauge,
     peak_pending: Gauge,
 }
+
+/// Lock name reported in lockset events for the global pending list.
+pub const FLUSH_LOCK: &str = "deferred-flush-list";
 
 impl DeferredFlusher {
     /// Creates a flusher; `cores` sizes the per-core lists (ignored for
@@ -90,7 +95,7 @@ impl DeferredFlusher {
         DeferredFlusher {
             policy,
             scope,
-            global_lock: SimLock::new("deferred-flush-list"),
+            global_lock: SimLock::new(FLUSH_LOCK),
             lists: (0..n)
                 .map(|_| RefCell::new(PendingList::default()))
                 .collect(),
@@ -98,7 +103,28 @@ impl DeferredFlusher {
             deferred_total: obs.counter("flush", "deferred_total", None),
             pending_gauge: obs.gauge("flush", "pending", None),
             peak_pending: obs.gauge("flush", "peak_pending", None),
+            obs,
         }
+    }
+
+    /// Emits a detail-gated lockset event (no-op unless
+    /// [`Obs::set_detail_enabled`] is on).
+    fn lockset(&self, ctx: &CoreCtx, kind: EventKind) {
+        if self.obs.detail_enabled() {
+            self.obs.trace(ctx.now(), ctx.core.0, None, kind);
+        }
+    }
+
+    /// Records that this core touched pending list `idx` (a shared-state
+    /// access the Eraser-style detector checks against the held lockset).
+    fn lockset_access(&self, ctx: &CoreCtx, idx: usize) {
+        self.lockset(
+            ctx,
+            EventKind::SharedAccess {
+                var: Cow::Owned(format!("flush.pending_list[{idx}]")),
+                write: true,
+            },
+        );
     }
 
     /// The global list's lock (contended only in [`FlushScope::Global`]).
@@ -164,10 +190,31 @@ impl DeferredFlusher {
                 }
             };
         let batch = match self.scope {
-            FlushScope::Global => self
-                .global_lock
-                .with(ctx, |ctx| append(ctx, &self.lists[0])),
-            FlushScope::PerCore => append(ctx, &self.lists[idx]),
+            FlushScope::Global => {
+                self.lockset(
+                    ctx,
+                    EventKind::LockAcquire {
+                        lock: Cow::Borrowed(FLUSH_LOCK),
+                    },
+                );
+                let b = self.global_lock.with(ctx, |ctx| {
+                    self.lockset_access(ctx, 0);
+                    append(ctx, &self.lists[0])
+                });
+                self.lockset(
+                    ctx,
+                    EventKind::LockRelease {
+                        lock: Cow::Borrowed(FLUSH_LOCK),
+                    },
+                );
+                b
+            }
+            FlushScope::PerCore => {
+                // Deliberately lock-free: each core owns its own list, so
+                // the lockset detector must see per-index variable names.
+                self.lockset_access(ctx, idx);
+                append(ctx, &self.lists[idx])
+            }
         };
         if let Some(batch) = batch {
             self.drains.inc();
@@ -183,14 +230,31 @@ impl DeferredFlusher {
         ctx: &mut CoreCtx,
         mut drain: impl FnMut(&mut CoreCtx, &[PendingUnmap]),
     ) {
-        for list in &self.lists {
+        for (idx, list) in self.lists.iter().enumerate() {
             let batch = match self.scope {
-                FlushScope::Global => self.global_lock.with(ctx, |_| {
-                    let mut l = list.borrow_mut();
-                    l.oldest = None;
-                    std::mem::take(&mut l.entries)
-                }),
+                FlushScope::Global => {
+                    self.lockset(
+                        ctx,
+                        EventKind::LockAcquire {
+                            lock: Cow::Borrowed(FLUSH_LOCK),
+                        },
+                    );
+                    let b = self.global_lock.with(ctx, |ctx| {
+                        self.lockset_access(ctx, 0);
+                        let mut l = list.borrow_mut();
+                        l.oldest = None;
+                        std::mem::take(&mut l.entries)
+                    });
+                    self.lockset(
+                        ctx,
+                        EventKind::LockRelease {
+                            lock: Cow::Borrowed(FLUSH_LOCK),
+                        },
+                    );
+                    b
+                }
                 FlushScope::PerCore => {
+                    self.lockset_access(ctx, idx);
                     let mut l = list.borrow_mut();
                     l.oldest = None;
                     std::mem::take(&mut l.entries)

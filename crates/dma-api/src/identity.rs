@@ -14,6 +14,8 @@
 //! granular at best — the paper's Table 1 denies it the "sub-page protect"
 //! mark.
 
+// lint: allow(panic) — refcount invariants are engine bugs, not runtime errors
+
 use crate::flush::PendingUnmap;
 use crate::{
     CoherentBuffer, CoherentHelper, DeferPolicy, DeferredFlusher, DmaBuf, DmaDirection, DmaEngine,

@@ -30,6 +30,7 @@ mod identity;
 mod iova_alloc;
 mod linux;
 mod noiommu;
+mod observe;
 mod selfinval;
 mod traced;
 mod types;
@@ -37,7 +38,7 @@ mod types;
 pub use bus::{Bus, BusError};
 pub use coherent::CoherentHelper;
 pub use engine::DmaEngine;
-pub use flush::{DeferPolicy, DeferredFlusher, FlushScope};
+pub use flush::{DeferPolicy, DeferredFlusher, FlushScope, PendingUnmap, FLUSH_LOCK};
 pub use identity::IdentityDma;
 pub use iova_alloc::{
     BumpIova, GlobalCachedIovaAllocator, GlobalTreeIovaAllocator, IovaAllocator,
@@ -45,6 +46,7 @@ pub use iova_alloc::{
 };
 pub use linux::LinuxDma;
 pub use noiommu::NoIommu;
+pub use observe::{BusObserver, DmaObserver};
 pub use selfinval::SelfInvalidatingDma;
 pub use traced::TracedDma;
 pub use types::{

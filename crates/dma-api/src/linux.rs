@@ -2,6 +2,8 @@
 //! allocation plus per-unmap (strict) or globally batched (deferred)
 //! IOTLB invalidation — the baselines of the paper's Figure 1.
 
+// lint: allow(panic) — IOVA-tree invariants are engine bugs, not runtime errors
+
 use crate::flush::PendingUnmap;
 use crate::{
     CoherentBuffer, CoherentHelper, DeferPolicy, DeferredFlusher, DmaBuf, DmaDirection, DmaEngine,

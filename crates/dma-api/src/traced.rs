@@ -8,12 +8,14 @@
 //! can be broken into its invalidation wait.
 
 use crate::{
-    CoherentBuffer, DmaBuf, DmaDirection, DmaEngine, DmaError, DmaMapping, ProtectionProfile,
+    CoherentBuffer, DmaBuf, DmaDirection, DmaEngine, DmaError, DmaMapping, DmaObserver,
+    ProtectionProfile,
 };
 use iommu::DeviceId;
 use obs::{Counter, EventKind, Histogram, Obs};
 use simcore::CoreCtx;
 use std::borrow::Cow;
+use std::sync::Arc;
 
 fn dir_str(dir: DmaDirection) -> Cow<'static, str> {
     Cow::Borrowed(match dir {
@@ -50,6 +52,7 @@ fn dir_str(dir: DmaDirection) -> Cow<'static, str> {
 pub struct TracedDma<E> {
     inner: E,
     obs: Obs,
+    observer: Option<Arc<dyn DmaObserver>>,
     maps: Counter,
     unmaps: Counter,
     map_bytes: Histogram,
@@ -65,7 +68,16 @@ impl<E: DmaEngine> TracedDma<E> {
             map_bytes: obs.histogram("dma", "map_bytes", d),
             inner,
             obs,
+            observer: None,
         }
+    }
+
+    /// Wraps `inner`, reporting into `obs` and notifying `observer` (the
+    /// DMA sanitizer) of every lifecycle event.
+    pub fn with_observer(inner: E, obs: Obs, observer: Arc<dyn DmaObserver>) -> Self {
+        let mut t = TracedDma::new(inner, obs);
+        t.observer = Some(observer);
+        t
     }
 
     /// The wrapped engine.
@@ -102,7 +114,7 @@ impl<E: DmaEngine> DmaEngine for TracedDma<E> {
         self.maps.inc();
         self.map_bytes.record(m.len as u64);
         self.obs.set_now_hint(ctx.now());
-        self.obs.trace(
+        let seq = self.obs.trace(
             ctx.now(),
             ctx.core.0,
             Some(self.inner.device().0),
@@ -112,6 +124,9 @@ impl<E: DmaEngine> DmaEngine for TracedDma<E> {
                 dir: dir_str(dir),
             },
         );
+        if let Some(o) = &self.observer {
+            o.on_map(ctx, self.inner.device(), &m, seq);
+        }
         Ok(m)
     }
 
@@ -130,16 +145,29 @@ impl<E: DmaEngine> DmaEngine for TracedDma<E> {
             },
         );
         let _span = obs::span(seq);
+        // Notify the observer *before* the inner unmap so misuse (double
+        // unmap, size mismatch) is seen even if the inner engine rejects
+        // the call.
+        if let Some(o) = &self.observer {
+            o.on_unmap(ctx, self.inner.device(), &mapping, seq);
+        }
         self.inner.unmap(ctx, mapping)?;
         self.unmaps.inc();
         Ok(())
     }
 
     fn alloc_coherent(&self, ctx: &mut CoreCtx, len: usize) -> Result<CoherentBuffer, DmaError> {
-        self.inner.alloc_coherent(ctx, len)
+        let buf = self.inner.alloc_coherent(ctx, len)?;
+        if let Some(o) = &self.observer {
+            o.on_alloc_coherent(ctx, self.inner.device(), &buf);
+        }
+        Ok(buf)
     }
 
     fn free_coherent(&self, ctx: &mut CoreCtx, buf: CoherentBuffer) -> Result<(), DmaError> {
+        if let Some(o) = &self.observer {
+            o.on_free_coherent(ctx, self.inner.device(), &buf);
+        }
         self.inner.free_coherent(ctx, buf)
     }
 

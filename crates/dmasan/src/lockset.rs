@@ -1,0 +1,244 @@
+//! Eraser-style lockset race detection (Savage et al., SOSP'97).
+//!
+//! The instrumented lock sites (`iommu::invalq`, `shadow_core`'s pool,
+//! `dma_api`'s deferred flusher) emit detail-gated `LockAcquire` /
+//! `LockRelease` / `SharedAccess` events. This module replays an event
+//! trace, tracks the set of locks each core holds, and maintains per
+//! shared variable the *candidate lockset* — the intersection of locksets
+//! across all accesses. A write access from a second core with an empty
+//! candidate lockset means no single lock consistently protects the
+//! variable: a data race.
+//!
+//! The Virgin → Exclusive → Shared → Shared-Modified state machine
+//! suppresses the classic false positive of single-owner initialization
+//! (a per-core flush list legitimately touched lock-free by its one
+//! owner never leaves Exclusive).
+
+use obs::{Event, EventKind};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// One detected race: a shared variable written by several cores with no
+/// common lock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RaceReport {
+    /// The shared variable (e.g. `flush.pending_list[0]`).
+    pub var: String,
+    /// Cores that accessed it, in first-access order.
+    pub cores: Vec<u16>,
+    /// `seq` of the access event on which the candidate lockset emptied.
+    pub at_seq: u64,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum VarState {
+    /// Never accessed.
+    Virgin,
+    /// Accessed by exactly one core so far — no race possible yet.
+    Exclusive(u16),
+    /// Read-shared across cores — track the lockset, report nothing.
+    Shared,
+    /// Written by multiple cores — an empty candidate lockset is a race.
+    SharedModified,
+}
+
+#[derive(Debug)]
+struct VarInfo {
+    state: VarState,
+    /// Candidate lockset; `None` until first initialized on leaving
+    /// Exclusive (Eraser refines from "all locks" = unconstrained).
+    lockset: Option<BTreeSet<String>>,
+    cores: Vec<u16>,
+    reported: bool,
+}
+
+impl Default for VarInfo {
+    fn default() -> Self {
+        VarInfo {
+            state: VarState::Virgin,
+            lockset: None,
+            cores: Vec::new(),
+            reported: false,
+        }
+    }
+}
+
+/// Replays lockset events and reports variables whose candidate lockset
+/// goes empty under sharing.
+#[derive(Debug, Default)]
+pub struct LocksetDetector;
+
+impl LocksetDetector {
+    /// Analyzes a trace (typically `obs.tracer().events()` from a run
+    /// with [`obs::Obs::set_detail_enabled`] on) and returns one report
+    /// per racy variable.
+    pub fn analyze(events: &[Event]) -> Vec<RaceReport> {
+        let mut held: HashMap<u16, BTreeSet<String>> = HashMap::new();
+        let mut vars: BTreeMap<String, VarInfo> = BTreeMap::new();
+        let mut reports = Vec::new();
+
+        for e in events {
+            match &e.kind {
+                EventKind::LockAcquire { lock } => {
+                    held.entry(e.core).or_default().insert(lock.to_string());
+                }
+                EventKind::LockRelease { lock } => {
+                    if let Some(set) = held.get_mut(&e.core) {
+                        set.remove(lock.as_ref());
+                    }
+                }
+                EventKind::SharedAccess { var, write } => {
+                    let locks = held.get(&e.core).cloned().unwrap_or_default();
+                    let info = vars.entry(var.to_string()).or_default();
+                    if !info.cores.contains(&e.core) {
+                        info.cores.push(e.core);
+                    }
+                    // Eraser refines C(v) on *every* access: C(v) starts
+                    // as "all locks" (modeled by `None`) and becomes the
+                    // running intersection of held locksets. The state
+                    // machine only decides when an empty C(v) is
+                    // reportable.
+                    let set = info.lockset.get_or_insert_with(|| locks.clone());
+                    set.retain(|l| locks.contains(l));
+                    info.state = match info.state.clone() {
+                        VarState::Virgin => VarState::Exclusive(e.core),
+                        VarState::Exclusive(c) if c == e.core => VarState::Exclusive(c),
+                        VarState::Exclusive(_) | VarState::Shared if *write => {
+                            VarState::SharedModified
+                        }
+                        VarState::Exclusive(_) | VarState::Shared => VarState::Shared,
+                        VarState::SharedModified => VarState::SharedModified,
+                    };
+                    if info.state == VarState::SharedModified
+                        && info.lockset.as_ref().is_some_and(BTreeSet::is_empty)
+                        && !info.reported
+                    {
+                        info.reported = true;
+                        reports.push(RaceReport {
+                            var: var.to_string(),
+                            cores: info.cores.clone(),
+                            at_seq: e.seq,
+                            detail: format!(
+                                "shared variable '{var}' written by cores {:?} with no \
+                                 consistently-held lock (candidate lockset empty at event \
+                                 #{})",
+                                info.cores, e.seq
+                            ),
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+        reports
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obs::Obs;
+    use simcore::Cycles;
+    use std::borrow::Cow;
+
+    fn acquire(obs: &Obs, core: u16, lock: &'static str) {
+        obs.trace(
+            Cycles(0),
+            core,
+            None,
+            EventKind::LockAcquire {
+                lock: Cow::Borrowed(lock),
+            },
+        );
+    }
+
+    fn release(obs: &Obs, core: u16, lock: &'static str) {
+        obs.trace(
+            Cycles(0),
+            core,
+            None,
+            EventKind::LockRelease {
+                lock: Cow::Borrowed(lock),
+            },
+        );
+    }
+
+    fn access(obs: &Obs, core: u16, var: &'static str, write: bool) {
+        obs.trace(
+            Cycles(0),
+            core,
+            None,
+            EventKind::SharedAccess {
+                var: Cow::Borrowed(var),
+                write,
+            },
+        );
+    }
+
+    #[test]
+    fn consistently_locked_variable_is_clean() {
+        let obs = Obs::isolated();
+        for core in 0..4u16 {
+            acquire(&obs, core, "q");
+            access(&obs, core, "queue", true);
+            release(&obs, core, "q");
+        }
+        assert!(LocksetDetector::analyze(&obs.tracer().events()).is_empty());
+    }
+
+    #[test]
+    fn unlocked_cross_core_writes_are_a_race() {
+        let obs = Obs::isolated();
+        access(&obs, 0, "list", true);
+        access(&obs, 1, "list", true);
+        let reports = LocksetDetector::analyze(&obs.tracer().events());
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].var, "list");
+        assert_eq!(reports[0].cores, vec![0, 1]);
+    }
+
+    #[test]
+    fn single_owner_initialization_is_not_flagged() {
+        let obs = Obs::isolated();
+        // One core hammering its own per-core list lock-free is the
+        // intended design, not a race.
+        for _ in 0..100 {
+            access(&obs, 3, "percore[3]", true);
+        }
+        assert!(LocksetDetector::analyze(&obs.tracer().events()).is_empty());
+    }
+
+    #[test]
+    fn inconsistent_lock_pairs_race_when_intersection_empties() {
+        let obs = Obs::isolated();
+        acquire(&obs, 0, "a");
+        access(&obs, 0, "v", true);
+        release(&obs, 0, "a");
+        acquire(&obs, 1, "b");
+        access(&obs, 1, "v", true);
+        release(&obs, 1, "b");
+        let reports = LocksetDetector::analyze(&obs.tracer().events());
+        assert_eq!(reports.len(), 1, "locks {{a}} ∩ {{b}} = ∅");
+    }
+
+    #[test]
+    fn read_sharing_never_reports() {
+        let obs = Obs::isolated();
+        access(&obs, 0, "table", true); // exclusive init write
+        access(&obs, 1, "table", false);
+        access(&obs, 2, "table", false);
+        assert!(LocksetDetector::analyze(&obs.tracer().events()).is_empty());
+    }
+
+    #[test]
+    fn each_racy_variable_reported_once() {
+        let obs = Obs::isolated();
+        for i in 0..10u16 {
+            access(&obs, i % 2, "hot", true);
+        }
+        let reports = LocksetDetector::analyze(&obs.tracer().events());
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].at_seq, 1, "reported at the first racy access");
+    }
+}

@@ -1,0 +1,118 @@
+//! Lockset regression fixtures over the *real* instrumented lock sites.
+//!
+//! The racy fixture drives `dma_api::DeferredFlusher` in per-core scope
+//! with a single pending list shared by two cores — exactly the
+//! lock-free-by-design fast path misconfigured so two cores collide on
+//! one list. The detector must flag it; the properly-configured global
+//! and per-core variants must stay clean.
+
+use dma_api::{DeferPolicy, DeferredFlusher, FlushScope, PendingUnmap};
+use dmasan::LocksetDetector;
+use iommu::{DeviceId, InvalQueue, Iotlb, IovaPage};
+use obs::Obs;
+use simcore::{CoreCtx, CoreId, CostModel, Cycles};
+use std::sync::Arc;
+
+fn ctx(core: u16) -> CoreCtx {
+    CoreCtx::new(CoreId(core), Arc::new(CostModel::haswell_2_4ghz()))
+}
+
+fn entry(p: u64) -> PendingUnmap {
+    PendingUnmap {
+        page: IovaPage(p),
+        pages: 1,
+    }
+}
+
+fn detail_obs() -> Obs {
+    let obs = Obs::isolated();
+    obs.set_detail_enabled(true);
+    obs
+}
+
+#[test]
+fn seeded_racy_flusher_fixture_is_flagged() {
+    let obs = detail_obs();
+    // THE BUG: per-core scope sized for one core, then driven from two.
+    // `list_index` maps both cores onto pending list 0, which the
+    // per-core fast path touches without any lock.
+    let flusher = DeferredFlusher::with_obs(
+        DeferPolicy {
+            batch: 1000,
+            timeout: Cycles::MAX,
+        },
+        FlushScope::PerCore,
+        1,
+        obs.clone(),
+    );
+    let (mut c0, mut c1) = (ctx(0), ctx(1));
+    for i in 0..4 {
+        flusher.defer(&mut c0, entry(i), |_, _| {});
+        flusher.defer(&mut c1, entry(100 + i), |_, _| {});
+    }
+    let reports = LocksetDetector::analyze(&obs.tracer().events());
+    assert_eq!(
+        reports.len(),
+        1,
+        "exactly the shared list races: {reports:?}"
+    );
+    assert_eq!(reports[0].var, "flush.pending_list[0]");
+    assert_eq!(reports[0].cores, vec![0, 1]);
+}
+
+#[test]
+fn global_scope_flusher_is_clean() {
+    let obs = detail_obs();
+    let flusher = DeferredFlusher::with_obs(
+        DeferPolicy::linux_default(),
+        FlushScope::Global,
+        2,
+        obs.clone(),
+    );
+    let (mut c0, mut c1) = (ctx(0), ctx(1));
+    for i in 0..8 {
+        flusher.defer(&mut c0, entry(i), |_, _| {});
+        flusher.defer(&mut c1, entry(100 + i), |_, _| {});
+    }
+    assert!(
+        LocksetDetector::analyze(&obs.tracer().events()).is_empty(),
+        "the global list is lock-serialized"
+    );
+}
+
+#[test]
+fn correctly_sized_per_core_flusher_is_clean() {
+    let obs = detail_obs();
+    let flusher = DeferredFlusher::with_obs(
+        DeferPolicy::linux_default(),
+        FlushScope::PerCore,
+        2,
+        obs.clone(),
+    );
+    let (mut c0, mut c1) = (ctx(0), ctx(1));
+    for i in 0..8 {
+        flusher.defer(&mut c0, entry(i), |_, _| {});
+        flusher.defer(&mut c1, entry(100 + i), |_, _| {});
+    }
+    assert!(
+        LocksetDetector::analyze(&obs.tracer().events()).is_empty(),
+        "each core owns its own list (single-owner exclusivity)"
+    );
+}
+
+#[test]
+fn invalidation_queue_is_lock_serialized() {
+    let obs = detail_obs();
+    let q = InvalQueue::with_obs(obs.clone());
+    let mut tlb = Iotlb::new(64);
+    let dev = DeviceId(0);
+    let (mut c0, mut c1) = (ctx(0), ctx(1));
+    for i in 0..8u64 {
+        q.invalidate_pages_sync(&mut c0, &mut tlb, dev, &[IovaPage(i)]);
+        q.invalidate_pages_sync(&mut c1, &mut tlb, dev, &[IovaPage(100 + i)]);
+    }
+    assert!(
+        LocksetDetector::analyze(&obs.tracer().events()).is_empty(),
+        "the invalidation queue serializes on its SimLock"
+    );
+}

@@ -28,6 +28,9 @@ pub struct InvalQueueStats {
     pub waits: u64,
 }
 
+/// Lock name reported in lockset events for the invalidation queue.
+pub const INVALQ_LOCK: &str = "iommu-invalidation-queue";
+
 /// The (single, global) IOMMU invalidation queue.
 #[derive(Debug)]
 pub struct InvalQueue {
@@ -53,7 +56,7 @@ impl InvalQueue {
     /// Creates the queue reporting into a shared telemetry handle.
     pub fn with_obs(obs: Obs) -> Self {
         InvalQueue {
-            lock: SimLock::new("iommu-invalidation-queue"),
+            lock: SimLock::new(INVALQ_LOCK),
             page_commands: obs.counter("invalq", "page_commands", None),
             flush_commands: obs.counter("invalq", "flush_commands", None),
             waits: obs.counter("invalq", "waits", None),
@@ -80,6 +83,43 @@ impl InvalQueue {
     /// The queue's lock (exposed for contention statistics).
     pub fn lock(&self) -> &SimLock {
         &self.lock
+    }
+
+    /// Emits a detail-gated lockset event (no-op unless
+    /// [`Obs::set_detail_enabled`] is on).
+    fn lockset(&self, ctx: &CoreCtx, kind: EventKind) {
+        if self.obs.detail_enabled() {
+            self.obs.trace(ctx.now(), ctx.core.0, None, kind);
+        }
+    }
+
+    /// Runs `f` under the queue lock, bracketing it with lockset events
+    /// and recording the shared queue access the Eraser-style detector
+    /// checks against the held lockset.
+    fn with_lockset<R>(&self, ctx: &mut CoreCtx, f: impl FnOnce(&mut CoreCtx) -> R) -> R {
+        self.lockset(
+            ctx,
+            EventKind::LockAcquire {
+                lock: INVALQ_LOCK.into(),
+            },
+        );
+        let r = self.lock.with(ctx, |ctx| {
+            self.lockset(
+                ctx,
+                EventKind::SharedAccess {
+                    var: "invalq.queue".into(),
+                    write: true,
+                },
+            );
+            f(ctx)
+        });
+        self.lockset(
+            ctx,
+            EventKind::LockRelease {
+                lock: INVALQ_LOCK.into(),
+            },
+        );
+        r
     }
 
     /// Synchronously invalidates one IOVA page: takes the queue lock, posts
@@ -116,7 +156,7 @@ impl InvalQueue {
         let active = ctx.active_cores;
         let spin_before = self.lock.stats().total_spin;
         let wait_start = ctx.breakdown.get(Phase::InvalidateIotlb);
-        self.lock.with(ctx, |ctx| {
+        self.with_lockset(ctx, |ctx| {
             let mut i = 0;
             while i < pages.len() {
                 // Extend over the contiguous run starting at pages[i].
@@ -184,7 +224,7 @@ impl InvalQueue {
     pub fn flush_device_sync(&self, ctx: &mut CoreCtx, iotlb: &mut Iotlb, dev: DeviceId) {
         let spin_before = self.lock.stats().total_spin;
         let wait_start = ctx.breakdown.get(Phase::InvalidateIotlb);
-        self.lock.with(ctx, |ctx| {
+        self.with_lockset(ctx, |ctx| {
             ctx.charge(Phase::InvalidateIotlb, ctx.cost.inval_queue_post);
             iotlb.invalidate_device(dev);
             self.flush_commands.inc();

@@ -29,7 +29,7 @@ mod mmu;
 mod pagetable;
 mod types;
 
-pub use invalq::{InvalQueue, InvalQueueStats};
+pub use invalq::{InvalQueue, InvalQueueStats, INVALQ_LOCK};
 pub use iotlb::{Iotlb, IotlbStats};
 pub use mmu::{Iommu, IommuError, DEVICE_SIDE_CORE};
 pub use pagetable::{IoPageTable, PtEntry, PtError};

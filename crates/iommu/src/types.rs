@@ -1,5 +1,7 @@
 //! Core IOMMU types: IOVAs, permissions, devices, faults.
 
+// lint: allow(panic) — address-width invariants are constructor contracts, documented under # Panics
+
 use memsim::{PAGE_SHIFT, PAGE_SIZE};
 use std::fmt;
 

@@ -1,5 +1,7 @@
 //! Physical addresses and page frames.
 
+// lint: allow(panic) — address-overflow invariants are constructor contracts, documented under # Panics
+
 use std::fmt;
 
 /// Size of a physical page / IOMMU mapping granule, 4 KB.

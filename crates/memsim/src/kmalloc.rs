@@ -7,6 +7,8 @@
 //! weakness (§4): mapping that page in the IOMMU exposes the co-located
 //! data to the device.
 
+// lint: allow(panic) — slab metadata invariants are allocator bugs, not runtime errors
+
 use crate::{MemError, NumaDomain, Pfn, PhysAddr, PhysMemory, PAGE_SIZE};
 use simcore::sync::Mutex;
 use std::collections::HashMap;

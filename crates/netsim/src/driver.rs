@@ -6,6 +6,8 @@
 //! work* (real bytes, real descriptors, real mappings) and *charges the
 //! modeled cost*.
 
+// lint: allow(panic) — the driver posted the mapping itself; a fault means the protection scheme is broken
+
 use crate::setup::SimStack;
 use devices::{Nic, DESC_BYTES, MTU};
 use dma_api::{DmaBuf, DmaDirection};

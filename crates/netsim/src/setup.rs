@@ -1,9 +1,13 @@
 //! Experiment configuration and machine construction.
 
+// lint: allow(panic) — machine construction panics on impossible configurations, documented under # Panics
+
 use devices::{Nic, NicConfig, DESC_BYTES};
 use dma_api::{
-    Bus, CoherentBuffer, DmaEngine, IdentityDma, LinuxDma, NoIommu, SelfInvalidatingDma, TracedDma,
+    Bus, BusObserver, CoherentBuffer, DmaEngine, DmaObserver, IdentityDma, LinuxDma, NoIommu,
+    SelfInvalidatingDma, TracedDma,
 };
+use dmasan::DmaSan;
 use iommu::{DeviceId, Iommu};
 use memsim::{Kmalloc, NumaTopology, PhysMemory};
 use obs::{Counter, Obs};
@@ -179,6 +183,11 @@ pub struct SimStack {
     /// [`TracedDma`]), its pool/allocator/flusher internals, and the driver
     /// all report into this one registry and tracer.
     pub obs: Obs,
+    /// The DMA-API sanitizer auditing every map/unmap (via the engine's
+    /// observer hook) and every device access (via the observed [`Bus`]).
+    /// Lenient by default; strict under the `dmasan-strict` workspace
+    /// feature or `DMASAN_STRICT=1`.
+    pub san: Arc<DmaSan>,
     /// Driver traffic counters (views over `net.*` registry entries).
     pub net: NetCounters,
 }
@@ -281,16 +290,25 @@ impl SimStack {
                 Box::new(SelfInvalidatingDma::new(mem.clone(), mmu.clone(), NIC_DEV))
             }
         };
-        // Wrap the engine so every dma_map/dma_unmap is counted and traced;
-        // unmap-induced invalidations chain to their DmaUnmap event.
-        let engine: Box<dyn DmaEngine> = Box::new(TracedDma::new(engine, obs.clone()));
+        // Wrap the engine so every dma_map/dma_unmap is counted and traced
+        // (unmap-induced invalidations chain to their DmaUnmap event) and
+        // audited by the sanitizer; the bus is observed so the sanitizer
+        // also sees every device-side access. The wrap happens *before*
+        // ring allocation so coherent windows are registered too.
+        let san = Arc::new(DmaSan::new(obs.clone()));
+        let engine: Box<dyn DmaEngine> = Box::new(TracedDma::with_observer(
+            engine,
+            obs.clone(),
+            san.clone() as Arc<dyn DmaObserver>,
+        ));
         let bus = match kind {
             EngineKind::NoIommu => Bus::Direct(mem.clone()),
             _ => Bus::Iommu {
                 mmu: mmu.clone(),
                 mem: mem.clone(),
             },
-        };
+        }
+        .observed(san.clone() as Arc<dyn BusObserver>);
         let mut nic = Nic::new(NIC_DEV, bus, NicConfig::default());
         // Ring setup happens on core 0 at time zero; its costs are not part
         // of any measurement.
@@ -325,7 +343,26 @@ impl SimStack {
             rng: std::cell::RefCell::new(SimRng::seed(cfg.seed)),
             net: NetCounters::new(&obs),
             obs,
+            san,
         }
+    }
+
+    /// Tears the stack down like a driver's `remove()` path: frees every
+    /// descriptor ring through `dma_free_coherent` and drains any deferred
+    /// invalidations. After this, [`dmasan::DmaSan::check_teardown`] on
+    /// [`SimStack::san`] reports only genuinely leaked mappings.
+    pub fn teardown(&mut self, ctx: &mut CoreCtx) {
+        for ring in self.rx_rings.drain(..) {
+            self.engine
+                .free_coherent(ctx, ring)
+                .expect("rx ring free_coherent");
+        }
+        for ring in self.tx_rings.drain(..) {
+            self.engine
+                .free_coherent(ctx, ring)
+                .expect("tx ring free_coherent");
+        }
+        self.engine.flush_deferred(ctx);
     }
 
     /// Convenience single-packet loopback used by docs and smoke tests:
@@ -388,6 +425,21 @@ mod tests {
             let cfg = ExpConfig::quick();
             let stack = SimStack::new(kind, &cfg);
             assert_eq!(stack.engine.name(), kind.name());
+        }
+    }
+
+    #[test]
+    fn teardown_leaves_sanitizer_leak_clean() {
+        for kind in EngineKind::ALL {
+            let cfg = ExpConfig::quick();
+            let mut stack = SimStack::new(kind, &cfg);
+            let payload: Vec<u8> = (0..256u32).map(|i| (i % 256) as u8).collect();
+            stack.loopback_rx(&payload);
+            let mut ctx = CoreCtx::new(CoreId(0), stack.cost.clone());
+            ctx.seek(Cycles(2));
+            stack.teardown(&mut ctx);
+            assert_eq!(stack.san.check_teardown(), 0, "engine {kind} leaks");
+            assert_eq!(stack.san.violation_count(), 0, "engine {kind} violations");
         }
     }
 

@@ -262,7 +262,7 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
             Some(_) => {
                 // Consume one UTF-8 character.
                 let rest = std::str::from_utf8(&b[*pos..]).map_err(|_| "invalid utf-8")?;
-                let c = rest.chars().next().unwrap();
+                let c = rest.chars().next().ok_or("unterminated string")?;
                 out.push(c);
                 *pos += c.len_utf8();
             }

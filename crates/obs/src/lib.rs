@@ -44,7 +44,7 @@ pub use metrics::{
 pub use trace::{current_cause, span, Event, EventKind, SpanGuard, Tracer, DEFAULT_TRACE_CAPACITY};
 
 use simcore::Cycles;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A cheaply clonable handle bundling the metric [`Registry`] and the
@@ -56,6 +56,10 @@ pub struct Obs {
     /// Latest virtual time any instrumented OS-side operation reported;
     /// device-side events (which carry no `CoreCtx`) are stamped with it.
     now_hint: Arc<AtomicU64>,
+    /// Gates high-volume detail events (lockset `LockAcquire` /
+    /// `LockRelease` / `SharedAccess`); off by default so benchmarks and
+    /// ordinary runs never pay for or overflow the ring with them.
+    detail: Arc<AtomicBool>,
 }
 
 impl Default for Obs {
@@ -79,7 +83,19 @@ impl Obs {
             registry: Arc::new(Registry::new()),
             tracer: Arc::new(Tracer::with_capacity(capacity)),
             now_hint: Arc::new(AtomicU64::new(0)),
+            detail: Arc::new(AtomicBool::new(false)),
         }
+    }
+
+    /// Enables or disables high-volume detail events (lockset
+    /// instrumentation). Disabled by default.
+    pub fn set_detail_enabled(&self, on: bool) {
+        self.detail.store(on, Ordering::Relaxed);
+    }
+
+    /// True when detail events (lockset instrumentation) are enabled.
+    pub fn detail_enabled(&self) -> bool {
+        self.detail.load(Ordering::Relaxed)
     }
 
     /// Advances the shared virtual-time hint (monotonic).

@@ -135,6 +135,21 @@ pub fn event_line(e: &Event) -> Json {
             obj.push(("lock".into(), Json::Str(lock.to_string())));
             obj.push(("spin_cycles".into(), Json::UInt(*spin_cycles)));
         }
+        EventKind::SanitizerViolation { rule, iova, detail } => {
+            obj.push(("rule".into(), Json::Str(rule.to_string())));
+            obj.push(("iova".into(), Json::UInt(*iova)));
+            obj.push(("detail".into(), Json::Str(detail.to_string())));
+        }
+        EventKind::LockAcquire { lock } => {
+            obj.push(("lock".into(), Json::Str(lock.to_string())));
+        }
+        EventKind::LockRelease { lock } => {
+            obj.push(("lock".into(), Json::Str(lock.to_string())));
+        }
+        EventKind::SharedAccess { var, write } => {
+            obj.push(("var".into(), Json::Str(var.to_string())));
+            obj.push(("write".into(), Json::Bool(*write)));
+        }
     }
     Json::Obj(obj)
 }
@@ -191,6 +206,24 @@ pub fn event_from_json(j: &Json) -> Result<Event, String> {
         "LockContention" => EventKind::LockContention {
             lock: Cow::Owned(need_str(j, "lock")?),
             spin_cycles: need_u64(j, "spin_cycles")?,
+        },
+        "SanitizerViolation" => EventKind::SanitizerViolation {
+            rule: Cow::Owned(need_str(j, "rule")?),
+            iova: need_u64(j, "iova")?,
+            detail: Cow::Owned(need_str(j, "detail")?),
+        },
+        "LockAcquire" => EventKind::LockAcquire {
+            lock: Cow::Owned(need_str(j, "lock")?),
+        },
+        "LockRelease" => EventKind::LockRelease {
+            lock: Cow::Owned(need_str(j, "lock")?),
+        },
+        "SharedAccess" => EventKind::SharedAccess {
+            var: Cow::Owned(need_str(j, "var")?),
+            write: match j.get("write") {
+                Some(Json::Bool(b)) => *b,
+                _ => return Err("missing/invalid 'write'".into()),
+            },
         },
         other => return Err(format!("unknown event kind '{other}'")),
     };
@@ -337,6 +370,41 @@ mod tests {
             EventKind::LockContention {
                 lock: Cow::Borrowed("invalq"),
                 spin_cycles: 120,
+            },
+        );
+        t.record(
+            Cycles(60),
+            2,
+            None,
+            EventKind::LockAcquire {
+                lock: Cow::Borrowed("invalq"),
+            },
+        );
+        t.record(
+            Cycles(61),
+            2,
+            None,
+            EventKind::SharedAccess {
+                var: Cow::Borrowed("invalq.commands"),
+                write: true,
+            },
+        );
+        t.record(
+            Cycles(62),
+            2,
+            None,
+            EventKind::LockRelease {
+                lock: Cow::Borrowed("invalq"),
+            },
+        );
+        t.record(
+            Cycles(70),
+            0,
+            Some(0),
+            EventKind::SanitizerViolation {
+                rule: Cow::Borrowed("double_unmap"),
+                iova: 0x1000,
+                detail: Cow::Borrowed("iova 0x1000 already unmapped"),
             },
         );
         t.events()

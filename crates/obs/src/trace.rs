@@ -78,6 +78,35 @@ pub enum EventKind {
         /// Cycles spent spinning.
         spin_cycles: u64,
     },
+    /// The DMA sanitizer (`dmasan`) detected a DMA-API misuse.
+    SanitizerViolation {
+        /// Which dma-debug rule fired (`double_map`, `double_unmap`,
+        /// `unmap_mismatch`, `stale_access`, `oob_access`, `leak`).
+        rule: Cow<'static, str>,
+        /// Device-visible address the violation concerns.
+        iova: u64,
+        /// Human-readable description of the violation.
+        detail: Cow<'static, str>,
+    },
+    /// A lock was acquired (lockset instrumentation; detail-gated).
+    LockAcquire {
+        /// Which lock (e.g. `iommu-invalidation-queue`).
+        lock: Cow<'static, str>,
+    },
+    /// A lock was released (lockset instrumentation; detail-gated).
+    LockRelease {
+        /// Which lock (e.g. `iommu-invalidation-queue`).
+        lock: Cow<'static, str>,
+    },
+    /// A shared variable was touched (lockset instrumentation;
+    /// detail-gated). The Eraser-style detector intersects the locks
+    /// held across these accesses.
+    SharedAccess {
+        /// Which shared variable (e.g. `invalq.commands`).
+        var: Cow<'static, str>,
+        /// True for a write access, false for a read.
+        write: bool,
+    },
 }
 
 impl EventKind {
@@ -92,6 +121,10 @@ impl EventKind {
             EventKind::FallbackAcquire { .. } => "FallbackAcquire",
             EventKind::AttackBlocked { .. } => "AttackBlocked",
             EventKind::LockContention { .. } => "LockContention",
+            EventKind::SanitizerViolation { .. } => "SanitizerViolation",
+            EventKind::LockAcquire { .. } => "LockAcquire",
+            EventKind::LockRelease { .. } => "LockRelease",
+            EventKind::SharedAccess { .. } => "SharedAccess",
         }
     }
 }

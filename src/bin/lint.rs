@@ -1,0 +1,31 @@
+//! Workspace lint runner: `cargo run --bin lint`.
+//!
+//! Scans every member crate's sources and manifest for the house rules
+//! (see [`dma_shadowing::lint`]) and exits non-zero if anything is found
+//! — wired into `ci.sh` between the test and clippy passes.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")));
+    let violations = match dma_shadowing::lint::lint_workspace(&root) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("lint: cannot scan {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    if violations.is_empty() {
+        println!("lint: workspace clean ({})", root.display());
+        return ExitCode::SUCCESS;
+    }
+    for v in &violations {
+        eprintln!("{v}");
+    }
+    eprintln!("lint: {} violation(s)", violations.len());
+    ExitCode::FAILURE
+}

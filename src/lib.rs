@@ -16,11 +16,18 @@
 //! - [`netsim`] — netperf-like and memcached-like workloads.
 //! - [`attacks`] — DMA-attack scenarios used to validate Table 1.
 //! - [`obs`] — telemetry: metrics registry, event tracer, report sinks.
+//! - [`dmasan`] — the DMA-API sanitizer and lockset race detector.
+//!
+//! It also hosts the workspace's correctness tooling: the [`lint`] module
+//! and its `cargo run --bin lint` runner.
 #![forbid(unsafe_code)]
+
+pub mod lint;
 
 pub use attacks;
 pub use devices;
 pub use dma_api;
+pub use dmasan;
 pub use iommu;
 pub use memsim;
 pub use netsim;

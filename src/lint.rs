@@ -1,0 +1,520 @@
+//! A pure-std workspace lint (no `syn`, no external dependencies).
+//!
+//! Enforces the house rules `clippy` cannot express, by scanning the
+//! member crates' sources (`crates/*/src/**/*.rs`) and manifests:
+//!
+//! 1. **No `unwrap()` / `expect(` outside `#[cfg(test)]`** — library code
+//!    must propagate errors. Files whose panics are deliberate and
+//!    documented opt out with a waiver comment:
+//!    `// lint: allow(panic) — <reason>`.
+//! 2. **No raw `PhysAddr` arithmetic outside `memsim`** — addresses are
+//!    constructed by the memory subsystem; everyone else uses the typed
+//!    `PhysAddr::add` / page-frame APIs. Constructing `PhysAddr(expr)`
+//!    where `expr` contains arithmetic is flagged.
+//! 3. **No `std::process` / `std::net` / `std::fs`** outside the `bench`
+//!    crate and the `obs` report sinks — the simulation is deterministic
+//!    and self-contained; only the benchmarking/reporting edges touch the
+//!    outside world. (The umbrella crate's own `src/` — this lint and its
+//!    binary — is outside the scan scope: the lint must read files.)
+//! 4. **No external dependencies** — every `Cargo.toml` dependency must be
+//!    an in-tree `path`/`workspace` crate, so the workspace builds with no
+//!    network access.
+//!
+//! The scanner strips comments and string/char literals before matching,
+//! and tracks `#[cfg(test)]` item spans by brace matching, so doc examples
+//! and test modules do not trip the rules. Run via `cargo run --bin lint`.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintViolation {
+    /// Path (workspace-relative where possible) of the offending file.
+    pub file: String,
+    /// 1-indexed line.
+    pub line: usize,
+    /// Stable rule name: `panic`, `phys-addr-arith`, `ambient-io`,
+    /// `external-dep`.
+    pub rule: &'static str,
+    /// What was found.
+    pub detail: String,
+}
+
+impl std::fmt::Display for LintViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.detail
+        )
+    }
+}
+
+/// The waiver comment a file uses to opt out of the panic rule. A reason
+/// is mandatory: `// lint: allow(panic) — deliberate invariant panics`.
+pub const PANIC_WAIVER: &str = "// lint: allow(panic)";
+
+const FORBIDDEN_MODULES: [&str; 3] = ["std::process", "std::net", "std::fs"];
+
+/// Replaces comments and string/char literals with spaces, preserving
+/// newlines and all other structure (so brace matching and line numbers
+/// survive). Doc comments — and therefore doctests — are stripped too.
+pub fn strip_code(src: &str) -> String {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = String::with_capacity(src.len());
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            '/' if i + 1 < b.len() && b[i + 1] == '/' => {
+                while i < b.len() && b[i] != '\n' {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < b.len() && b[i + 1] == '*' => {
+                let mut depth = 1;
+                out.push_str("  ");
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+                        depth += 1;
+                        out.push_str("  ");
+                        i += 2;
+                    } else if b[i] == '*' && i + 1 < b.len() && b[i + 1] == '/' {
+                        depth -= 1;
+                        out.push_str("  ");
+                        i += 2;
+                    } else {
+                        out.push(if b[i] == '\n' { '\n' } else { ' ' });
+                        i += 1;
+                    }
+                }
+            }
+            'r' if is_raw_string_start(&b, i) => {
+                let mut j = i + 1;
+                let mut hashes = 0;
+                while j < b.len() && b[j] == '#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                // Opening quote.
+                out.push_str(&" ".repeat(j + 1 - i));
+                i = j + 1;
+                let closer: String = std::iter::once('"')
+                    .chain(std::iter::repeat_n('#', hashes))
+                    .collect();
+                while i < b.len() {
+                    if b[i] == '"' && matches_at(&b, i, &closer) {
+                        out.push_str(&" ".repeat(closer.len()));
+                        i += closer.len();
+                        break;
+                    }
+                    out.push(if b[i] == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+            '"' => {
+                out.push(' ');
+                i += 1;
+                while i < b.len() {
+                    if b[i] == '\\' {
+                        out.push(' ');
+                        i += 1;
+                        if i < b.len() {
+                            out.push(if b[i] == '\n' { '\n' } else { ' ' });
+                            i += 1;
+                        }
+                        continue;
+                    }
+                    if b[i] == '"' {
+                        out.push(' ');
+                        i += 1;
+                        break;
+                    }
+                    out.push(if b[i] == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+            '\'' if is_char_literal(&b, i) => {
+                out.push(' ');
+                i += 1;
+                while i < b.len() {
+                    if b[i] == '\\' {
+                        out.push_str("  ");
+                        i += 2;
+                        continue;
+                    }
+                    if b[i] == '\'' {
+                        out.push(' ');
+                        i += 1;
+                        break;
+                    }
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+            _ => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn matches_at(b: &[char], at: usize, pat: &str) -> bool {
+    pat.chars()
+        .enumerate()
+        .all(|(k, p)| b.get(at + k) == Some(&p))
+}
+
+fn is_raw_string_start(b: &[char], i: usize) -> bool {
+    // `r"` or `r#...#"`, not part of an identifier like `for` or `var`.
+    if i > 0 && (b[i - 1].is_alphanumeric() || b[i - 1] == '_') {
+        return false;
+    }
+    let mut j = i + 1;
+    while j < b.len() && b[j] == '#' {
+        j += 1;
+    }
+    j < b.len() && b[j] == '"' && (j > i + 1 || b[i + 1] == '"')
+}
+
+fn is_char_literal(b: &[char], i: usize) -> bool {
+    // Distinguish 'x' / '\n' char literals from lifetimes ('a, 'static).
+    match b.get(i + 1) {
+        Some('\\') => true,
+        Some(_) => b.get(i + 2) == Some(&'\''),
+        None => false,
+    }
+}
+
+/// Returns, per line (0-indexed), whether the line belongs to a
+/// `#[cfg(test)]` item — computed by brace-matching the item that follows
+/// the attribute. Expects *stripped* source.
+pub fn test_region_mask(stripped: &str) -> Vec<bool> {
+    let lines: Vec<&str> = stripped.lines().collect();
+    let mut mask = vec![false; lines.len()];
+    let mut i = 0;
+    while i < lines.len() {
+        if !lines[i].contains("#[cfg(test)]") {
+            i += 1;
+            continue;
+        }
+        // The attributed item starts here (possibly on the same line) and
+        // runs until its braces balance back to zero — or, for brace-less
+        // items (`#[cfg(test)] use …;`), until the terminating semicolon.
+        let mut depth: i64 = 0;
+        let mut opened = false;
+        let mut j = i;
+        while j < lines.len() {
+            mask[j] = true;
+            for c in lines[j].chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => depth -= 1,
+                    _ => {}
+                }
+            }
+            if opened && depth <= 0 {
+                break;
+            }
+            if !opened && j > i && lines[j].trim_end().ends_with(';') {
+                break;
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+    mask
+}
+
+/// Options describing where a source file sits, which determines which
+/// rules apply to it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FileContext {
+    /// The file belongs to `crates/memsim` (raw address arithmetic is its
+    /// job).
+    pub in_memsim: bool,
+    /// The file is an allowed ambient-I/O edge (`crates/bench`, `obs`
+    /// report sinks).
+    pub io_allowed: bool,
+}
+
+/// Lints one Rust source file's contents. `label` is used for reporting.
+pub fn lint_source(label: &str, src: &str, ctx: FileContext) -> Vec<LintViolation> {
+    let mut out = Vec::new();
+    let waived_panics = src.lines().any(|l| {
+        let t = l.trim_start();
+        t.starts_with(PANIC_WAIVER) && t.len() > PANIC_WAIVER.len() + 3
+    });
+    let stripped = strip_code(src);
+    let mask = test_region_mask(&stripped);
+    for (idx, line) in stripped.lines().enumerate() {
+        let in_test = mask.get(idx).copied().unwrap_or(false);
+        let lineno = idx + 1;
+        if !in_test && !waived_panics {
+            for pat in [".unwrap()", ".expect("] {
+                if line.contains(pat) {
+                    out.push(LintViolation {
+                        file: label.to_string(),
+                        line: lineno,
+                        rule: "panic",
+                        detail: format!(
+                            "`{pat}` outside #[cfg(test)]; propagate the error or add \
+                             `{PANIC_WAIVER} — <reason>`"
+                        ),
+                    });
+                }
+            }
+        }
+        if !in_test && !ctx.in_memsim {
+            if let Some(arg) = phys_addr_ctor_arg(line) {
+                if arg.contains(['+', '*']) || arg.contains("<<") || arg.contains(" - ") {
+                    out.push(LintViolation {
+                        file: label.to_string(),
+                        line: lineno,
+                        rule: "phys-addr-arith",
+                        detail: format!(
+                            "raw PhysAddr arithmetic `PhysAddr({arg})` outside memsim; \
+                             use PhysAddr::add or page-frame APIs"
+                        ),
+                    });
+                }
+            }
+        }
+        if !ctx.io_allowed {
+            for m in FORBIDDEN_MODULES {
+                if line.contains(m) {
+                    out.push(LintViolation {
+                        file: label.to_string(),
+                        line: lineno,
+                        rule: "ambient-io",
+                        detail: format!(
+                            "`{m}` outside bench/obs sinks; the simulation stays \
+                             deterministic and self-contained"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The argument of a `PhysAddr(...)` constructor on this line, if any.
+fn phys_addr_ctor_arg(line: &str) -> Option<&str> {
+    let start = line.find("PhysAddr(")? + "PhysAddr(".len();
+    let rest = &line[start..];
+    let mut depth = 1;
+    for (k, c) in rest.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&rest[..k]);
+                }
+            }
+            _ => {}
+        }
+    }
+    Some(rest)
+}
+
+/// Lints one `Cargo.toml`: every dependency must resolve in-tree.
+pub fn lint_manifest(label: &str, toml: &str) -> Vec<LintViolation> {
+    let mut out = Vec::new();
+    let mut in_deps = false;
+    for (idx, raw) in toml.lines().enumerate() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            in_deps = matches!(
+                line,
+                "[dependencies]"
+                    | "[dev-dependencies]"
+                    | "[build-dependencies]"
+                    | "[workspace.dependencies]"
+            );
+            continue;
+        }
+        if !in_deps || line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((name, value)) = line.split_once('=') else {
+            continue;
+        };
+        let (name, value) = (name.trim(), value.trim());
+        let in_tree = name.ends_with(".workspace")
+            || value.contains("workspace = true")
+            || value.contains("path =");
+        if !in_tree {
+            out.push(LintViolation {
+                file: label.to_string(),
+                line: idx + 1,
+                rule: "external-dep",
+                detail: format!(
+                    "dependency `{name}` is not an in-tree path/workspace crate; the \
+                     workspace must build offline"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Recursively collects `.rs` files under `dir`.
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            rust_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints the whole workspace rooted at `root`: every member crate's
+/// sources and manifest, plus the root manifest.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<LintViolation>> {
+    let mut out = Vec::new();
+    let label = |p: &Path| {
+        p.strip_prefix(root)
+            .unwrap_or(p)
+            .display()
+            .to_string()
+            .replace('\\', "/")
+    };
+    let crates_dir = root.join("crates");
+    let mut members: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    members.sort();
+    for member in &members {
+        let crate_name = member
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let manifest = member.join("Cargo.toml");
+        if let Ok(toml) = fs::read_to_string(&manifest) {
+            out.extend(lint_manifest(&label(&manifest), &toml));
+        }
+        let src_dir = member.join("src");
+        if !src_dir.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        rust_files(&src_dir, &mut files)?;
+        files.sort();
+        for f in &files {
+            let src = fs::read_to_string(f)?;
+            let rel = label(f);
+            let ctx = FileContext {
+                in_memsim: crate_name == "memsim",
+                io_allowed: crate_name == "bench" || rel.ends_with("obs/src/sink.rs"),
+            };
+            out.extend(lint_source(&rel, &src, ctx));
+        }
+    }
+    let root_manifest = root.join("Cargo.toml");
+    if let Ok(toml) = fs::read_to_string(&root_manifest) {
+        out.extend(lint_manifest(&label(&root_manifest), &toml));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strip_removes_comments_strings_and_doctests() {
+        let src = "let a = \"x.unwrap()\"; // .unwrap()\n/* .expect( */ let b = 'x';\n/// ```\n/// v.unwrap();\n/// ```\nfn f() {}\n";
+        let s = strip_code(src);
+        assert!(!s.contains("unwrap"));
+        assert!(!s.contains("expect"));
+        assert!(s.contains("let a ="));
+        assert!(s.contains("fn f() {}"));
+        assert_eq!(s.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn strip_handles_raw_strings_and_lifetimes() {
+        let src = "let r = r#\"a } { .unwrap() \"#;\nfn g<'a>(x: &'a str) -> &'a str { x }\n";
+        let s = strip_code(src);
+        assert!(!s.contains("unwrap"));
+        // Braces inside the raw string are gone; real braces survive.
+        assert!(s.contains("fn g<'a>(x: &'a str) -> &'a str { x }"));
+    }
+
+    #[test]
+    fn test_regions_are_exempt() {
+        let src =
+            "fn prod() { v.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { v.unwrap(); }\n}\n";
+        let v = lint_source("x.rs", src, FileContext::default());
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 1);
+        assert_eq!(v[0].rule, "panic");
+    }
+
+    #[test]
+    fn waiver_with_reason_silences_panic_rule_only() {
+        let src = "// lint: allow(panic) — invariant panics are documented\nfn f() { v.unwrap(); let p = PhysAddr(a + b); }\n";
+        let v = lint_source("x.rs", src, FileContext::default());
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "phys-addr-arith");
+    }
+
+    #[test]
+    fn bare_waiver_without_reason_is_ignored() {
+        let src = "// lint: allow(panic)\nfn f() { v.unwrap(); }\n";
+        let v = lint_source("x.rs", src, FileContext::default());
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn phys_addr_rules() {
+        let ok = "let p = PhysAddr(addr);\nlet q = PhysAddr(0x1000);\n";
+        assert!(lint_source("x.rs", ok, FileContext::default()).is_empty());
+        let bad = "let p = PhysAddr(base + off * 4096);\n";
+        let v = lint_source("x.rs", bad, FileContext::default());
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "phys-addr-arith");
+        // memsim owns address arithmetic.
+        let memsim = FileContext {
+            in_memsim: true,
+            ..Default::default()
+        };
+        assert!(lint_source("x.rs", bad, memsim).is_empty());
+    }
+
+    #[test]
+    fn ambient_io_rule() {
+        let src = "use std::fs;\nfn f() { std::process::exit(1); }\n";
+        let v = lint_source("x.rs", src, FileContext::default());
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|x| x.rule == "ambient-io"));
+        let bench = FileContext {
+            io_allowed: true,
+            ..Default::default()
+        };
+        assert!(lint_source("x.rs", src, bench).is_empty());
+    }
+
+    #[test]
+    fn manifest_rejects_external_deps() {
+        let toml = "[package]\nname = \"x\"\n[dependencies]\nobs.workspace = true\nmemsim = { workspace = true }\nlocal = { path = \"../local\" }\nserde = \"1.0\"\n";
+        let v = lint_manifest("Cargo.toml", toml);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "external-dep");
+        assert!(v[0].detail.contains("serde"));
+    }
+}

@@ -1,0 +1,25 @@
+//! Planted fixture source: trips every source-level lint rule exactly
+//! where `tests/lint.rs` expects. Never compiled.
+
+use std::fs;
+
+pub fn leak_to_disk(data: &[u8]) {
+    fs::write("/tmp/leak", data).unwrap();
+}
+
+pub fn forge_address(base: u64, idx: u64) -> PhysAddr {
+    PhysAddr(base + idx * 4096)
+}
+
+pub fn risky(v: Option<u32>) -> u32 {
+    v.expect("fixture panic")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt_region() {
+        // unwrap inside #[cfg(test)] must NOT be reported.
+        Some(1u32).unwrap();
+    }
+}

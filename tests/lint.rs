@@ -1,0 +1,52 @@
+//! The lint must hold two properties at once: the real workspace passes,
+//! and a planted fixture workspace (`tests/fixtures/lint-bad`) fails with
+//! every rule firing. Together they prove the scanner neither rubber-stamps
+//! nor cries wolf.
+
+use dma_shadowing::lint::lint_workspace;
+use std::path::Path;
+
+fn repo_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn real_workspace_is_lint_clean() {
+    let violations = lint_workspace(repo_root()).expect("scan workspace");
+    assert!(
+        violations.is_empty(),
+        "workspace must be lint-clean, got:\n{}",
+        violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn planted_fixture_trips_every_rule() {
+    let fixture = repo_root().join("tests/fixtures/lint-bad");
+    let violations = lint_workspace(&fixture).expect("scan fixture");
+    let count = |rule: &str| violations.iter().filter(|v| v.rule == rule).count();
+
+    // `serde` in the fixture root plus `rand`/`proptest` in badcrate.
+    assert_eq!(count("external-dep"), 3, "{violations:?}");
+    // `.unwrap()` and `.expect(` outside `#[cfg(test)]`, no waiver.
+    assert_eq!(count("panic"), 2, "{violations:?}");
+    // `PhysAddr(base + idx * 4096)` outside memsim.
+    assert_eq!(count("phys-addr-arith"), 1, "{violations:?}");
+    // `use std::fs;` outside the bench / obs-sink allowance.
+    assert_eq!(count("ambient-io"), 1, "{violations:?}");
+    // The `#[cfg(test)]` unwrap in the fixture must NOT be counted; the
+    // totals above are exhaustive.
+    assert_eq!(violations.len(), 7, "{violations:?}");
+
+    // The in-tree path dependency (`memsim = {{ path = .. }}`) is allowed.
+    assert!(
+        !violations
+            .iter()
+            .any(|v| v.rule == "external-dep" && v.detail.contains("memsim")),
+        "{violations:?}"
+    );
+}
