@@ -8,3 +8,6 @@ cargo test -q --workspace --features dmasan-strict
 cargo run -q --bin lint
 cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings
+# Host-time regression gate: fail if any hot-path workload runs >25%
+# slower than the last entry recorded in BENCH_HOST.json.
+cargo bench -p bench --bench host -- --check

@@ -1,0 +1,8 @@
+//! Host wall-clock harness: see `bench::host`. Times the fig1/fig5/micro
+//! hot loops in real time and maintains the `BENCH_HOST.json` perf
+//! trajectory (`--record <label>` to append, `--check` for the CI gate).
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(bench::host::run(&args));
+}

@@ -1,0 +1,333 @@
+//! Host wall-clock perf harness (`cargo bench -p bench --bench host`).
+//!
+//! Every other bench target reports **simulated** numbers, which are
+//! deterministic and never regress by accident. This one times how long
+//! the *host* takes to grind through the paper's hot loops — the fig1
+//! 16-core stream, the fig5 breakdown run, and the map/unmap micro
+//! loops — and records the result as one JSON line in `BENCH_HOST.json`
+//! at the workspace root (the perf trajectory: one entry per recorded
+//! run, oldest first).
+//!
+//! Modes (arguments after `--`):
+//!
+//! - *(none)* — run the workloads and print a table.
+//! - `--record <label>` — run, print, and append an entry to the
+//!   trajectory.
+//! - `--check` — run, compare against the **last** checked-in entry, and
+//!   exit non-zero if any workload is more than
+//!   [`REGRESSION_THRESHOLD`] slower (the `ci.sh` gate).
+//!
+//! Host time is inherently noisy; each workload is timed [`RUNS`] times
+//! and the minimum reported, and the 25% gate plus multi-second
+//! workloads keeps the signal well above scheduler jitter.
+
+// lint: allow(ambient-io) — the perf-trajectory harness must read/write BENCH_HOST.json at the workspace root
+// lint: allow(panic) — a harness aborts loudly on malformed trajectory files or unwritable output
+
+use crate::figure_cfg;
+use dma_api::DmaBuf;
+use iommu::{DeviceId, IoPageTable, Iotlb, IovaPage, Perms, PtEntry};
+use memsim::{NumaDomain, NumaTopology, Pfn, PhysMemory};
+use netsim::{tcp_stream_rx, EngineKind};
+use obs::Json;
+use shadow_core::{PoolConfig, ShadowPool};
+use simcore::{CoreCtx, CoreId, CostModel, Cycles};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Relative slowdown vs. the checked-in baseline that fails `--check`.
+pub const REGRESSION_THRESHOLD: f64 = 0.25;
+
+/// Trajectory file name, kept at the workspace root next to the other
+/// `BENCH_*.json` artifacts.
+pub const BASELINE_FILE: &str = "BENCH_HOST.json";
+
+const DEV: DeviceId = DeviceId(0);
+
+fn zero_ctx() -> CoreCtx {
+    let mut c = CoreCtx::new(CoreId(0), Arc::new(CostModel::zero()));
+    c.seek(Cycles(1));
+    c
+}
+
+fn fig1_loop(cores: usize) {
+    let cfg = figure_cfg(cores, 1500);
+    for &k in EngineKind::ALL.iter() {
+        std::hint::black_box(tcp_stream_rx(k, &cfg));
+    }
+}
+
+fn fig5_loop() {
+    let cfg = figure_cfg(1, 64 * 1024);
+    for &k in EngineKind::FIGURE_SET.iter() {
+        std::hint::black_box(tcp_stream_rx(k, &cfg));
+    }
+}
+
+fn micro_pool_loop() {
+    let mem = Arc::new(PhysMemory::new(NumaTopology::dual_socket_haswell()));
+    let mmu = Arc::new(iommu::Iommu::new());
+    let pool = ShadowPool::new(mem.clone(), mmu, DEV, PoolConfig::default());
+    let pfn = mem.alloc_frames(NumaDomain(0), 1).expect("frame");
+    let buf = DmaBuf::new(pfn.base(), 1500);
+    let mut cx = zero_ctx();
+    for _ in 0..200_000 {
+        let iova = pool
+            .acquire_shadow(&mut cx, buf, Perms::Write)
+            .expect("acquire");
+        pool.release_shadow(&mut cx, iova).expect("release");
+    }
+}
+
+fn micro_iotlb_loop() {
+    let mut tlb = Iotlb::default_hw();
+    let e = PtEntry {
+        pfn: Pfn(7),
+        perms: Perms::ReadWrite,
+    };
+    for i in 0..1024u64 {
+        tlb.insert(DEV, IovaPage(i), e);
+    }
+    let mut acc = 0u64;
+    for i in 0..2_000_000u64 {
+        if tlb.lookup(DEV, IovaPage(i & 1023)).is_some() {
+            acc += 1;
+        }
+        if i % 64 == 0 {
+            tlb.insert(DEV, IovaPage(4096 + i), e);
+        }
+    }
+    std::hint::black_box(acc);
+}
+
+fn micro_pagetable_loop() {
+    let mut pt = IoPageTable::new();
+    for i in 0..512u64 {
+        pt.map(IovaPage(i << 12), Pfn(i), Perms::ReadWrite)
+            .expect("map");
+    }
+    let mut acc = 0u64;
+    for i in 0..2_000_000u64 {
+        let page = IovaPage((i & 511) << 12);
+        if pt.translate(page).is_some() {
+            acc += 1;
+        }
+        if i % 32 == 0 {
+            let p = IovaPage(0x9_0000_0000 + i);
+            pt.map(p, Pfn(1), Perms::Read).expect("map");
+            pt.unmap(p).expect("unmap");
+        }
+    }
+    std::hint::black_box(acc);
+}
+
+/// The harness workloads, in reporting order. `fig1_16core` is the
+/// headline number the perf trajectory tracks.
+pub fn workloads() -> Vec<(&'static str, fn())> {
+    vec![
+        ("fig1_16core", (|| fig1_loop(16)) as fn()),
+        ("fig1_1core", || fig1_loop(1)),
+        ("fig5_rx", fig5_loop),
+        ("micro_pool", micro_pool_loop),
+        ("micro_iotlb", micro_iotlb_loop),
+        ("micro_pagetable", micro_pagetable_loop),
+    ]
+}
+
+/// Repetitions per workload; the minimum is reported. Host wall-clock is
+/// one-sided noise (scheduler preemption only ever adds time), so the
+/// fastest of a few runs is the most reproducible statistic.
+pub const RUNS: usize = 3;
+
+/// Runs every workload [`RUNS`] times, returning `(name, best host
+/// milliseconds)` rows.
+pub fn measure_all() -> Vec<(String, f64)> {
+    workloads()
+        .into_iter()
+        .map(|(name, f)| {
+            let mut best = f64::INFINITY;
+            for _ in 0..RUNS {
+                let start = Instant::now();
+                f();
+                best = best.min(start.elapsed().as_secs_f64() * 1e3);
+            }
+            println!("{name:<18} {best:>10.1} ms");
+            (name.to_string(), best)
+        })
+        .collect()
+}
+
+/// One trajectory entry as a JSON-lines object (schema follows the
+/// `BENCH_*.json` convention of a `type` discriminator per line).
+pub fn entry_json(label: &str, results: &[(String, f64)]) -> Json {
+    let ms = results
+        .iter()
+        .map(|(k, v)| (k.clone(), Json::Float((*v * 10.0).round() / 10.0)))
+        .collect();
+    Json::Obj(vec![
+        ("type".into(), Json::Str("host-bench".into())),
+        ("label".into(), Json::Str(label.into())),
+        ("ms".into(), Json::Obj(ms)),
+    ])
+}
+
+/// Parses a trajectory file's JSON lines, oldest first.
+pub fn parse_trajectory(text: &str) -> Result<Vec<Json>, String> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(Json::parse)
+        .collect()
+}
+
+/// Workloads in `current` that regressed more than `threshold` vs. the
+/// baseline entry's `ms` object. Workloads absent from the baseline are
+/// ignored (they are new).
+pub fn regressions(current: &[(String, f64)], baseline: &Json, threshold: f64) -> Vec<String> {
+    let mut out = Vec::new();
+    let Some(Json::Obj(base_ms)) = baseline.get("ms") else {
+        return vec!["baseline entry has no `ms` object".into()];
+    };
+    for (name, now) in current {
+        let base = base_ms
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| match v {
+                Json::Float(f) => *f,
+                Json::UInt(u) => *u as f64,
+                Json::Int(i) => *i as f64,
+                _ => f64::NAN,
+            });
+        if let Some(base) = base {
+            if base.is_finite() && base > 0.0 && *now > base * (1.0 + threshold) {
+                out.push(format!(
+                    "{name}: {now:.1} ms vs baseline {base:.1} ms (+{:.0}%, limit +{:.0}%)",
+                    (now / base - 1.0) * 100.0,
+                    threshold * 100.0
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Workspace-root path of the trajectory file.
+pub fn baseline_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../".to_string() + BASELINE_FILE)
+}
+
+/// Entry point for the `host` bench target. Returns the process exit
+/// code. Unrecognized arguments (e.g. cargo's own `--bench`) are
+/// ignored.
+pub fn run(args: &[String]) -> i32 {
+    let record_label = args
+        .iter()
+        .position(|a| a == "--record")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let check = args.iter().any(|a| a == "--check");
+    let path = baseline_path();
+
+    println!("host-time harness ({} workloads)", workloads().len());
+    let results = measure_all();
+
+    if let Some(label) = record_label {
+        let line = entry_json(&label, &results).encode();
+        let mut text = std::fs::read_to_string(&path).unwrap_or_default();
+        if !text.is_empty() && !text.ends_with('\n') {
+            text.push('\n');
+        }
+        text.push_str(&line);
+        text.push('\n');
+        if let Err(e) = std::fs::write(&path, text) {
+            eprintln!("failed to write {}: {e}", path.display());
+            return 1;
+        }
+        println!("recorded entry '{label}' in {}", path.display());
+    }
+
+    if check {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!(
+                    "no {BASELINE_FILE} baseline at {} ({e}); record one with \
+                     `cargo bench -p bench --bench host -- --record <label>`",
+                    path.display()
+                );
+                return 1;
+            }
+        };
+        let trajectory = match parse_trajectory(&text) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("malformed {BASELINE_FILE}: {e}");
+                return 1;
+            }
+        };
+        let Some(baseline) = trajectory.last() else {
+            eprintln!("{BASELINE_FILE} is empty");
+            return 1;
+        };
+        let bad = regressions(&results, baseline, REGRESSION_THRESHOLD);
+        let label = baseline.get("label").and_then(Json::as_str).unwrap_or("?");
+        if bad.is_empty() {
+            println!(
+                "within {:.0}% of baseline '{label}'",
+                REGRESSION_THRESHOLD * 100.0
+            );
+        } else {
+            eprintln!("host-time regression vs baseline '{label}':");
+            for b in &bad {
+                eprintln!("  {b}");
+            }
+            return 1;
+        }
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn res(pairs: &[(&str, f64)]) -> Vec<(String, f64)> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn entry_roundtrips_through_json_lines() {
+        let e = entry_json(
+            "pre",
+            &res(&[("fig1_16core", 1234.56), ("micro_pool", 7.0)]),
+        );
+        let text = format!("{}\n{}\n", e.encode(), e.encode());
+        let t = parse_trajectory(&text).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0].get("label").unwrap().as_str(), Some("pre"));
+        assert_eq!(
+            t[1].get("ms").unwrap().get("fig1_16core"),
+            Some(&Json::Float(1234.6)),
+            "milliseconds rounded to one decimal"
+        );
+    }
+
+    #[test]
+    fn regression_gate_math() {
+        let base = entry_json("base", &res(&[("a", 100.0), ("b", 100.0)]));
+        // Under the limit: pass.
+        assert!(regressions(&res(&[("a", 120.0), ("b", 90.0)]), &base, 0.25).is_empty());
+        // 30% slower on `a`: fail, naming the workload.
+        let bad = regressions(&res(&[("a", 130.0), ("b", 100.0)]), &base, 0.25);
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].starts_with("a:"), "{bad:?}");
+        // Workloads unknown to the baseline are ignored.
+        assert!(regressions(&res(&[("new", 9e9)]), &base, 0.25).is_empty());
+    }
+
+    #[test]
+    fn malformed_baseline_is_reported() {
+        let no_ms = Json::Obj(vec![("label".into(), Json::Str("x".into()))]);
+        assert_eq!(regressions(&res(&[("a", 1.0)]), &no_ms, 0.25).len(), 1);
+    }
+}

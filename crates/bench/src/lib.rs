@@ -13,6 +13,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod host;
+
 use netsim::{EngineKind, ExpConfig, ExpResult};
 
 /// The message sizes on the x-axis of Figures 3, 4, 6, 7 and 9.

@@ -18,9 +18,9 @@ use dma_api::{DmaBuf, DmaError, GlobalTreeIovaAllocator, IovaAllocator};
 use iommu::{DeviceId, Iommu, Iova, IovaPage, Perms};
 use memsim::{Pfn, PhysAddr, PhysMemory, PAGE_SIZE};
 use obs::{Counter, Obs};
+use simcore::FxHashMap;
 use simcore::{CoreCtx, Phase};
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Huge-path statistics.
@@ -57,7 +57,7 @@ pub struct HugeMapper {
     mem: Arc<PhysMemory>,
     mmu: Arc<Iommu>,
     dev: DeviceId,
-    live: RefCell<HashMap<u64, HugeEntry>>,
+    live: RefCell<FxHashMap<u64, HugeEntry>>,
     maps: Counter,
     unmaps: Counter,
     shadowed_bytes: Counter,
@@ -78,7 +78,7 @@ impl HugeMapper {
             mem,
             mmu,
             dev,
-            live: RefCell::new(HashMap::new()),
+            live: RefCell::new(FxHashMap::default()),
             maps: obs.counter("huge", "maps", d),
             unmaps: obs.counter("huge", "unmaps", d),
             shadowed_bytes: obs.counter("huge", "shadowed_bytes", d),

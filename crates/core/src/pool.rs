@@ -8,8 +8,8 @@ use iommu::{DeviceId, Iommu, Iova, IovaPage, Perms};
 use memsim::{PhysAddr, PhysMemory, PAGE_SIZE};
 use obs::{Counter, EventKind, Gauge, Obs};
 use simcore::sync::Mutex;
+use simcore::FxHashMap;
 use simcore::{CoreCtx, CoreId, Phase};
-use std::collections::HashMap;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
@@ -156,7 +156,7 @@ pub struct ShadowPool {
     /// split page goes to a private cache, not the free list, to avoid
     /// synchronizing with releases).
     caches: Vec<Mutex<Vec<u64>>>,
-    fallback: Mutex<HashMap<u64, FallbackEntry>>,
+    fallback: Mutex<FxHashMap<u64, FallbackEntry>>,
     fallback_pages: Mutex<FallbackIovaSpace>,
     // Telemetry: registry-backed handles (single source of truth).
     obs: Obs,
@@ -177,7 +177,7 @@ pub struct ShadowPool {
 #[derive(Debug)]
 struct FallbackIovaSpace {
     next: u64,
-    free: HashMap<u64, Vec<u64>>, // run length -> starts
+    free: FxHashMap<u64, Vec<u64>>, // run length -> starts
 }
 
 impl FallbackIovaSpace {
@@ -233,10 +233,10 @@ impl ShadowPool {
             arrays,
             lists: (0..nlists).map(|_| FreeList::new()).collect(),
             caches: (0..nlists).map(|_| Mutex::new(Vec::new())).collect(),
-            fallback: Mutex::new(HashMap::new()),
+            fallback: Mutex::new(FxHashMap::default()),
             fallback_pages: Mutex::new(FallbackIovaSpace {
                 next: FALLBACK_PAGE_BASE,
-                free: HashMap::new(),
+                free: FxHashMap::default(),
             }),
             acquires: obs.counter("pool", "acquires", d),
             releases: obs.counter("pool", "releases", d),
@@ -261,10 +261,13 @@ impl ShadowPool {
     /// instantaneous in virtual time, so the triple brackets the access
     /// exactly; `find_shadow` (which has no `CoreCtx`) is deliberately
     /// uninstrumented.
-    fn lockset_guarded(&self, ctx: &CoreCtx, lock: &'static str, var: String) {
+    /// `var` is a closure so the common detail-off path never pays for
+    /// building the label string.
+    fn lockset_guarded(&self, ctx: &CoreCtx, lock: &'static str, var: impl FnOnce() -> String) {
         if !self.obs.detail_enabled() {
             return;
         }
+        let var = var();
         let (at, core) = (ctx.now(), ctx.core.0);
         self.obs
             .trace(at, core, None, EventKind::LockAcquire { lock: lock.into() });
@@ -339,7 +342,7 @@ impl ShadowPool {
         let array = &self.arrays[ai];
         // NOTE: bind the cache pop to a statement so its lock guard drops
         // here — `grow` re-locks the same cache when splitting a page.
-        self.lockset_guarded(ctx, POOL_CACHE_LOCK, format!("pool.cache[{li}]"));
+        self.lockset_guarded(ctx, POOL_CACHE_LOCK, || format!("pool.cache[{li}]"));
         let cached = self.caches[li].lock().pop();
         let index = if let Some(i) = cached {
             i
@@ -411,7 +414,7 @@ impl ShadowPool {
                 "aligned run must start an IOVA page"
             );
             self.mmu.map_page(ctx, self.dev, iova_page, pfn, rights)?;
-            self.lockset_guarded(ctx, POOL_CACHE_LOCK, format!("pool.cache[{li}]"));
+            self.lockset_guarded(ctx, POOL_CACHE_LOCK, || format!("pool.cache[{li}]"));
             self.caches[li].lock().extend((start + 1..start + k).rev());
             self.add_shadow_bytes(PAGE_SIZE as u64);
             self.trace_grow(ctx, class, PAGE_SIZE as u64);
@@ -435,7 +438,7 @@ impl ShadowPool {
         self.mmu
             .map_range(ctx, self.dev, iova_page, pfn, pages, rights)?;
         let iova = iova_page.base();
-        self.lockset_guarded(ctx, POOL_FALLBACK_LOCK, "pool.fallback_table".into());
+        self.lockset_guarded(ctx, POOL_FALLBACK_LOCK, || "pool.fallback_table".into());
         self.fallback.lock().insert(
             iova.get(),
             FallbackEntry {
@@ -538,7 +541,7 @@ impl ShadowPool {
                 self.lists[li].push(array, d.index);
             }
             None => {
-                self.lockset_guarded(ctx, POOL_FALLBACK_LOCK, "pool.fallback_table".into());
+                self.lockset_guarded(ctx, POOL_FALLBACK_LOCK, || "pool.fallback_table".into());
                 let entry = self
                     .fallback
                     .lock()

@@ -247,6 +247,19 @@ impl Nic {
     /// Returns the completion and the reassembled payload (so callers can
     /// verify what actually went on the wire).
     pub fn transmit(&self, ring_id: usize) -> Result<(TxCompletion, Vec<u8>), NicError> {
+        let mut payload = Vec::new();
+        let completion = self.transmit_into(ring_id, &mut payload)?;
+        Ok((completion, payload))
+    }
+
+    /// Like [`Nic::transmit`], but gathers the wire payload into a
+    /// caller-owned buffer so per-packet loops can reuse one allocation.
+    /// The buffer is cleared and resized to the payload length.
+    pub fn transmit_into(
+        &self,
+        ring_id: usize,
+        payload: &mut Vec<u8>,
+    ) -> Result<TxCompletion, NicError> {
         let mut ring = self
             .tx
             .get(ring_id)
@@ -264,12 +277,13 @@ impl Nic {
         if len > self.cfg.tso_max {
             return Err(NicError::OversizedTx(len));
         }
-        let mut payload = vec![0u8; len];
-        self.bus.read(self.dev, addr, &mut payload)?;
+        payload.clear();
+        payload.resize(len, 0);
+        self.bus.read(self.dev, addr, payload)?;
         self.write_back(&ring, slot, len as u32)?;
         ring.next = (slot + 1) % ring.entries;
         let frames = len.div_ceil(MTU).max(1);
-        Ok((TxCompletion { slot, len, frames }, payload))
+        Ok(TxCompletion { slot, len, frames })
     }
 
     /// The NIC processes the next `n` TX descriptors as one scatter/gather
@@ -283,6 +297,19 @@ impl Nic {
         ring_id: usize,
         n: usize,
     ) -> Result<(TxCompletion, Vec<u8>), NicError> {
+        let mut payload = Vec::new();
+        let completion = self.transmit_gather_into(ring_id, n, &mut payload)?;
+        Ok((completion, payload))
+    }
+
+    /// Like [`Nic::transmit_gather`], but gathers into a caller-owned
+    /// buffer (cleared first) so hot loops can reuse one allocation.
+    pub fn transmit_gather_into(
+        &self,
+        ring_id: usize,
+        n: usize,
+        payload: &mut Vec<u8>,
+    ) -> Result<TxCompletion, NicError> {
         assert!(n > 0, "empty gather chain");
         let mut ring = self
             .tx
@@ -290,7 +317,7 @@ impl Nic {
             .ok_or(NicError::BadRing(ring_id))?
             .borrow_mut();
         let first_slot = ring.next;
-        let mut payload = Vec::new();
+        payload.clear();
         for k in 0..n {
             let slot = (first_slot + k) % ring.entries;
             let (addr, len, status) = self.fetch_descriptor(&ring, slot)?;
@@ -312,14 +339,11 @@ impl Nic {
         ring.next = (first_slot + n) % ring.entries;
         let len = payload.len();
         let frames = len.div_ceil(MTU).max(1);
-        Ok((
-            TxCompletion {
-                slot: first_slot,
-                len,
-                frames,
-            },
-            payload,
-        ))
+        Ok(TxCompletion {
+            slot: first_slot,
+            len,
+            frames,
+        })
     }
 
     /// The slot the device will consume next on an RX ring (for driver

@@ -24,8 +24,8 @@ use crate::{
 use iommu::{DeviceId, Iommu, Iova, IovaPage, Perms};
 use memsim::PhysMemory;
 use simcore::CoreCtx;
+use simcore::FxHashMap;
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// The identity-mapping DMA engine (*identity+* / *identity−*).
@@ -35,7 +35,7 @@ pub struct IdentityDma {
     dev: DeviceId,
     strictness: Strictness,
     /// Refcount per mapped (identity) IOVA page.
-    refs: RefCell<HashMap<u64, u32>>,
+    refs: RefCell<FxHashMap<u64, u32>>,
     flusher: Option<DeferredFlusher>,
     coherent: CoherentHelper,
 }
@@ -106,7 +106,7 @@ impl IdentityDma {
             mmu,
             dev,
             strictness,
-            refs: RefCell::new(HashMap::new()),
+            refs: RefCell::new(FxHashMap::default()),
             flusher,
         }
     }

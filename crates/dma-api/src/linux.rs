@@ -13,8 +13,8 @@ use crate::{
 use iommu::{DeviceId, Iommu, IovaPage};
 use memsim::PhysMemory;
 use simcore::CoreCtx;
+use simcore::FxHashMap;
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::sync::Arc;
 
 #[derive(Debug, Clone, Copy)]
@@ -37,7 +37,7 @@ pub struct LinuxDma {
     strictness: Strictness,
     name: &'static str,
     allocator: Box<dyn IovaAllocator>,
-    live: RefCell<HashMap<u64, LiveMapping>>,
+    live: RefCell<FxHashMap<u64, LiveMapping>>,
     flusher: Option<DeferredFlusher>,
     coherent: CoherentHelper,
 }
@@ -102,7 +102,7 @@ impl LinuxDma {
                 Strictness::Deferred => "defer",
             },
             allocator,
-            live: RefCell::new(HashMap::new()),
+            live: RefCell::new(FxHashMap::default()),
             flusher,
         }
     }

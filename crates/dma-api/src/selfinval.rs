@@ -18,8 +18,8 @@ use crate::{
 use iommu::{DeviceId, Iommu, Iova, IovaPage, Perms};
 use memsim::PhysMemory;
 use simcore::CoreCtx;
+use simcore::FxHashMap;
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// The self-invalidating-hardware engine (identity placement, like \[42\],
@@ -29,7 +29,7 @@ use std::sync::Arc;
 pub struct SelfInvalidatingDma {
     mmu: Arc<Iommu>,
     dev: DeviceId,
-    refs: RefCell<HashMap<u64, u32>>,
+    refs: RefCell<FxHashMap<u64, u32>>,
     coherent: CoherentHelper,
 }
 
@@ -40,7 +40,7 @@ impl SelfInvalidatingDma {
             coherent: CoherentHelper::new(mem, mmu.clone(), dev),
             mmu,
             dev,
-            refs: RefCell::new(HashMap::new()),
+            refs: RefCell::new(FxHashMap::default()),
         }
     }
 }

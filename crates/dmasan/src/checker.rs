@@ -12,8 +12,9 @@ use dma_api::{BusObserver, CoherentBuffer, DmaDirection, DmaMapping, DmaObserver
 use iommu::DeviceId;
 use obs::{Counter, EventKind, Obs};
 use simcore::sync::Mutex;
+use simcore::FxHashMap;
 use simcore::{CoreCtx, Cycles};
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// The six dma-debug rule classes the checker enforces.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -146,7 +147,7 @@ impl DevState {
 
 #[derive(Debug, Default)]
 struct Inner {
-    devs: HashMap<u16, DevState>,
+    devs: FxHashMap<u16, DevState>,
     violations: Vec<Violation>,
 }
 

@@ -7,8 +7,8 @@ use crate::{
 use memsim::{MemError, Pfn, PhysAddr, PhysMemory, PAGE_SIZE};
 use obs::{Counter, EventKind, Obs};
 use simcore::sync::{Mutex, RwLock};
+use simcore::FxHashMap;
 use simcore::{CoreCtx, Phase};
-use std::collections::HashMap;
 use std::fmt;
 
 /// Sentinel `core` used on trace events initiated by a device rather
@@ -73,7 +73,7 @@ impl From<PtError> for IommuError {
 /// ```
 #[derive(Debug)]
 pub struct Iommu {
-    tables: RwLock<HashMap<DeviceId, IoPageTable>>,
+    tables: RwLock<FxHashMap<DeviceId, IoPageTable>>,
     iotlb: Mutex<Iotlb>,
     invalq: InvalQueue,
     faults: Mutex<Vec<DmaFault>>,
@@ -101,7 +101,7 @@ impl Iommu {
     /// Creates an IOMMU reporting into a shared telemetry handle.
     pub fn with_obs(obs: Obs) -> Self {
         Iommu {
-            tables: RwLock::new(HashMap::new()),
+            tables: RwLock::new(FxHashMap::default()),
             iotlb: Mutex::new(Iotlb::default_hw()),
             invalq: InvalQueue::with_obs(obs.clone()),
             faults: Mutex::new(Vec::new()),

@@ -11,7 +11,7 @@
 
 use crate::{MemError, NumaDomain, Pfn, PhysAddr, PhysMemory, PAGE_SIZE};
 use simcore::sync::Mutex;
-use std::collections::HashMap;
+use simcore::FxHashMap;
 use std::sync::Arc;
 
 /// kmalloc size classes (bytes). Requests are rounded up to a class;
@@ -37,7 +37,10 @@ pub struct KmallocStats {
 struct Slab {
     domain: NumaDomain,
     class: usize, // index into CLASSES
-    free_slots: Vec<u16>,
+    /// Bitmask of free slots (bit `i` set = slot `i` free). The largest
+    /// class count is 4096/32 = 128 slots, exactly a `u128` — no heap
+    /// allocation per slab page.
+    free_slots: u128,
     used: u16,
 }
 
@@ -56,11 +59,11 @@ struct AllocInfo {
 #[derive(Debug, Default)]
 struct Inner {
     /// Slab state by owning frame.
-    slabs: HashMap<u64, Slab>,
+    slabs: FxHashMap<u64, Slab>,
     /// Frames with free slots, per (domain, class).
-    partial: HashMap<(u16, usize), Vec<u64>>,
+    partial: FxHashMap<(u16, usize), Vec<u64>>,
     /// Live allocations by address.
-    live: HashMap<u64, AllocInfo>,
+    live: FxHashMap<u64, AllocInfo>,
     stats: KmallocStats,
 }
 
@@ -156,22 +159,28 @@ impl Kmalloc {
             // Grow: a fresh slab page.
             let pfn = self.mem.alloc_frame(domain)?;
             inner.stats.pages += 1;
-            let slots = (PAGE_SIZE / CLASSES[class]) as u16;
+            let slots = (PAGE_SIZE / CLASSES[class]) as u32;
             inner.slabs.insert(
                 pfn.0,
                 Slab {
                     domain,
                     class,
-                    free_slots: (0..slots).rev().collect(),
+                    free_slots: if slots == 128 {
+                        u128::MAX
+                    } else {
+                        (1u128 << slots) - 1
+                    },
                     used: 0,
                 },
             );
             inner.partial.entry(key).or_default().push(pfn.0);
         };
         let slab = inner.slabs.get_mut(&pfn.0).expect("partial slab exists");
-        let slot = slab.free_slots.pop().expect("partial slab has a slot");
+        debug_assert!(slab.free_slots != 0, "partial slab has a slot");
+        let slot = slab.free_slots.trailing_zeros() as u16;
+        slab.free_slots &= slab.free_slots - 1;
         slab.used += 1;
-        if slab.free_slots.is_empty() {
+        if slab.free_slots == 0 {
             let v = inner.partial.get_mut(&key).expect("key exists");
             v.retain(|&p| p != pfn.0);
         }
@@ -188,9 +197,11 @@ impl Kmalloc {
 
     /// Frees the allocation at `pa`, returning its requested size.
     ///
-    /// The freed object's bytes are poisoned with `0x6b` (like the kernel's
-    /// SLAB poisoning) so use-after-free reads are detectable in tests and
-    /// attack scenarios.
+    /// If the object's slab page survives, the freed bytes are poisoned
+    /// with `0x6b` (like the kernel's SLAB poisoning) so use-after-free
+    /// reads are detectable in tests and attack scenarios; a page whose
+    /// last object is freed is returned to [`PhysMemory`] instead, which
+    /// zeroes frames on reallocation.
     pub fn free(&self, pa: PhysAddr) -> Result<usize, MemError> {
         let mut inner = self.inner.lock();
         let info = inner
@@ -206,26 +217,33 @@ impl Kmalloc {
                 inner.stats.pages -= n;
             }
             AllocKind::Slab { class } => {
-                // Poison before releasing the slot.
-                let poison = vec![0x6bu8; CLASSES[class]];
-                self.mem.write(pa, &poison)?;
                 let pfn = pa.pfn();
                 let slab = inner.slabs.get_mut(&pfn.0).expect("slab exists for object");
                 debug_assert_eq!(slab.class, class, "object freed into wrong class");
-                let slot = (pa.page_offset() / CLASSES[class]) as u16;
-                let was_full = slab.free_slots.is_empty();
-                slab.free_slots.push(slot);
+                let slot = (pa.page_offset() / CLASSES[class]) as u32;
+                let was_full = slab.free_slots == 0;
+                slab.free_slots |= 1u128 << slot;
                 slab.used -= 1;
                 let key = (slab.domain.0, class);
                 if slab.used == 0 {
+                    // The whole page is going back to PhysMemory, which
+                    // zeroes frames on reallocation — poisoning the slot
+                    // first would be pure wasted bandwidth on the one-skb-
+                    // per-page fast path.
                     inner.slabs.remove(&pfn.0);
                     if let Some(v) = inner.partial.get_mut(&key) {
                         v.retain(|&p| p != pfn.0);
                     }
                     self.mem.free_frames(pfn, 1)?;
                     inner.stats.pages -= 1;
-                } else if was_full {
-                    inner.partial.entry(key).or_default().push(pfn.0);
+                } else {
+                    // Poison the released slot (the page survives, so a
+                    // use-after-free read must see 0x6b, not stale data).
+                    static POISON: [u8; 4096] = [0x6bu8; 4096];
+                    self.mem.write(pa, &POISON[..CLASSES[class]])?;
+                    if was_full {
+                        inner.partial.entry(key).or_default().push(pfn.0);
+                    }
                 }
             }
         }

@@ -2,7 +2,8 @@
 
 use crate::{NumaDomain, NumaTopology, Pfn, PhysAddr, PAGE_SIZE};
 use simcore::sync::Mutex;
-use std::collections::{BTreeMap, HashMap};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Errors from physical memory operations.
@@ -96,28 +97,128 @@ impl DomainAllocator {
     }
 }
 
+/// Frames per second-level chunk of the frame table.
+const CHUNK_BITS: u32 = 9;
+const CHUNK: usize = 1 << CHUNK_BITS;
+
+/// One allocated frame's backing bytes plus a dirty high-water mark:
+/// the largest `offset + len` any write has touched since the bytes were
+/// last all-zero. Recycling zeroes only that prefix instead of the whole
+/// page — an MTU-sized skb dirties ~1.5 KB of its 4 KB frame, so the
+/// per-packet alloc/free cycle re-zeroes ~1.5 KB, not 4 KB.
 #[derive(Debug)]
-struct MemInner {
-    /// Backing bytes of allocated frames, created zeroed on allocation.
-    frames: HashMap<u64, Box<[u8]>>,
+struct Frame {
+    data: Box<[u8]>,
+    dirty: usize,
+}
+
+impl Frame {
+    fn zeroed() -> Self {
+        Frame {
+            data: vec![0u8; PAGE_SIZE].into_boxed_slice(),
+            dirty: 0,
+        }
+    }
+
+    /// Restores the all-zero state (cheap when little was written).
+    fn rezero(&mut self) {
+        self.data[..self.dirty].fill(0);
+        self.dirty = 0;
+    }
+}
+
+/// Backing store for allocated frames: a two-level dense table (chunks
+/// of 512 frame slots, allocated on demand), so the per-byte-access
+/// frame lookup is two array indexes instead of a hash. Frame numbers
+/// are dense by construction (the NUMA ranges are contiguous), which a
+/// hash map can't exploit.
+#[derive(Debug, Default)]
+struct FrameTable {
+    chunks: Vec<Option<Box<[Option<Frame>]>>>,
+}
+
+impl FrameTable {
+    fn get(&self, pfn: u64) -> Option<&[u8]> {
+        self.chunks
+            .get((pfn >> CHUNK_BITS) as usize)?
+            .as_ref()?
+            .get(pfn as usize & (CHUNK - 1))?
+            .as_ref()
+            .map(|f| &*f.data)
+    }
+
+    fn get_mut(&mut self, pfn: u64) -> Option<&mut Frame> {
+        self.chunks
+            .get_mut((pfn >> CHUNK_BITS) as usize)?
+            .as_mut()?
+            .get_mut(pfn as usize & (CHUNK - 1))?
+            .as_mut()
+    }
+
+    fn contains(&self, pfn: u64) -> bool {
+        self.get(pfn).is_some()
+    }
+
+    /// Installs `frame` at `pfn`, returning the slot's previous content.
+    fn insert(&mut self, pfn: u64, frame: Frame) -> Option<Frame> {
+        let ci = (pfn >> CHUNK_BITS) as usize;
+        if ci >= self.chunks.len() {
+            self.chunks.resize_with(ci + 1, || None);
+        }
+        let chunk = self.chunks[ci].get_or_insert_with(|| (0..CHUNK).map(|_| None).collect());
+        chunk[pfn as usize & (CHUNK - 1)].replace(frame)
+    }
+
+    fn remove(&mut self, pfn: u64) -> Option<Frame> {
+        self.chunks
+            .get_mut((pfn >> CHUNK_BITS) as usize)?
+            .as_mut()?
+            .get_mut(pfn as usize & (CHUNK - 1))?
+            .take()
+    }
+}
+
+/// Freed frame boxes kept for reuse (bounded at 1 MB of backing store);
+/// reused frames are re-zeroed, preserving "frames start zeroed".
+const RECYCLE_CAP: usize = 256;
+
+/// Frame-store shards. Byte accesses lock only the shard owning the
+/// touched frame, so concurrently streaming cores (which touch disjoint
+/// skb and shadow frames) never serialize on one global lock. The low
+/// pfn bits pick the shard — adjacent frames spread across shards — and
+/// each shard's table is indexed by `pfn >> SHARD_BITS`, keeping its
+/// two-level chunks dense.
+const SHARD_BITS: u32 = 6;
+const SHARDS: usize = 1 << SHARD_BITS;
+
+fn shard_key(pfn: u64) -> (usize, u64) {
+    ((pfn & (SHARDS as u64 - 1)) as usize, pfn >> SHARD_BITS)
+}
+
+#[derive(Debug)]
+struct AllocInner {
+    /// Freed frames awaiting reuse (contents stale; re-zeroed on alloc).
+    recycled: Vec<Frame>,
     domains: Vec<DomainAllocator>,
     stats: MemStats,
 }
 
 /// The machine's physical memory.
 ///
-/// Thread-safe (a single internal lock) so it can be shared between the OS
-/// side and device models, and used from real threads in stress tests. All
-/// byte accesses require the touched frames to be allocated; devices probing
+/// Thread-safe — allocator state sits behind one lock, frame contents
+/// behind per-shard locks — so it can be shared between the OS side and
+/// device models, and used from real threads in stress tests. All byte
+/// accesses require the touched frames to be allocated; devices probing
 /// unallocated memory get [`MemError::Unallocated`].
 pub struct PhysMemory {
     topology: NumaTopology,
-    inner: Mutex<MemInner>,
+    shards: Vec<Mutex<FrameTable>>,
+    alloc: Mutex<AllocInner>,
 }
 
 impl fmt::Debug for PhysMemory {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let inner = self.inner.lock();
+        let inner = self.alloc.lock();
         f.debug_struct("PhysMemory")
             .field("topology", &self.topology)
             .field("allocated_frames", &inner.stats.allocated_frames)
@@ -136,8 +237,11 @@ impl PhysMemory {
             .collect();
         PhysMemory {
             topology,
-            inner: Mutex::new(MemInner {
-                frames: HashMap::new(),
+            shards: (0..SHARDS)
+                .map(|_| Mutex::new(FrameTable::default()))
+                .collect(),
+            alloc: Mutex::new(AllocInner {
+                recycled: Vec::new(),
                 domains,
                 stats: MemStats::default(),
             }),
@@ -158,60 +262,89 @@ impl PhysMemory {
     /// returning the first.
     pub fn alloc_frames(&self, domain: NumaDomain, n: u64) -> Result<Pfn, MemError> {
         assert!(n > 0, "zero-frame allocation");
-        let mut inner = self.inner.lock();
-        let alloc = inner
-            .domains
-            .get_mut(domain.index())
-            .unwrap_or_else(|| panic!("no such domain {domain}"))
-            .alloc(n);
-        let pfn = alloc.ok_or(MemError::OutOfMemory { domain, frames: n })?;
+        let (pfn, mut pool) = {
+            let mut inner = self.alloc.lock();
+            let alloc = inner
+                .domains
+                .get_mut(domain.index())
+                .unwrap_or_else(|| panic!("no such domain {domain}"))
+                .alloc(n);
+            let pfn = alloc.ok_or(MemError::OutOfMemory { domain, frames: n })?;
+            let keep = inner.recycled.len().saturating_sub(n as usize);
+            let pool = inner.recycled.split_off(keep);
+            inner.stats.allocs += 1;
+            inner.stats.allocated_frames += n;
+            inner.stats.peak_frames = inner.stats.peak_frames.max(inner.stats.allocated_frames);
+            (pfn, pool)
+        };
+        // The allocated run is exclusively ours now; install the frames
+        // without holding the allocator lock.
         for i in 0..n {
-            let prev = inner
-                .frames
-                .insert(pfn.0 + i, vec![0u8; PAGE_SIZE].into_boxed_slice());
+            let frame = match pool.pop() {
+                Some(mut f) => {
+                    f.rezero();
+                    f
+                }
+                None => Frame::zeroed(),
+            };
+            let (s, key) = shard_key(pfn.0 + i);
+            let prev = self.shards[s].lock().insert(key, frame);
             debug_assert!(prev.is_none(), "frame double-allocated");
         }
-        inner.stats.allocs += 1;
-        inner.stats.allocated_frames += n;
-        inner.stats.peak_frames = inner.stats.peak_frames.max(inner.stats.allocated_frames);
         Ok(pfn)
     }
 
     /// Frees `n` contiguous frames starting at `pfn`.
     pub fn free_frames(&self, pfn: Pfn, n: u64) -> Result<(), MemError> {
         assert!(n > 0, "zero-frame free");
-        let mut inner = self.inner.lock();
-        for i in 0..n {
-            if !inner.frames.contains_key(&(pfn.0 + i)) {
-                return Err(MemError::BadFree(Pfn(pfn.0 + i)));
+        if n > 1 {
+            // Pre-check so a bad free of a partially-allocated run frees
+            // nothing at all. A single-frame free (the per-packet case)
+            // needs no pre-pass: `remove` itself detects the bad free.
+            for i in 0..n {
+                let (s, key) = shard_key(pfn.0 + i);
+                if !self.shards[s].lock().contains(key) {
+                    return Err(MemError::BadFree(Pfn(pfn.0 + i)));
+                }
             }
         }
+        let mut freed = Vec::with_capacity(n.min(RECYCLE_CAP as u64) as usize);
         for i in 0..n {
-            inner.frames.remove(&(pfn.0 + i));
+            let (s, key) = shard_key(pfn.0 + i);
+            match self.shards[s].lock().remove(key) {
+                Some(f) => {
+                    if freed.len() < RECYCLE_CAP {
+                        freed.push(f);
+                    }
+                }
+                None => return Err(MemError::BadFree(Pfn(pfn.0 + i))),
+            }
         }
         let domain = self.topology.domain_of_pfn(pfn);
+        let mut inner = self.alloc.lock();
         inner.domains[domain.index()].free(pfn, n);
         inner.stats.frees += 1;
         inner.stats.allocated_frames -= n;
+        let room = RECYCLE_CAP.saturating_sub(inner.recycled.len());
+        inner.recycled.extend(freed.into_iter().take(room));
         Ok(())
     }
 
     /// Whether a frame is currently allocated.
     pub fn is_allocated(&self, pfn: Pfn) -> bool {
-        self.inner.lock().frames.contains_key(&pfn.0)
+        let (s, key) = shard_key(pfn.0);
+        self.shards[s].lock().contains(key)
     }
 
     /// Reads `buf.len()` bytes starting at `pa` (may cross frames).
     pub fn read(&self, pa: PhysAddr, buf: &mut [u8]) -> Result<(), MemError> {
-        let inner = self.inner.lock();
         let mut off = 0usize;
         while off < buf.len() {
             let cur = pa.add(off as u64);
             self.check_bounds(cur)?;
-            let frame = inner
-                .frames
-                .get(&cur.pfn().0)
-                .ok_or(MemError::Unallocated(cur.pfn()))?;
+            let (s, key) = shard_key(cur.pfn().0);
+            let shard = self.shards[s].lock();
+            let frame = shard.get(key).ok_or(MemError::Unallocated(cur.pfn()))?;
             let in_page = cur.page_offset();
             let take = (PAGE_SIZE - in_page).min(buf.len() - off);
             buf[off..off + take].copy_from_slice(&frame[in_page..in_page + take]);
@@ -222,35 +355,64 @@ impl PhysMemory {
 
     /// Writes `data` starting at `pa` (may cross frames).
     pub fn write(&self, pa: PhysAddr, data: &[u8]) -> Result<(), MemError> {
-        let mut inner = self.inner.lock();
         let mut off = 0usize;
         while off < data.len() {
             let cur = pa.add(off as u64);
             self.check_bounds(cur)?;
-            let frame = inner
-                .frames
-                .get_mut(&cur.pfn().0)
-                .ok_or(MemError::Unallocated(cur.pfn()))?;
+            let (s, key) = shard_key(cur.pfn().0);
+            let mut shard = self.shards[s].lock();
+            let frame = shard.get_mut(key).ok_or(MemError::Unallocated(cur.pfn()))?;
             let in_page = cur.page_offset();
             let take = (PAGE_SIZE - in_page).min(data.len() - off);
-            frame[in_page..in_page + take].copy_from_slice(&data[off..off + take]);
+            frame.data[in_page..in_page + take].copy_from_slice(&data[off..off + take]);
+            frame.dirty = frame.dirty.max(in_page + take);
             off += take;
         }
         Ok(())
     }
 
-    /// Copies `len` bytes from `src` to `dst` within physical memory (the
-    /// real data movement behind every shadow-buffer copy).
-    pub fn copy(&self, src: PhysAddr, dst: PhysAddr, len: usize) -> Result<(), MemError> {
-        let mut chunk = [0u8; PAGE_SIZE];
+    /// Compares the bytes at `pa` with `data` without copying them out —
+    /// the allocation-free verify used on per-packet paths.
+    pub fn equals(&self, pa: PhysAddr, data: &[u8]) -> Result<bool, MemError> {
         let mut off = 0usize;
-        while off < len {
-            let take = PAGE_SIZE.min(len - off);
-            self.read(src.add(off as u64), &mut chunk[..take])?;
-            self.write(dst.add(off as u64), &chunk[..take])?;
+        while off < data.len() {
+            let cur = pa.add(off as u64);
+            self.check_bounds(cur)?;
+            let (s, key) = shard_key(cur.pfn().0);
+            let shard = self.shards[s].lock();
+            let frame = shard.get(key).ok_or(MemError::Unallocated(cur.pfn()))?;
+            let in_page = cur.page_offset();
+            let take = (PAGE_SIZE - in_page).min(data.len() - off);
+            if frame[in_page..in_page + take] != data[off..off + take] {
+                return Ok(false);
+            }
             off += take;
         }
-        Ok(())
+        Ok(true)
+    }
+
+    /// Copies `len` bytes from `src` to `dst` within physical memory (the
+    /// real data movement behind every shadow-buffer copy). Staged through
+    /// a reused per-thread scratch page so the source and destination
+    /// shards are never locked at once.
+    pub fn copy(&self, src: PhysAddr, dst: PhysAddr, len: usize) -> Result<(), MemError> {
+        thread_local! {
+            static COPY_SCRATCH: RefCell<Vec<u8>> = const { RefCell::new(Vec::new()) };
+        }
+        COPY_SCRATCH.with(|scratch| {
+            let mut chunk = scratch.borrow_mut();
+            if chunk.len() < PAGE_SIZE {
+                chunk.resize(PAGE_SIZE, 0);
+            }
+            let mut off = 0usize;
+            while off < len {
+                let take = PAGE_SIZE.min(len - off);
+                self.read(src.add(off as u64), &mut chunk[..take])?;
+                self.write(dst.add(off as u64), &chunk[..take])?;
+                off += take;
+            }
+            Ok(())
+        })
     }
 
     /// Fills `len` bytes at `pa` with `byte`.
@@ -274,7 +436,7 @@ impl PhysMemory {
 
     /// Allocation statistics snapshot.
     pub fn stats(&self) -> MemStats {
-        self.inner.lock().stats
+        self.alloc.lock().stats
     }
 
     fn check_bounds(&self, pa: PhysAddr) -> Result<(), MemError> {

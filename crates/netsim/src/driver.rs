@@ -12,6 +12,15 @@ use crate::setup::SimStack;
 use devices::{Nic, DESC_BYTES, MTU};
 use dma_api::{DmaBuf, DmaDirection};
 use simcore::{CoreCtx, CoreId, Cycles, Phase};
+use std::cell::RefCell;
+
+thread_local! {
+    /// Wire-payload scratch, reused across packets so TX reassembly does
+    /// not allocate up to `tso_max` bytes per transmitted buffer.
+    /// Thread-local (rather than global) because stacks on different host
+    /// threads may transmit concurrently in tests.
+    static TX_SCRATCH: RefCell<Vec<u8>> = const { RefCell::new(Vec::new()) };
+}
 
 /// Ethernet + IP + TCP header bytes added to each wire frame.
 pub const HEADER_BYTES: usize = 66;
@@ -110,13 +119,12 @@ impl CoreDriver {
         ctx.charge(Phase::Other, ctx.cost.rx_other);
 
         if verify {
-            let got = stack
+            let intact = stack
                 .mem
-                .read_vec(skb, completion.len)
+                .equals(skb, &payload[..completion.len])
                 .expect("OS buffer readable");
-            assert_eq!(
-                got,
-                &payload[..completion.len],
+            assert!(
+                intact,
                 "payload corrupted in delivery ({})",
                 stack.engine.name()
             );
@@ -164,18 +172,22 @@ impl CoreDriver {
         post_tx(stack, self.ring, mapping.iova.get(), len as u32);
 
         // The NIC fetches the payload and segments it onto the wire.
-        let (completion, wire_bytes) = stack
-            .nic
-            .transmit(self.ring)
-            .expect("NIC transmit must succeed through a live mapping");
-        if verify {
-            assert_eq!(
-                wire_bytes,
-                payload,
-                "payload corrupted on the way to the wire ({})",
-                stack.engine.name()
-            );
-        }
+        let completion = TX_SCRATCH.with(|scratch| {
+            let mut wire_bytes = scratch.borrow_mut();
+            let completion = stack
+                .nic
+                .transmit_into(self.ring, &mut wire_bytes)
+                .expect("NIC transmit must succeed through a live mapping");
+            if verify {
+                assert_eq!(
+                    *wire_bytes,
+                    payload,
+                    "payload corrupted on the way to the wire ({})",
+                    stack.engine.name()
+                );
+            }
+            completion
+        });
 
         // Completion: unmap and free.
         stack.engine.unmap(ctx, mapping).expect("dma_unmap");
@@ -247,18 +259,22 @@ impl CoreDriver {
                 m.len as u32,
             );
         }
-        let (completion, wire_bytes) = stack
-            .nic
-            .transmit_gather(self.ring, mappings.len())
-            .expect("NIC gather transmit");
-        if verify {
-            assert_eq!(
-                wire_bytes,
-                payload,
-                "scatter/gather payload corrupted ({})",
-                stack.engine.name()
-            );
-        }
+        let completion = TX_SCRATCH.with(|scratch| {
+            let mut wire_bytes = scratch.borrow_mut();
+            let completion = stack
+                .nic
+                .transmit_gather_into(self.ring, mappings.len(), &mut wire_bytes)
+                .expect("NIC gather transmit");
+            if verify {
+                assert_eq!(
+                    *wire_bytes,
+                    payload,
+                    "scatter/gather payload corrupted ({})",
+                    stack.engine.name()
+                );
+            }
+            completion
+        });
         stack.engine.unmap_sg(ctx, mappings).expect("dma_unmap_sg");
         for pa in pas {
             ctx.charge(Phase::Other, ctx.cost.kmalloc_free);

@@ -117,6 +117,11 @@ pub struct ExpConfig {
     /// Fragments per TX buffer: 1 = contiguous skbs (the default);
     /// >1 exercises the scatter/gather path (`dma_map_sg`, §5.2).
     pub tx_sg_frags: usize,
+    /// Trace sampling period: keep 1 in `trace_sample` cause chains
+    /// (security events are always kept). The default keeps long figure
+    /// runs off the tracer's ring lock; set `1` to record everything
+    /// (what [`ExpConfig::quick`] and trace-consuming tools do).
+    pub trace_sample: u64,
 }
 
 impl Default for ExpConfig {
@@ -134,6 +139,7 @@ impl Default for ExpConfig {
             use_copy_hint: false,
             pool_config: None,
             tx_sg_frags: 1,
+            trace_sample: 64,
         }
     }
 }
@@ -144,6 +150,7 @@ impl ExpConfig {
         ExpConfig {
             items_per_core: 2_000,
             warmup_per_core: 200,
+            trace_sample: 1,
             ..Default::default()
         }
     }
@@ -243,6 +250,7 @@ impl SimStack {
     /// Builds the machine reporting into an existing telemetry handle
     /// (e.g. to aggregate several stacks, or to feed external sinks).
     pub fn with_obs(kind: EngineKind, cfg: &ExpConfig, obs: Obs) -> Self {
+        obs.set_trace_sampling(cfg.trace_sample);
         let topo = NumaTopology::dual_socket_haswell();
         let mem = Arc::new(PhysMemory::new(topo));
         let mmu = Arc::new(Iommu::with_obs(obs.clone()));

@@ -98,6 +98,13 @@ impl Obs {
         self.detail.load(Ordering::Relaxed)
     }
 
+    /// Keeps 1 in `period` trace cause chains (see [`trace`] module docs);
+    /// `0`/`1` mean "record everything". Metrics and security events are
+    /// never sampled.
+    pub fn set_trace_sampling(&self, period: u64) {
+        self.tracer.set_sample_period(period);
+    }
+
     /// Advances the shared virtual-time hint (monotonic).
     pub fn set_now_hint(&self, at: Cycles) {
         self.now_hint.fetch_max(at.0, Ordering::Relaxed);
@@ -180,5 +187,40 @@ mod tests {
         assert_eq!(b.registry().snapshot().counter("x", "y", None), Some(1));
         assert!(a.same_as(&b));
         assert!(!a.same_as(&Obs::isolated()));
+    }
+
+    #[test]
+    fn cached_handles_survive_registry_adoption() {
+        // The hot-path pattern: components resolve handles once at
+        // construction, then a stack re-homes them onto a shared registry
+        // via adopt_*. The cached handle must keep feeding the shared view.
+        let private = Obs::isolated();
+        let cached_ctr = private.counter("pool", "acquires", Some(0));
+        let cached_gauge = private.gauge("pool", "in_flight", Some(0));
+        cached_ctr.add(3);
+        cached_gauge.add(2);
+
+        let shared = Obs::isolated();
+        shared
+            .registry()
+            .adopt_counter(MetricKey::new("pool", "acquires", Some(0)), &cached_ctr);
+        shared
+            .registry()
+            .adopt_gauge(MetricKey::new("pool", "in_flight", Some(0)), &cached_gauge);
+
+        // Updates through the ORIGINAL cached handles land in the shared
+        // registry — no re-resolution on the hot path.
+        cached_ctr.inc();
+        cached_gauge.set_max(9);
+        let snap = shared.registry().snapshot();
+        assert_eq!(snap.counter("pool", "acquires", Some(0)), Some(4));
+        assert_eq!(snap.gauge("pool", "in_flight", Some(0)), Some(9));
+    }
+
+    #[test]
+    fn trace_sampling_is_shared_across_clones() {
+        let a = Obs::isolated();
+        a.clone().set_trace_sampling(8);
+        assert_eq!(a.tracer().sample_period(), 8);
     }
 }

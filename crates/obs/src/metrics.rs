@@ -67,12 +67,12 @@ impl Counter {
 
     /// Current value.
     pub fn get(&self) -> u64 {
-        self.cell.load(Ordering::Acquire)
+        self.cell.load(Ordering::Relaxed)
     }
 
     /// Resets to zero (used when an experiment re-baselines after warmup).
     pub fn reset(&self) {
-        self.cell.store(0, Ordering::Release);
+        self.cell.store(0, Ordering::Relaxed);
     }
 }
 
@@ -86,12 +86,16 @@ pub struct Gauge {
 impl Gauge {
     /// Sets the value.
     pub fn set(&self, v: i64) {
-        self.cell.store(v, Ordering::Release);
+        self.cell.store(v, Ordering::Relaxed);
     }
 
     /// Adds `n` and returns the new value.
+    ///
+    /// All gauge orderings are `Relaxed`: metrics are statistics, never
+    /// synchronization — readers only need eventual totals (thread joins
+    /// and lock hand-offs already order the interesting snapshots).
     pub fn add(&self, n: i64) -> i64 {
-        self.cell.fetch_add(n, Ordering::AcqRel) + n
+        self.cell.fetch_add(n, Ordering::Relaxed) + n
     }
 
     /// Subtracts `n` and returns the new value.
@@ -101,12 +105,12 @@ impl Gauge {
 
     /// Raises the gauge to `v` if `v` is larger (peak tracking).
     pub fn set_max(&self, v: i64) {
-        self.cell.fetch_max(v, Ordering::AcqRel);
+        self.cell.fetch_max(v, Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> i64 {
-        self.cell.load(Ordering::Acquire)
+        self.cell.load(Ordering::Relaxed)
     }
 }
 
@@ -165,12 +169,12 @@ impl Histogram {
 
     /// Number of samples recorded.
     pub fn count(&self) -> u64 {
-        self.cells.count.load(Ordering::Acquire)
+        self.cells.count.load(Ordering::Relaxed)
     }
 
     /// Sum of all samples.
     pub fn sum(&self) -> u64 {
-        self.cells.sum.load(Ordering::Acquire)
+        self.cells.sum.load(Ordering::Relaxed)
     }
 
     /// Mean sample, or 0 if empty.
@@ -194,7 +198,7 @@ impl Histogram {
     pub fn snapshot(&self) -> HistogramSnapshot {
         let mut buckets = Vec::new();
         for (i, b) in self.cells.buckets.iter().enumerate() {
-            let c = b.load(Ordering::Acquire);
+            let c = b.load(Ordering::Relaxed);
             if c > 0 {
                 buckets.push((bucket_upper_bound(i), c));
             }

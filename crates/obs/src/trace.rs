@@ -10,12 +10,27 @@
 //! The buffer is bounded: when full, the oldest events are dropped and
 //! counted in [`Tracer::dropped`], so tracing never grows without bound
 //! during long experiments.
+//!
+//! # Sampling
+//!
+//! At one trace event per packet-side action, the ring's `Mutex` sits on
+//! the per-packet hot path. [`Tracer::set_sample_period`] keeps 1-in-N
+//! **cause chains**: the keep/drop decision is made once at each chain
+//! head and inherited by every event recorded under its span (or naming
+//! it as an explicit cause), so retained chains are always complete —
+//! a kept `DmaUnmap` never loses its `IotlbInvalidate` children.
+//! Sampled-out events still consume a sequence number (counted in
+//! [`Tracer::sampled_out`], separate from ring-overflow drops) but skip
+//! the lock entirely. Security events ([`EventKind::AttackBlocked`],
+//! [`EventKind::SanitizerViolation`]) always bypass sampling.
 
 use simcore::sync::Mutex;
 use simcore::Cycles;
 use std::borrow::Cow;
+use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Structured payload of a trace event.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -162,8 +177,30 @@ impl fmt::Display for Event {
     }
 }
 
+/// Recent per-thread sampling decisions, so a chain head's keep/drop
+/// verdict is visible to children naming it as an explicit cause (the
+/// cause seq is always minted on the same host thread, moments earlier).
+const DECISION_RING: usize = 32;
+
 thread_local! {
-    static CAUSE_STACK: std::cell::RefCell<Vec<u64>> = const { std::cell::RefCell::new(Vec::new()) };
+    /// Innermost-last stack of open spans as `(seq, kept)`.
+    static CAUSE_STACK: RefCell<Vec<(u64, bool)>> = const { RefCell::new(Vec::new()) };
+    /// Ring of the last [`DECISION_RING`] `(seq, kept)` verdicts.
+    static DECISIONS: RefCell<[(u64, bool); DECISION_RING]> =
+        const { RefCell::new([(u64::MAX, true); DECISION_RING]) };
+}
+
+fn note_decision(seq: u64, kept: bool) {
+    DECISIONS.with(|d| d.borrow_mut()[(seq % DECISION_RING as u64) as usize] = (seq, kept));
+}
+
+/// Whether `seq` was kept when recorded on this thread; unknown (old or
+/// cross-thread) seqs default to kept so chains are never over-pruned.
+fn decision_for(seq: u64) -> bool {
+    DECISIONS.with(|d| {
+        let (s, kept) = d.borrow()[(seq % DECISION_RING as u64) as usize];
+        s != seq || kept
+    })
 }
 
 /// RAII guard marking the enclosing event as the *cause* of every event
@@ -189,21 +226,26 @@ impl Drop for SpanGuard {
 }
 
 /// Opens a cause span: events recorded while the guard lives default
-/// their `cause` to `seq`.
+/// their `cause` to `seq` — and inherit `seq`'s sampling verdict, so a
+/// sampled-out head's children are sampled out with it.
 pub fn span(seq: u64) -> SpanGuard {
-    CAUSE_STACK.with(|s| s.borrow_mut().push(seq));
+    let kept = decision_for(seq);
+    CAUSE_STACK.with(|s| s.borrow_mut().push((seq, kept)));
     SpanGuard { _priv: () }
 }
 
 /// The innermost open span's event seq, if any.
 pub fn current_cause() -> Option<u64> {
+    CAUSE_STACK.with(|s| s.borrow().last().map(|&(seq, _)| seq))
+}
+
+fn current_cause_entry() -> Option<(u64, bool)> {
     CAUSE_STACK.with(|s| s.borrow().last().copied())
 }
 
 #[derive(Debug, Default)]
 struct Ring {
     events: VecDeque<Event>,
-    next_seq: u64,
     dropped: u64,
 }
 
@@ -212,6 +254,15 @@ struct Ring {
 pub struct Tracer {
     ring: Mutex<Ring>,
     capacity: usize,
+    /// Sequence allocator — outside the ring lock, so sampled-out events
+    /// never touch the `Mutex`.
+    next_seq: AtomicU64,
+    /// Chain heads seen so far; drives the 1-in-N keep decision.
+    heads: AtomicU64,
+    /// Keep 1 chain in `period`; 1 records everything.
+    sample_period: AtomicU64,
+    /// Events skipped by sampling (distinct from ring-overflow `dropped`).
+    sampled_out: AtomicU64,
 }
 
 /// Default ring capacity (events retained before the oldest are dropped).
@@ -229,14 +280,38 @@ impl Tracer {
         Tracer {
             ring: Mutex::new(Ring::default()),
             capacity: capacity.max(1),
+            next_seq: AtomicU64::new(0),
+            heads: AtomicU64::new(0),
+            sample_period: AtomicU64::new(1),
+            sampled_out: AtomicU64::new(0),
         }
+    }
+
+    /// Keeps 1 in `period` cause chains (see the module docs); `0` and
+    /// `1` both mean "record everything".
+    pub fn set_sample_period(&self, period: u64) {
+        self.sample_period.store(period.max(1), Ordering::Relaxed);
+    }
+
+    /// Current sampling period (1 = unsampled).
+    pub fn sample_period(&self) -> u64 {
+        self.sample_period.load(Ordering::Relaxed)
+    }
+
+    /// Events skipped by chain sampling (never counts security events;
+    /// distinct from ring-overflow [`Tracer::dropped`]).
+    pub fn sampled_out(&self) -> u64 {
+        self.sampled_out.load(Ordering::Relaxed)
     }
 
     /// Records an event, returning its sequence number (usable as the
     /// `cause` of follow-on events). If a [`span`] is open on this host
     /// thread, the event's cause defaults to it.
     pub fn record(&self, at: Cycles, core: u16, device: Option<u16>, kind: EventKind) -> u64 {
-        self.push(at, core, device, current_cause(), kind)
+        match current_cause_entry() {
+            Some((cause, kept)) => self.push(at, core, device, Some(cause), Some(kept), kind),
+            None => self.push(at, core, device, None, None, kind),
+        }
     }
 
     /// Records an event caused by event `cause`.
@@ -248,7 +323,8 @@ impl Tracer {
         cause: u64,
         kind: EventKind,
     ) -> u64 {
-        self.push(at, core, device, Some(cause), kind)
+        let kept = decision_for(cause);
+        self.push(at, core, device, Some(cause), Some(kept), kind)
     }
 
     fn push(
@@ -257,11 +333,32 @@ impl Tracer {
         core: u16,
         device: Option<u16>,
         cause: Option<u64>,
+        cause_kept: Option<bool>,
         kind: EventKind,
     ) -> u64 {
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let period = self.sample_period.load(Ordering::Relaxed);
+        // Security events always bypass sampling; otherwise chain members
+        // follow their head's verdict and heads keep 1 in `period`.
+        let security = matches!(
+            kind,
+            EventKind::AttackBlocked { .. } | EventKind::SanitizerViolation { .. }
+        );
+        let kept = security
+            || period <= 1
+            || match cause_kept {
+                Some(kept) => kept,
+                None => self
+                    .heads
+                    .fetch_add(1, Ordering::Relaxed)
+                    .is_multiple_of(period),
+            };
+        note_decision(seq, kept);
+        if !kept {
+            self.sampled_out.fetch_add(1, Ordering::Relaxed);
+            return seq;
+        }
         let mut r = self.ring.lock();
-        let seq = r.next_seq;
-        r.next_seq += 1;
         if r.events.len() == self.capacity {
             r.events.pop_front();
             r.dropped += 1;
@@ -279,7 +376,11 @@ impl Tracer {
 
     /// Snapshot of retained events, oldest first.
     pub fn events(&self) -> Vec<Event> {
-        self.ring.lock().events.iter().cloned().collect()
+        // One lock hold, one exact-size allocation, one bulk extend.
+        let r = self.ring.lock();
+        let mut out = Vec::with_capacity(r.events.len());
+        out.extend(r.events.iter().cloned());
+        out
     }
 
     /// Events dropped because the ring was full.
@@ -379,5 +480,96 @@ mod tests {
         seqs.sort_unstable();
         seqs.dedup();
         assert_eq!(seqs.len(), 4000, "no duplicated sequence numbers");
+    }
+
+    #[test]
+    fn sampling_keeps_whole_chains() {
+        let t = Tracer::default();
+        t.set_sample_period(4);
+        assert_eq!(t.sample_period(), 4);
+        // 100 chains of head + 2 children (one via span, one explicit).
+        for i in 0..100u64 {
+            let head = t.record(Cycles(i), 0, None, ev(i));
+            let _g = span(head);
+            let mid = t.record(
+                Cycles(i),
+                0,
+                None,
+                EventKind::IotlbInvalidate {
+                    pages: 1,
+                    wait_cycles: 10,
+                },
+            );
+            t.record_caused(
+                Cycles(i),
+                0,
+                None,
+                mid,
+                EventKind::DmaUnmap { iova: i, len: 64 },
+            );
+        }
+        let evs = t.events();
+        // 1-in-4 heads kept, each with its full chain.
+        assert_eq!(evs.len(), 75, "25 of 100 chains retained, 3 events each");
+        assert_eq!(t.sampled_out(), 225);
+        let retained: std::collections::HashSet<u64> = evs.iter().map(|e| e.seq).collect();
+        for e in &evs {
+            if let Some(c) = e.cause {
+                assert!(
+                    retained.contains(&c),
+                    "event #{} retained but its cause #{c} was sampled out",
+                    e.seq
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn security_events_bypass_sampling() {
+        let t = Tracer::default();
+        t.set_sample_period(1_000_000);
+        t.record(Cycles(0), 0, None, ev(0)); // head: kept (first of period)
+        for i in 1..50u64 {
+            t.record(Cycles(i), 0, None, ev(i)); // heads: sampled out
+        }
+        t.record(
+            Cycles(50),
+            0,
+            Some(1),
+            EventKind::AttackBlocked {
+                iova: 0xbad,
+                access: Cow::Borrowed("write"),
+                reason: Cow::Borrowed("not_mapped"),
+            },
+        );
+        t.record(
+            Cycles(51),
+            0,
+            Some(1),
+            EventKind::SanitizerViolation {
+                rule: Cow::Borrowed("stale_access"),
+                iova: 0xbad,
+                detail: Cow::Borrowed("use after unmap"),
+            },
+        );
+        let names: Vec<&str> = t.events().iter().map(|e| e.kind.name()).collect();
+        assert_eq!(names, ["DmaMap", "AttackBlocked", "SanitizerViolation"]);
+    }
+
+    #[test]
+    fn sampled_out_is_separate_from_dropped() {
+        let t = Tracer::with_capacity(4);
+        t.set_sample_period(2);
+        for i in 0..20u64 {
+            t.record(Cycles(i), 0, None, ev(i));
+        }
+        assert_eq!(t.sampled_out(), 10, "every other chain head skipped");
+        assert_eq!(t.dropped(), 6, "10 kept, ring holds 4");
+        assert_eq!(t.len(), 4);
+        // Disabling sampling restores record-everything behavior.
+        t.set_sample_period(0);
+        let before = t.sampled_out();
+        t.record(Cycles(99), 0, None, ev(99));
+        assert_eq!(t.sampled_out(), before);
     }
 }

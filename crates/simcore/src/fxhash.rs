@@ -1,0 +1,128 @@
+//! A fast, non-cryptographic hasher for hot-path maps.
+//!
+//! The standard library's default `HashMap` hasher (SipHash-1-3) is
+//! DoS-resistant but costs tens of nanoseconds per small key — real money
+//! on per-packet paths that hash a handful of `u64` keys each (the slab
+//! allocator's live-object map, the IOMMU's per-device table lookup, the
+//! sanitizer's device states). Keys on those paths are frame numbers and
+//! device ids produced by the simulation itself, never attacker-chosen,
+//! so the multiply-rotate mix used by rustc's own interner hashing
+//! (`FxHash`) is the right trade: one multiply per word, no DoS concern.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplier from the FxHash mix (the golden-ratio-derived odd constant).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// One-shot multiply-rotate hasher; see the module docs for when it is
+/// appropriate (simulation-internal keys only).
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(c);
+            self.mix(u64::from_le_bytes(buf));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.mix(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.mix(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.mix(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.mix(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.mix(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.mix(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed by simulation-internal values (see module docs).
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` of simulation-internal values (see module docs).
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_basic_operations() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i * 4096, "frame");
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get(&(999 * 4096)), Some(&"frame"));
+        assert_eq!(m.remove(&0), Some("frame"));
+        assert!(!m.contains_key(&0));
+    }
+
+    #[test]
+    fn hash_is_deterministic_and_spreads_sequential_keys() {
+        let h = |n: u64| {
+            let mut hasher = FxHasher::default();
+            hasher.write_u64(n);
+            hasher.finish()
+        };
+        assert_eq!(h(42), h(42));
+        // Sequential frame numbers must not collide in the low bits the
+        // table indexes with.
+        let low: FxHashSet<u64> = (0..256).map(|i| h(i) & 0xff).collect();
+        assert!(low.len() > 128, "low-bit spread too poor: {}", low.len());
+    }
+
+    #[test]
+    fn compound_and_byte_keys_work() {
+        let mut m: FxHashMap<(u16, usize), u32> = FxHashMap::default();
+        m.insert((3, 7), 1);
+        assert_eq!(m.get(&(3, 7)), Some(&1));
+        let mut s: FxHashSet<String> = FxHashSet::default();
+        s.insert("pool.cache".into());
+        assert!(s.contains("pool.cache"));
+    }
+}

@@ -31,6 +31,7 @@ mod breakdown;
 mod clock;
 mod cost;
 mod cycles;
+pub mod fxhash;
 mod lock;
 mod rng;
 mod sched;
@@ -41,6 +42,7 @@ pub use breakdown::{Breakdown, Phase};
 pub use clock::CoreCtx;
 pub use cost::{CostModel, MemcpyFlavor};
 pub use cycles::{CoreId, Cycles, Gbps};
+pub use fxhash::{FxHashMap, FxHashSet};
 pub use lock::{LockStats, SimLock};
 pub use rng::SimRng;
 pub use sched::{CoreTask, MultiCoreSim, StepOutcome};

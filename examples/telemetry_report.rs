@@ -42,6 +42,9 @@ fn main() {
         msg_size: 64 * 1024,
         items_per_core: 400,
         warmup_per_core: 50,
+        // This report parses the full trajectory back out of the trace
+        // ring, so chain sampling must be off.
+        trace_sample: 1,
         ..ExpConfig::default()
     };
 
