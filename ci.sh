@@ -6,6 +6,10 @@ cargo build --release --workspace --all-targets
 cargo test -q --workspace
 cargo test -q --workspace --features dmasan-strict
 cargo run -q --bin lint
+# Bounded model checking: prove the strict strategies hold the protection
+# invariant within bounds and replay the committed deferred-invalidation
+# counterexample. Deterministic (fixed bounds, no wall clock).
+cargo run -q --release -p modelcheck --bin mc-suite
 cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings
 # Host-time regression gate: fail if any hot-path workload runs >25%

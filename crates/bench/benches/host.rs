@@ -2,6 +2,9 @@
 //! hot loops in real time and maintains the `BENCH_HOST.json` perf
 //! trajectory (`--record <label>` to append, `--check` for the CI gate).
 
+// lint: allow(ambient-io) — the harness entry point forwards argv and
+// turns the run's outcome into the process exit code
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     std::process::exit(bench::host::run(&args));

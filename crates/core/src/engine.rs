@@ -10,8 +10,8 @@ use dma_api::{
 };
 use iommu::{DeviceId, Iommu};
 use memsim::PhysMemory;
+use simcore::sync::Mutex;
 use simcore::{CoreCtx, Phase};
-use std::cell::RefCell;
 use std::sync::Arc;
 
 /// A driver-registered copying hint (§5.4): given the (untrusted) contents
@@ -68,7 +68,7 @@ pub struct ShadowDma {
     /// buffers) — infrequent, so the global tree's lock stays cold.
     zc_iova: GlobalTreeIovaAllocator,
     coherent: CoherentHelper,
-    hint: RefCell<Option<CopyHint>>,
+    hint: Mutex<Option<CopyHint>>,
 }
 
 impl std::fmt::Debug for ShadowDma {
@@ -76,7 +76,7 @@ impl std::fmt::Debug for ShadowDma {
         f.debug_struct("ShadowDma")
             .field("dev", &self.dev)
             .field("pool", &self.pool.stats())
-            .field("has_hint", &self.hint.borrow().is_some())
+            .field("has_hint", &self.hint.lock().is_some())
             .finish()
     }
 }
@@ -112,7 +112,7 @@ impl ShadowDma {
             pool,
             mem,
             dev,
-            hint: RefCell::new(None),
+            hint: Mutex::new(None),
         }
     }
 
@@ -134,18 +134,18 @@ impl ShadowDma {
     /// Registers a copying hint (§5.4). The hint's input is untrusted
     /// device-written data; it must be fast and defensive.
     pub fn set_copy_hint(&self, hint: CopyHint) {
-        *self.hint.borrow_mut() = Some(hint);
+        *self.hint.lock() = Some(hint);
     }
 
     /// Removes the copying hint.
     pub fn clear_copy_hint(&self) {
-        *self.hint.borrow_mut() = None;
+        *self.hint.lock() = None;
     }
 
     /// The number of bytes to copy back for a device-written buffer,
     /// consulting the hint if registered.
     fn copy_back_len(&self, shadow_bytes: &[u8], mapped_len: usize) -> usize {
-        match &*self.hint.borrow() {
+        match &*self.hint.lock() {
             Some(h) => h(shadow_bytes).min(mapped_len),
             None => mapped_len,
         }
@@ -232,7 +232,7 @@ impl DmaEngine for ShadowDma {
         if mapping.dir.device_writes() {
             // Consult the copying hint (if any) on the DMAed bytes; without
             // a hint the whole mapped length is copied back.
-            let n = if self.hint.borrow().is_some() {
+            let n = if self.hint.lock().is_some() {
                 let shadow_bytes = self.mem.read_vec(sref.shadow_pa, mapping.len)?;
                 self.copy_back_len(&shadow_bytes, mapping.len)
             } else {

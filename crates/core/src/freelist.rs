@@ -15,6 +15,10 @@
 //! Head and tail state live apart (head is an atomic, tail is inside the
 //! lock) mirroring the paper's separate-cache-line layout.
 
+// lint: allow(relaxed-atomic) — `len` is advisory occupancy telemetry;
+// list integrity is carried by the head CAS and the tail lock, never by
+// the length counter
+
 use crate::slot::{MetadataArray, NIL};
 use simcore::sync::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};

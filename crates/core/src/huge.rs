@@ -18,9 +18,9 @@ use dma_api::{DmaBuf, DmaError, GlobalTreeIovaAllocator, IovaAllocator};
 use iommu::{DeviceId, Iommu, Iova, IovaPage, Perms};
 use memsim::{Pfn, PhysAddr, PhysMemory, PAGE_SIZE};
 use obs::{Counter, Obs};
+use simcore::sync::Mutex;
 use simcore::FxHashMap;
 use simcore::{CoreCtx, Phase};
-use std::cell::RefCell;
 use std::sync::Arc;
 
 /// Huge-path statistics.
@@ -57,7 +57,7 @@ pub struct HugeMapper {
     mem: Arc<PhysMemory>,
     mmu: Arc<Iommu>,
     dev: DeviceId,
-    live: RefCell<FxHashMap<u64, HugeEntry>>,
+    live: Mutex<FxHashMap<u64, HugeEntry>>,
     maps: Counter,
     unmaps: Counter,
     shadowed_bytes: Counter,
@@ -78,7 +78,7 @@ impl HugeMapper {
             mem,
             mmu,
             dev,
-            live: RefCell::new(FxHashMap::default()),
+            live: Mutex::new(FxHashMap::default()),
             maps: obs.counter("huge", "maps", d),
             unmaps: obs.counter("huge", "unmaps", d),
             shadowed_bytes: obs.counter("huge", "shadowed_bytes", d),
@@ -88,12 +88,12 @@ impl HugeMapper {
 
     /// Whether `iova` belongs to a live huge mapping.
     pub fn owns(&self, iova: Iova) -> bool {
-        self.live.borrow().contains_key(&iova.get())
+        self.live.lock().contains_key(&iova.get())
     }
 
     /// Number of live huge mappings.
     pub fn live_count(&self) -> usize {
-        self.live.borrow().len()
+        self.live.lock().len()
     }
 
     /// Statistics snapshot (a view over the registry's `huge.*` counters).
@@ -173,7 +173,7 @@ impl HugeMapper {
         };
 
         let iova = first_page.base().add(off as u64);
-        self.live.borrow_mut().insert(
+        self.live.lock().insert(
             iova.get(),
             HugeEntry {
                 first_page,
@@ -205,7 +205,7 @@ impl HugeMapper {
     ) -> Result<(), DmaError> {
         let entry = self
             .live
-            .borrow_mut()
+            .lock()
             .remove(&iova.get())
             .ok_or(DmaError::BadUnmap(iova))?;
         let off = entry.os_pa.page_offset();

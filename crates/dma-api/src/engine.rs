@@ -15,10 +15,11 @@ use simcore::CoreCtx;
 /// 3. `unmap` revokes device access and returns buffer ownership to the
 ///    OS.
 ///
-/// All operations charge their modeled cost to `ctx`. Engines are designed
-/// for single-threaded *simulated* multi-core use: cross-core concurrency
-/// is expressed in virtual time via `ctx.core`, not host threads.
-pub trait DmaEngine {
+/// All operations charge their modeled cost to `ctx`. Simulated multi-core
+/// contention is expressed in virtual time via `ctx.core`; engines are
+/// additionally `Send + Sync` so the `modelcheck` bounded model checker can
+/// drive one engine instance from several schedule-controlled host threads.
+pub trait DmaEngine: Send + Sync {
     /// The engine's name as used in the paper's figures
     /// (`no iommu`, `copy`, `identity+`, `identity-`, `strict`, `defer`).
     fn name(&self) -> &'static str;

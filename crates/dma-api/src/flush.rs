@@ -10,9 +10,9 @@
 
 use iommu::IovaPage;
 use obs::{Counter, EventKind, Gauge, Obs};
+use simcore::sync::Mutex;
 use simcore::{CoreCtx, Cycles, Phase, SimLock};
 use std::borrow::Cow;
-use std::cell::RefCell;
 
 /// One deferred unmap: an IOVA range whose IOTLB entries are still live.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,7 +67,7 @@ pub struct DeferredFlusher {
     policy: DeferPolicy,
     scope: FlushScope,
     global_lock: SimLock,
-    lists: Vec<RefCell<PendingList>>,
+    lists: Vec<Mutex<PendingList>>,
     obs: Obs,
     drains: Counter,
     deferred_total: Counter,
@@ -96,9 +96,7 @@ impl DeferredFlusher {
             policy,
             scope,
             global_lock: SimLock::new(FLUSH_LOCK),
-            lists: (0..n)
-                .map(|_| RefCell::new(PendingList::default()))
-                .collect(),
+            lists: (0..n).map(|_| Mutex::new(PendingList::default())).collect(),
             drains: obs.counter("flush", "drains", None),
             deferred_total: obs.counter("flush", "deferred_total", None),
             pending_gauge: obs.gauge("flush", "pending", None),
@@ -146,7 +144,7 @@ impl DeferredFlusher {
     /// Number of currently pending (unmapped but not yet invalidated)
     /// ranges — the size of the open vulnerability window.
     pub fn pending(&self) -> usize {
-        self.lists.iter().map(|l| l.borrow().entries.len()).sum()
+        self.lists.iter().map(|l| l.lock().entries.len()).sum()
     }
 
     fn list_index(&self, ctx: &CoreCtx) -> usize {
@@ -170,25 +168,24 @@ impl DeferredFlusher {
         self.deferred_total.inc();
         self.peak_pending.set_max(self.pending_gauge.add(1));
         let idx = self.list_index(ctx);
-        let append =
-            |ctx: &mut CoreCtx, lists: &RefCell<PendingList>| -> Option<Vec<PendingUnmap>> {
-                ctx.charge(Phase::IommuPageTableMgmt, ctx.cost.defer_list_append);
-                let mut list = lists.borrow_mut();
-                list.entries.push(entry);
-                if list.oldest.is_none() {
-                    list.oldest = Some(ctx.now());
-                }
-                let over_batch = list.entries.len() >= self.policy.batch;
-                let over_time = list
-                    .oldest
-                    .is_some_and(|t| ctx.now().saturating_sub(t) >= self.policy.timeout);
-                if over_batch || over_time {
-                    list.oldest = None;
-                    Some(std::mem::take(&mut list.entries))
-                } else {
-                    None
-                }
-            };
+        let append = |ctx: &mut CoreCtx, lists: &Mutex<PendingList>| -> Option<Vec<PendingUnmap>> {
+            ctx.charge(Phase::IommuPageTableMgmt, ctx.cost.defer_list_append);
+            let mut list = lists.lock();
+            list.entries.push(entry);
+            if list.oldest.is_none() {
+                list.oldest = Some(ctx.now());
+            }
+            let over_batch = list.entries.len() >= self.policy.batch;
+            let over_time = list
+                .oldest
+                .is_some_and(|t| ctx.now().saturating_sub(t) >= self.policy.timeout);
+            if over_batch || over_time {
+                list.oldest = None;
+                Some(std::mem::take(&mut list.entries))
+            } else {
+                None
+            }
+        };
         let batch = match self.scope {
             FlushScope::Global => {
                 self.lockset(
@@ -241,7 +238,7 @@ impl DeferredFlusher {
                     );
                     let b = self.global_lock.with(ctx, |ctx| {
                         self.lockset_access(ctx, 0);
-                        let mut l = list.borrow_mut();
+                        let mut l = list.lock();
                         l.oldest = None;
                         std::mem::take(&mut l.entries)
                     });
@@ -255,7 +252,7 @@ impl DeferredFlusher {
                 }
                 FlushScope::PerCore => {
                     self.lockset_access(ctx, idx);
-                    let mut l = list.borrow_mut();
+                    let mut l = list.lock();
                     l.oldest = None;
                     std::mem::take(&mut l.entries)
                 }
@@ -273,6 +270,7 @@ impl DeferredFlusher {
 mod tests {
     use super::*;
     use simcore::{CoreId, CostModel};
+    use std::cell::RefCell;
     use std::sync::Arc;
 
     fn ctx(core: u16) -> CoreCtx {

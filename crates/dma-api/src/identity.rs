@@ -23,9 +23,9 @@ use crate::{
 };
 use iommu::{DeviceId, Iommu, Iova, IovaPage, Perms};
 use memsim::PhysMemory;
+use simcore::sync::Mutex;
 use simcore::CoreCtx;
 use simcore::FxHashMap;
-use std::cell::RefCell;
 use std::sync::Arc;
 
 /// The identity-mapping DMA engine (*identity+* / *identity−*).
@@ -35,7 +35,7 @@ pub struct IdentityDma {
     dev: DeviceId,
     strictness: Strictness,
     /// Refcount per mapped (identity) IOVA page.
-    refs: RefCell<FxHashMap<u64, u32>>,
+    refs: Mutex<FxHashMap<u64, u32>>,
     flusher: Option<DeferredFlusher>,
     coherent: CoherentHelper,
 }
@@ -106,7 +106,7 @@ impl IdentityDma {
             mmu,
             dev,
             strictness,
-            refs: RefCell::new(FxHashMap::default()),
+            refs: Mutex::new(FxHashMap::default()),
             flusher,
         }
     }
@@ -157,7 +157,7 @@ impl DmaEngine for IdentityDma {
         let first = buf.pa.pfn();
         for i in 0..buf.pages() {
             let pfn = first.add(i);
-            let mut refs = self.refs.borrow_mut();
+            let mut refs = self.refs.lock();
             let count = refs.entry(pfn.get()).or_insert(0);
             *count += 1;
             let fresh = *count == 1;
@@ -181,7 +181,7 @@ impl DmaEngine for IdentityDma {
         let mut to_invalidate = Vec::new();
         for i in 0..buf.pages() {
             let pfn = first.add(i);
-            let mut refs = self.refs.borrow_mut();
+            let mut refs = self.refs.lock();
             let count = refs
                 .get_mut(&pfn.get())
                 .ok_or(DmaError::BadUnmap(mapping.iova))?;

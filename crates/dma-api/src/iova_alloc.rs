@@ -9,8 +9,8 @@
 use crate::DmaError;
 use iommu::IovaPage;
 use obs::{Counter, EventKind, Obs};
+use simcore::sync::Mutex;
 use simcore::{CoreCtx, Cycles, Phase, SimLock};
-use std::cell::RefCell;
 use std::collections::BTreeMap;
 
 /// Emits a `LockContention` trace event if `lock` spun since `spin_before`.
@@ -100,7 +100,7 @@ impl Runs {
 #[derive(Debug)]
 pub struct GlobalTreeIovaAllocator {
     lock: SimLock,
-    runs: RefCell<Runs>,
+    runs: Mutex<Runs>,
     obs: Obs,
     allocs: Counter,
     frees: Counter,
@@ -117,7 +117,7 @@ impl GlobalTreeIovaAllocator {
     pub fn with_obs(obs: Obs) -> Self {
         GlobalTreeIovaAllocator {
             lock: SimLock::new("linux-iova-rbtree"),
-            runs: RefCell::new(Runs::full()),
+            runs: Mutex::new(Runs::full()),
             allocs: obs.counter("iova", "tree_allocs", None),
             frees: obs.counter("iova", "tree_frees", None),
             obs,
@@ -143,7 +143,7 @@ impl IovaAllocator for GlobalTreeIovaAllocator {
         let r = self.lock.with(ctx, |ctx| {
             ctx.charge(Phase::IommuPageTableMgmt, ctx.cost.iova_tree_alloc);
             self.runs
-                .borrow_mut()
+                .lock()
                 .alloc(n)
                 .map(IovaPage)
                 .ok_or(DmaError::IovaExhausted)
@@ -157,7 +157,7 @@ impl IovaAllocator for GlobalTreeIovaAllocator {
         let spin_before = self.lock.stats().total_spin;
         self.lock.with(ctx, |ctx| {
             ctx.charge(Phase::IommuPageTableMgmt, ctx.cost.iova_tree_free);
-            self.runs.borrow_mut().free(page.0, n);
+            self.runs.lock().free(page.0, n);
         });
         self.frees.inc();
         trace_contention(&self.obs, ctx, &self.lock, spin_before);
@@ -175,9 +175,9 @@ const MAGAZINE_REFILL: usize = 32;
 #[derive(Debug)]
 pub struct PerCoreIovaAllocator {
     shared_lock: SimLock,
-    shared: RefCell<Runs>,
+    shared: Mutex<Runs>,
     /// magazines[core] maps range-size -> cached range starts.
-    magazines: Vec<RefCell<BTreeMap<u64, Vec<u64>>>>,
+    magazines: Vec<Mutex<BTreeMap<u64, Vec<u64>>>>,
     allocs: Counter,
     frees: Counter,
     refills: Counter,
@@ -194,8 +194,8 @@ impl PerCoreIovaAllocator {
         assert!(cores > 0);
         PerCoreIovaAllocator {
             shared_lock: SimLock::new("scalable-iova-shared"),
-            shared: RefCell::new(Runs::full()),
-            magazines: (0..cores).map(|_| RefCell::new(BTreeMap::new())).collect(),
+            shared: Mutex::new(Runs::full()),
+            magazines: (0..cores).map(|_| Mutex::new(BTreeMap::new())).collect(),
             allocs: obs.counter("iova", "magazine_allocs", None),
             frees: obs.counter("iova", "magazine_frees", None),
             refills: obs.counter("iova", "magazine_refills", None),
@@ -207,7 +207,7 @@ impl PerCoreIovaAllocator {
         &self.shared_lock
     }
 
-    fn magazine(&self, ctx: &CoreCtx) -> &RefCell<BTreeMap<u64, Vec<u64>>> {
+    fn magazine(&self, ctx: &CoreCtx) -> &Mutex<BTreeMap<u64, Vec<u64>>> {
         &self.magazines[ctx.core.index() % self.magazines.len()]
     }
 }
@@ -217,19 +217,14 @@ impl IovaAllocator for PerCoreIovaAllocator {
         assert!(n > 0);
         ctx.charge(Phase::IommuPageTableMgmt, ctx.cost.iova_magazine_alloc);
         self.allocs.inc();
-        if let Some(start) = self
-            .magazine(ctx)
-            .borrow_mut()
-            .get_mut(&n)
-            .and_then(|v| v.pop())
-        {
+        if let Some(start) = self.magazine(ctx).lock().get_mut(&n).and_then(|v| v.pop()) {
             return Ok(IovaPage(start));
         }
         self.refills.inc();
         // Refill from the shared tree.
         let refill = self.shared_lock.with(ctx, |ctx| {
             ctx.charge(Phase::IommuPageTableMgmt, ctx.cost.iova_tree_alloc);
-            let mut shared = self.shared.borrow_mut();
+            let mut shared = self.shared.lock();
             let mut got = Vec::with_capacity(MAGAZINE_REFILL);
             for _ in 0..MAGAZINE_REFILL {
                 match shared.alloc(n) {
@@ -242,7 +237,7 @@ impl IovaAllocator for PerCoreIovaAllocator {
         if refill.is_empty() {
             return Err(DmaError::IovaExhausted);
         }
-        let mut mag = self.magazine(ctx).borrow_mut();
+        let mut mag = self.magazine(ctx).lock();
         let slot = mag.entry(n).or_default();
         slot.extend(&refill[1..]);
         Ok(IovaPage(refill[0]))
@@ -252,7 +247,7 @@ impl IovaAllocator for PerCoreIovaAllocator {
         ctx.charge(Phase::IommuPageTableMgmt, ctx.cost.iova_magazine_free);
         self.frees.inc();
         let spill: Option<Vec<u64>> = {
-            let mut mag = self.magazine(ctx).borrow_mut();
+            let mut mag = self.magazine(ctx).lock();
             let slot = mag.entry(n).or_default();
             slot.push(page.0);
             if slot.len() > MAGAZINE_CAP {
@@ -264,7 +259,7 @@ impl IovaAllocator for PerCoreIovaAllocator {
         if let Some(spill) = spill {
             self.shared_lock.with(ctx, |ctx| {
                 ctx.charge(Phase::IommuPageTableMgmt, ctx.cost.iova_tree_free);
-                let mut shared = self.shared.borrow_mut();
+                let mut shared = self.shared.lock();
                 for s in spill {
                     shared.free(s, n);
                 }
@@ -281,9 +276,9 @@ impl IovaAllocator for PerCoreIovaAllocator {
 #[derive(Debug)]
 pub struct GlobalCachedIovaAllocator {
     lock: SimLock,
-    runs: RefCell<Runs>,
+    runs: Mutex<Runs>,
     /// size (pages) -> cached range starts, shared by all cores.
-    cache: RefCell<BTreeMap<u64, Vec<u64>>>,
+    cache: Mutex<BTreeMap<u64, Vec<u64>>>,
     obs: Obs,
     allocs: Counter,
     frees: Counter,
@@ -299,8 +294,8 @@ impl GlobalCachedIovaAllocator {
     pub fn with_obs(obs: Obs) -> Self {
         GlobalCachedIovaAllocator {
             lock: SimLock::new("eiovar-iova-cache"),
-            runs: RefCell::new(Runs::full()),
-            cache: RefCell::new(BTreeMap::new()),
+            runs: Mutex::new(Runs::full()),
+            cache: Mutex::new(BTreeMap::new()),
             allocs: obs.counter("iova", "cached_allocs", None),
             frees: obs.counter("iova", "cached_frees", None),
             obs,
@@ -324,14 +319,14 @@ impl IovaAllocator for GlobalCachedIovaAllocator {
         assert!(n > 0);
         let spin_before = self.lock.stats().total_spin;
         let r = self.lock.with(ctx, |ctx| {
-            if let Some(start) = self.cache.borrow_mut().get_mut(&n).and_then(|v| v.pop()) {
+            if let Some(start) = self.cache.lock().get_mut(&n).and_then(|v| v.pop()) {
                 // Cache hit: cheap, like a magazine op.
                 ctx.charge(Phase::IommuPageTableMgmt, ctx.cost.iova_magazine_alloc);
                 return Ok(IovaPage(start));
             }
             ctx.charge(Phase::IommuPageTableMgmt, ctx.cost.iova_tree_alloc);
             self.runs
-                .borrow_mut()
+                .lock()
                 .alloc(n)
                 .map(IovaPage)
                 .ok_or(DmaError::IovaExhausted)
@@ -347,7 +342,7 @@ impl IovaAllocator for GlobalCachedIovaAllocator {
             // Frees go to the cache, matching EiovaR's observation that the
             // ring pattern re-allocates the same sizes immediately.
             ctx.charge(Phase::IommuPageTableMgmt, ctx.cost.iova_magazine_free);
-            self.cache.borrow_mut().entry(n).or_default().push(page.0);
+            self.cache.lock().entry(n).or_default().push(page.0);
         });
         self.frees.inc();
         trace_contention(&self.obs, ctx, &self.lock, spin_before);
@@ -358,14 +353,14 @@ impl IovaAllocator for GlobalCachedIovaAllocator {
 /// tests that need unique IOVAs without allocator costs.
 #[derive(Debug)]
 pub struct BumpIova {
-    next: std::cell::Cell<u64>,
+    next: Mutex<u64>,
 }
 
 impl BumpIova {
     /// Creates the bump allocator.
     pub fn new() -> Self {
         BumpIova {
-            next: std::cell::Cell::new(IOVA_PAGE_LO),
+            next: Mutex::new(IOVA_PAGE_LO),
         }
     }
 }
@@ -378,11 +373,12 @@ impl Default for BumpIova {
 
 impl IovaAllocator for BumpIova {
     fn alloc(&self, _ctx: &mut CoreCtx, n: u64) -> Result<IovaPage, DmaError> {
-        let start = self.next.get();
+        let mut next = self.next.lock();
+        let start = *next;
         if start + n > IOVA_PAGE_HI {
             return Err(DmaError::IovaExhausted);
         }
-        self.next.set(start + n);
+        *next = start + n;
         Ok(IovaPage(start))
     }
 

@@ -12,9 +12,9 @@ use crate::{
 };
 use iommu::{DeviceId, Iommu, IovaPage};
 use memsim::PhysMemory;
+use simcore::sync::Mutex;
 use simcore::CoreCtx;
 use simcore::FxHashMap;
-use std::cell::RefCell;
 use std::sync::Arc;
 
 #[derive(Debug, Clone, Copy)]
@@ -36,8 +36,8 @@ pub struct LinuxDma {
     dev: DeviceId,
     strictness: Strictness,
     name: &'static str,
-    allocator: Box<dyn IovaAllocator>,
-    live: RefCell<FxHashMap<u64, LiveMapping>>,
+    allocator: Box<dyn IovaAllocator + Send + Sync>,
+    live: Mutex<FxHashMap<u64, LiveMapping>>,
     flusher: Option<DeferredFlusher>,
     coherent: CoherentHelper,
 }
@@ -102,7 +102,7 @@ impl LinuxDma {
                 Strictness::Deferred => "defer",
             },
             allocator,
-            live: RefCell::new(FxHashMap::default()),
+            live: Mutex::new(FxHashMap::default()),
             flusher,
         }
     }
@@ -160,7 +160,7 @@ impl DmaEngine for LinuxDma {
         self.mmu
             .map_range(ctx, self.dev, first, buf.pa.pfn(), pages, dir.perms())?;
         let iova = first.base().add(buf.pa.page_offset() as u64);
-        self.live.borrow_mut().insert(
+        self.live.lock().insert(
             iova.get(),
             LiveMapping {
                 first_page: first,
@@ -178,7 +178,7 @@ impl DmaEngine for LinuxDma {
     fn unmap(&self, ctx: &mut CoreCtx, mapping: DmaMapping) -> Result<(), DmaError> {
         let live = self
             .live
-            .borrow_mut()
+            .lock()
             .remove(&mapping.iova.get())
             .ok_or(DmaError::BadUnmap(mapping.iova))?;
         let pages: Vec<IovaPage> = (0..live.pages).map(|i| live.first_page.add(i)).collect();

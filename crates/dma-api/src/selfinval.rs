@@ -17,9 +17,9 @@ use crate::{
 };
 use iommu::{DeviceId, Iommu, Iova, IovaPage, Perms};
 use memsim::PhysMemory;
+use simcore::sync::Mutex;
 use simcore::CoreCtx;
 use simcore::FxHashMap;
-use std::cell::RefCell;
 use std::sync::Arc;
 
 /// The self-invalidating-hardware engine (identity placement, like \[42\],
@@ -29,7 +29,7 @@ use std::sync::Arc;
 pub struct SelfInvalidatingDma {
     mmu: Arc<Iommu>,
     dev: DeviceId,
-    refs: RefCell<FxHashMap<u64, u32>>,
+    refs: Mutex<FxHashMap<u64, u32>>,
     coherent: CoherentHelper,
 }
 
@@ -40,7 +40,7 @@ impl SelfInvalidatingDma {
             coherent: CoherentHelper::new(mem, mmu.clone(), dev),
             mmu,
             dev,
-            refs: RefCell::new(FxHashMap::default()),
+            refs: Mutex::new(FxHashMap::default()),
         }
     }
 }
@@ -74,7 +74,7 @@ impl DmaEngine for SelfInvalidatingDma {
         for i in 0..buf.pages() {
             let pfn = first.add(i);
             let fresh = {
-                let mut refs = self.refs.borrow_mut();
+                let mut refs = self.refs.lock();
                 let count = refs.entry(pfn.get()).or_insert(0);
                 *count += 1;
                 *count == 1
@@ -98,7 +98,7 @@ impl DmaEngine for SelfInvalidatingDma {
         for i in 0..buf.pages() {
             let pfn = first.add(i);
             let dead = {
-                let mut refs = self.refs.borrow_mut();
+                let mut refs = self.refs.lock();
                 let count = refs
                     .get_mut(&pfn.get())
                     .ok_or(DmaError::BadUnmap(mapping.iova))?;

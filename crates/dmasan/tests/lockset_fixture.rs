@@ -104,12 +104,12 @@ fn correctly_sized_per_core_flusher_is_clean() {
 fn invalidation_queue_is_lock_serialized() {
     let obs = detail_obs();
     let q = InvalQueue::with_obs(obs.clone());
-    let mut tlb = Iotlb::new(64);
+    let tlb = simcore::sync::Mutex::new(Iotlb::new(64));
     let dev = DeviceId(0);
     let (mut c0, mut c1) = (ctx(0), ctx(1));
     for i in 0..8u64 {
-        q.invalidate_pages_sync(&mut c0, &mut tlb, dev, &[IovaPage(i)]);
-        q.invalidate_pages_sync(&mut c1, &mut tlb, dev, &[IovaPage(100 + i)]);
+        q.invalidate_pages_sync(&mut c0, &tlb, dev, &[IovaPage(i)]);
+        q.invalidate_pages_sync(&mut c1, &tlb, dev, &[IovaPage(100 + i)]);
     }
     assert!(
         LocksetDetector::analyze(&obs.tracer().events()).is_empty(),

@@ -11,6 +11,7 @@
 
 use crate::{DeviceId, Iotlb, IovaPage};
 use obs::{Counter, EventKind, MetricKey, Obs};
+use simcore::sync::Mutex;
 use simcore::{CoreCtx, Cycles, Phase, SimLock};
 
 /// Invalidation-queue statistics.
@@ -129,7 +130,7 @@ impl InvalQueue {
     pub fn invalidate_page_sync(
         &self,
         ctx: &mut CoreCtx,
-        iotlb: &mut Iotlb,
+        iotlb: &Mutex<Iotlb>,
         dev: DeviceId,
         page: IovaPage,
     ) {
@@ -143,10 +144,14 @@ impl InvalQueue {
     /// covers a *contiguous* page range (via the address-mask field), so a
     /// 16-page TSO buffer costs one posted command and one completion wait,
     /// while scattered pages cost one each.
+    ///
+    /// Takes the IOTLB *by its host lock*, acquired only inside the queue's
+    /// critical section — the instrumented `LockAcquire` (a model-checker
+    /// preemption point) therefore fires while no host lock is held.
     pub fn invalidate_pages_sync(
         &self,
         ctx: &mut CoreCtx,
-        iotlb: &mut Iotlb,
+        iotlb: &Mutex<Iotlb>,
         dev: DeviceId,
         pages: &[IovaPage],
     ) {
@@ -157,6 +162,7 @@ impl InvalQueue {
         let spin_before = self.lock.stats().total_spin;
         let wait_start = ctx.breakdown.get(Phase::InvalidateIotlb);
         self.with_lockset(ctx, |ctx| {
+            let mut iotlb = iotlb.lock();
             let mut i = 0;
             while i < pages.len() {
                 // Extend over the contiguous run starting at pages[i].
@@ -221,12 +227,12 @@ impl InvalQueue {
     /// single domain-selective flush command. This is what deferred
     /// protection pays once per drained batch (§2.2.1: every 250 unmaps or
     /// 10 ms).
-    pub fn flush_device_sync(&self, ctx: &mut CoreCtx, iotlb: &mut Iotlb, dev: DeviceId) {
+    pub fn flush_device_sync(&self, ctx: &mut CoreCtx, iotlb: &Mutex<Iotlb>, dev: DeviceId) {
         let spin_before = self.lock.stats().total_spin;
         let wait_start = ctx.breakdown.get(Phase::InvalidateIotlb);
         self.with_lockset(ctx, |ctx| {
             ctx.charge(Phase::InvalidateIotlb, ctx.cost.inval_queue_post);
-            iotlb.invalidate_device(dev);
+            iotlb.lock().invalidate_device(dev);
             self.flush_commands.inc();
             ctx.charge(Phase::InvalidateIotlb, ctx.cost.global_iotlb_flush);
             self.waits.inc();
@@ -277,11 +283,11 @@ mod tests {
     #[test]
     fn sync_invalidation_removes_entry_and_charges_wait() {
         let q = InvalQueue::new();
-        let mut tlb = Iotlb::new(8);
+        let tlb = Mutex::new(Iotlb::new(8));
         let mut c = ctx();
-        tlb.insert(DEV, IovaPage(3), entry());
-        q.invalidate_page_sync(&mut c, &mut tlb, DEV, IovaPage(3));
-        assert!(!tlb.contains(DEV, IovaPage(3)));
+        tlb.lock().insert(DEV, IovaPage(3), entry());
+        q.invalidate_page_sync(&mut c, &tlb, DEV, IovaPage(3));
+        assert!(!tlb.lock().contains(DEV, IovaPage(3)));
         // Cost at least the hardware wait (plus post + lock).
         assert!(c.breakdown.get(Phase::InvalidateIotlb) >= c.cost.iotlb_inval_wait);
         assert_eq!(q.stats().page_commands, 1);
@@ -292,10 +298,10 @@ mod tests {
     fn wait_scales_with_active_cores() {
         let run = |cores: usize| {
             let q = InvalQueue::new();
-            let mut tlb = Iotlb::new(8);
+            let tlb = Mutex::new(Iotlb::new(8));
             let mut c = ctx();
             c.active_cores = cores;
-            q.invalidate_page_sync(&mut c, &mut tlb, DEV, IovaPage(1));
+            q.invalidate_page_sync(&mut c, &tlb, DEV, IovaPage(1));
             c.breakdown.get(Phase::InvalidateIotlb)
         };
         assert!(run(16) > run(1) * 2);
@@ -304,16 +310,16 @@ mod tests {
     #[test]
     fn contiguous_batch_is_one_command() {
         let q = InvalQueue::new();
-        let mut tlb = Iotlb::new(64);
+        let tlb = Mutex::new(Iotlb::new(64));
         let mut c = ctx();
         // A 16-page TSO buffer: one range command, one wait.
         let pages: Vec<IovaPage> = (0..16).map(IovaPage).collect();
         for &p in &pages {
-            tlb.insert(DEV, p, entry());
+            tlb.lock().insert(DEV, p, entry());
         }
-        q.invalidate_pages_sync(&mut c, &mut tlb, DEV, &pages);
+        q.invalidate_pages_sync(&mut c, &tlb, DEV, &pages);
         for &p in &pages {
-            assert!(!tlb.contains(DEV, p));
+            assert!(!tlb.lock().contains(DEV, p));
         }
         assert_eq!(q.stats().page_commands, 1);
         assert!(c.breakdown.get(Phase::InvalidateIotlb) < c.cost.iotlb_inval_wait * 2);
@@ -322,15 +328,15 @@ mod tests {
     #[test]
     fn scattered_batch_charges_per_run() {
         let q = InvalQueue::new();
-        let mut tlb = Iotlb::new(64);
+        let tlb = Mutex::new(Iotlb::new(64));
         let mut c = ctx();
         let pages: Vec<IovaPage> = [0u64, 1, 5, 9, 10].into_iter().map(IovaPage).collect();
         for &p in &pages {
-            tlb.insert(DEV, p, entry());
+            tlb.lock().insert(DEV, p, entry());
         }
-        q.invalidate_pages_sync(&mut c, &mut tlb, DEV, &pages);
+        q.invalidate_pages_sync(&mut c, &tlb, DEV, &pages);
         for &p in &pages {
-            assert!(!tlb.contains(DEV, p));
+            assert!(!tlb.lock().contains(DEV, p));
         }
         assert_eq!(q.stats().page_commands, 3, "runs: [0,1] [5] [9,10]");
         assert_eq!(q.stats().waits, 1, "one lock hold / wait descriptor");
@@ -340,9 +346,9 @@ mod tests {
     #[test]
     fn empty_batch_is_free() {
         let q = InvalQueue::new();
-        let mut tlb = Iotlb::new(8);
+        let tlb = Mutex::new(Iotlb::new(8));
         let mut c = ctx();
-        q.invalidate_pages_sync(&mut c, &mut tlb, DEV, &[]);
+        q.invalidate_pages_sync(&mut c, &tlb, DEV, &[]);
         assert_eq!(c.now(), Cycles::ZERO);
         assert_eq!(q.stats().waits, 0);
     }
@@ -350,13 +356,13 @@ mod tests {
     #[test]
     fn device_flush_is_one_command() {
         let q = InvalQueue::new();
-        let mut tlb = Iotlb::new(1024);
+        let tlb = Mutex::new(Iotlb::new(1024));
         let mut c = ctx();
         for i in 0..250 {
-            tlb.insert(DEV, IovaPage(i), entry());
+            tlb.lock().insert(DEV, IovaPage(i), entry());
         }
-        q.flush_device_sync(&mut c, &mut tlb, DEV);
-        assert!(tlb.is_empty());
+        q.flush_device_sync(&mut c, &tlb, DEV);
+        assert!(tlb.lock().is_empty());
         assert_eq!(q.stats().flush_commands, 1);
         // A single flush is far cheaper than 250 selective invalidations.
         let flush_cost = c.breakdown.get(Phase::InvalidateIotlb);
@@ -369,16 +375,16 @@ mod tests {
         // completes exactly ONE wait descriptor; mixing page ops and
         // device flushes never double-counts.
         let q = InvalQueue::new();
-        let mut tlb = Iotlb::new(64);
+        let tlb = Mutex::new(Iotlb::new(64));
         let mut c = ctx();
         let scattered: Vec<IovaPage> = [0u64, 2, 4, 6].into_iter().map(IovaPage).collect();
-        q.invalidate_pages_sync(&mut c, &mut tlb, DEV, &scattered);
+        q.invalidate_pages_sync(&mut c, &tlb, DEV, &scattered);
         assert_eq!(q.stats().waits, 1);
-        q.invalidate_page_sync(&mut c, &mut tlb, DEV, IovaPage(100));
+        q.invalidate_page_sync(&mut c, &tlb, DEV, IovaPage(100));
         assert_eq!(q.stats().waits, 2);
-        q.flush_device_sync(&mut c, &mut tlb, DEV);
+        q.flush_device_sync(&mut c, &tlb, DEV);
         assert_eq!(q.stats().waits, 3);
-        q.invalidate_pages_sync(&mut c, &mut tlb, DEV, &[]);
+        q.invalidate_pages_sync(&mut c, &tlb, DEV, &[]);
         assert_eq!(q.stats().waits, 3, "empty batch posts no wait descriptor");
         assert_eq!(q.stats().page_commands, 4 + 1);
         assert_eq!(q.stats().flush_commands, 1);
@@ -388,10 +394,10 @@ mod tests {
     fn sync_ops_emit_iotlb_invalidate_events() {
         let shared = obs::Obs::isolated();
         let q = InvalQueue::with_obs(shared.clone());
-        let mut tlb = Iotlb::new(8);
+        let tlb = Mutex::new(Iotlb::new(8));
         let mut c = ctx();
-        q.invalidate_pages_sync(&mut c, &mut tlb, DEV, &[IovaPage(1), IovaPage(2)]);
-        q.flush_device_sync(&mut c, &mut tlb, DEV);
+        q.invalidate_pages_sync(&mut c, &tlb, DEV, &[IovaPage(1), IovaPage(2)]);
+        q.flush_device_sync(&mut c, &tlb, DEV);
         let events = shared.tracer().events();
         let invs: Vec<_> = events
             .iter()
@@ -418,9 +424,9 @@ mod tests {
     #[test]
     fn reset_stats_clears_everything() {
         let q = InvalQueue::new();
-        let mut tlb = Iotlb::new(8);
+        let tlb = Mutex::new(Iotlb::new(8));
         let mut c = ctx();
-        q.invalidate_page_sync(&mut c, &mut tlb, DEV, IovaPage(1));
+        q.invalidate_page_sync(&mut c, &tlb, DEV, IovaPage(1));
         q.reset_stats();
         assert_eq!(q.stats(), InvalQueueStats::default());
         assert_eq!(q.lock().stats().acquisitions, 0);

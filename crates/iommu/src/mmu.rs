@@ -193,20 +193,19 @@ impl Iommu {
     /// (queue lock + posted command + completion wait).
     pub fn invalidate_page_sync(&self, ctx: &mut CoreCtx, dev: DeviceId, page: IovaPage) {
         self.invalq
-            .invalidate_page_sync(ctx, &mut self.iotlb.lock(), dev, page);
+            .invalidate_page_sync(ctx, &self.iotlb, dev, page);
     }
 
     /// Synchronously invalidates several pages under one queue-lock hold.
     pub fn invalidate_pages_sync(&self, ctx: &mut CoreCtx, dev: DeviceId, pages: &[IovaPage]) {
         self.invalq
-            .invalidate_pages_sync(ctx, &mut self.iotlb.lock(), dev, pages);
+            .invalidate_pages_sync(ctx, &self.iotlb, dev, pages);
     }
 
     /// Synchronously flushes all of `dev`'s IOTLB entries with one
     /// domain-selective command (the deferred batch drain).
     pub fn flush_device_sync(&self, ctx: &mut CoreCtx, dev: DeviceId) {
-        self.invalq
-            .flush_device_sync(ctx, &mut self.iotlb.lock(), dev);
+        self.invalq.flush_device_sync(ctx, &self.iotlb, dev);
     }
 
     /// Hardware-initiated invalidation of one page: models IOTLB entries

@@ -1,0 +1,343 @@
+//! The protection-invariant oracle.
+//!
+//! The paper's Table 1 invariant, stated *effectfully* so it applies to
+//! copying and zero-copy engines alike: **a device access may observe or
+//! mutate an OS-buffer byte B only while B lies inside a window that is
+//! currently mapped for that device.** The effect formulation is what
+//! exonerates DMA shadowing — a stale device access after `dma_unmap`
+//! physically succeeds (it hits the still-mapped, recycled shadow slot),
+//! but never reaches OS-visible bytes, which is exactly the paper's §5.2
+//! security argument.
+//!
+//! Detection is sentinel-based:
+//! - each mapper's OS buffer is pre-filled with a per-mapper pattern and a
+//!   **secret magic** is planted in the page *tail*, beyond the mapped
+//!   length — reads returning it prove the sub-page exposure of §2.2.2;
+//! - after `dma_unmap` returns, the mapper overwrites its buffer with a
+//!   per-mapper **post magic**, modeling the OS reusing the memory for
+//!   private data — reads returning it, or writes landing on it, prove the
+//!   deferred-invalidation vulnerability window (§2.2.1, Table 1).
+
+use memsim::{PhysAddr, PhysMemory, PAGE_SIZE};
+use std::sync::Mutex;
+
+/// Bytes of each mapper's DMA buffer (sub-page, so the page tail exists).
+pub const BUF_LEN: usize = 1024;
+
+/// Page offset of the planted secret (beyond `BUF_LEN`, inside the page).
+pub const TAIL_OFF: usize = 3000;
+
+/// The per-mapper secret planted at the page tail (never legally mapped).
+pub fn secret_magic(mapper: usize) -> [u8; 8] {
+    [0x5E, 0xC4, 0xE7, mapper as u8, 0xA5, 0x17, 0xB2, 0xF0]
+}
+
+/// The per-mapper pattern the OS writes into the buffer *after* unmap
+/// (private data reusing the memory).
+pub fn post_magic(mapper: usize) -> [u8; 8] {
+    [0xD0, 0x07, 0x5E, mapper as u8, 0xCA, 0xFE, 0xBA, 0xBE]
+}
+
+/// Pre-fill byte of mapper `m`'s buffer while mapped.
+pub fn pre_fill(mapper: usize) -> u8 {
+    0x20 + mapper as u8
+}
+
+/// Lifecycle of one mapper's DMA window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WinState {
+    /// `dma_map` has not returned yet.
+    NotMapped,
+    /// Between `dma_map` and `dma_unmap` returning.
+    Open,
+    /// `dma_unmap` returned; any device effect on OS bytes is a violation.
+    Closed,
+}
+
+/// One mapper's window record on the shared board.
+#[derive(Debug, Clone)]
+pub struct WindowRec {
+    /// Owning mapper (also its logical thread id).
+    pub mapper: usize,
+    /// Device-visible address, known once mapped.
+    pub iova: Option<u64>,
+    /// OS buffer base (page-aligned here).
+    pub os_base: PhysAddr,
+    /// Mapped length in bytes.
+    pub len: usize,
+    /// Current lifecycle state.
+    pub state: WinState,
+    /// True when the device may write (FromDevice direction).
+    pub device_writes: bool,
+}
+
+/// Which half of Table 1 a violation falsifies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationClass {
+    /// Device reached OS bytes of a *closed* window (deferred
+    /// invalidation's vulnerability window, §2.2.1).
+    Window,
+    /// Device reached OS bytes *outside the mapped length* (page
+    /// granularity's sub-page exposure, §2.2.2).
+    Subpage,
+}
+
+/// One invariant violation observed during a run.
+#[derive(Debug, Clone)]
+pub struct ViolationReport {
+    /// Window or sub-page.
+    pub class: ViolationClass,
+    /// The mapper whose OS bytes were reached.
+    pub mapper: usize,
+    /// The device-script probe that triggered it.
+    pub probe: String,
+    /// Whether the target window was open at probe time.
+    pub window_open: bool,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+/// One device access, recorded for the dmasan cross-check.
+#[derive(Debug, Clone)]
+pub struct AccessRecord {
+    /// Probe label.
+    pub probe: String,
+    /// Whether the bus granted the access.
+    pub granted: bool,
+    /// Target window state at access time.
+    pub window_open: bool,
+    /// Violation classified for this access, if any.
+    pub violation: Option<ViolationClass>,
+}
+
+/// Shared run state: window lifecycle published by mappers, violations and
+/// access records produced by the device-side oracle. All accesses happen
+/// inside a single scheduled step (the executor serializes threads), so a
+/// plain host mutex suffices and is never held across a yield point.
+#[derive(Debug, Default)]
+pub struct Board {
+    windows: Mutex<Vec<WindowRec>>,
+    violations: Mutex<Vec<ViolationReport>>,
+    accesses: Mutex<Vec<AccessRecord>>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Board {
+    /// Creates a board with one `NotMapped` window per mapper.
+    pub fn new(frames: &[(usize, PhysAddr, bool)]) -> Self {
+        let windows = frames
+            .iter()
+            .map(|&(mapper, os_base, device_writes)| WindowRec {
+                mapper,
+                iova: None,
+                os_base,
+                len: BUF_LEN,
+                state: WinState::NotMapped,
+                device_writes,
+            })
+            .collect();
+        Board {
+            windows: Mutex::new(windows),
+            violations: Mutex::new(Vec::new()),
+            accesses: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Mapper `m` published its mapping.
+    pub fn set_open(&self, mapper: usize, iova: u64) {
+        let mut w = lock(&self.windows);
+        w[mapper].iova = Some(iova);
+        w[mapper].state = WinState::Open;
+    }
+
+    /// Mapper `m`'s `dma_unmap` returned.
+    pub fn set_closed(&self, mapper: usize) {
+        lock(&self.windows)[mapper].state = WinState::Closed;
+    }
+
+    /// Snapshot of mapper `m`'s window.
+    pub fn window(&self, mapper: usize) -> WindowRec {
+        lock(&self.windows)[mapper].clone()
+    }
+
+    /// Snapshot of every window.
+    pub fn windows(&self) -> Vec<WindowRec> {
+        lock(&self.windows).clone()
+    }
+
+    /// All violations recorded this run.
+    pub fn violations(&self) -> Vec<ViolationReport> {
+        lock(&self.violations).clone()
+    }
+
+    /// All device accesses recorded this run.
+    pub fn accesses(&self) -> Vec<AccessRecord> {
+        lock(&self.accesses).clone()
+    }
+
+    pub(crate) fn record_access(&self, rec: AccessRecord) {
+        lock(&self.accesses).push(rec);
+    }
+
+    pub(crate) fn record_violation(&self, v: ViolationReport) {
+        lock(&self.violations).push(v);
+    }
+}
+
+/// Snapshots every mapper's full OS page (buffer + tail sentinels).
+pub fn snapshot_pages(mem: &PhysMemory, board: &Board) -> Vec<(usize, PhysAddr, Vec<u8>)> {
+    board
+        .windows()
+        .iter()
+        .map(|w| {
+            let page = mem.read_vec(w.os_base, PAGE_SIZE).unwrap_or_default();
+            (w.mapper, w.os_base, page)
+        })
+        .collect()
+}
+
+/// Compares before/after page snapshots around a device **write** and
+/// classifies every changed OS byte against the board's open windows.
+/// Returns the first violation found, if any.
+pub fn classify_write_effects(
+    board: &Board,
+    probe: &str,
+    before: &[(usize, PhysAddr, Vec<u8>)],
+    after: &[(usize, PhysAddr, Vec<u8>)],
+) -> Option<ViolationReport> {
+    let windows = board.windows();
+    for ((mapper, _base, old), (_, _, new)) in before.iter().zip(after.iter()) {
+        let win = &windows[*mapper];
+        for (off, (a, b)) in old.iter().zip(new.iter()).enumerate() {
+            if a == b {
+                continue;
+            }
+            let in_buffer = off < win.len;
+            if in_buffer && win.state == WinState::Open {
+                continue; // device legally owns these bytes right now
+            }
+            let (class, why) = if in_buffer {
+                (
+                    ViolationClass::Window,
+                    format!(
+                        "device write mutated OS byte {off} of mapper {mapper}'s \
+                         buffer after dma_unmap returned (stale IOTLB window)"
+                    ),
+                )
+            } else {
+                (
+                    ViolationClass::Subpage,
+                    format!(
+                        "device write mutated OS page byte {off} of mapper {mapper}, \
+                         beyond the {}-byte mapped buffer (page-granularity exposure)",
+                        win.len
+                    ),
+                )
+            };
+            return Some(ViolationReport {
+                class,
+                mapper: *mapper,
+                probe: probe.to_string(),
+                window_open: win.state == WinState::Open,
+                detail: why,
+            });
+        }
+    }
+    None
+}
+
+/// Scans bytes returned by a device **read** for leaked sentinels.
+pub fn classify_read_leak(
+    board: &Board,
+    probe: &str,
+    target_mapper: usize,
+    data: &[u8],
+) -> Option<ViolationReport> {
+    let windows = board.windows();
+    for win in &windows {
+        let m = win.mapper;
+        if contains(data, &secret_magic(m)) {
+            return Some(ViolationReport {
+                class: ViolationClass::Subpage,
+                mapper: m,
+                probe: probe.to_string(),
+                window_open: windows[target_mapper].state == WinState::Open,
+                detail: format!(
+                    "device read returned the page-tail secret of mapper {m} \
+                     (bytes beyond the mapped length leaked)"
+                ),
+            });
+        }
+        if contains(data, &post_magic(m)) {
+            return Some(ViolationReport {
+                class: ViolationClass::Window,
+                mapper: m,
+                probe: probe.to_string(),
+                window_open: windows[target_mapper].state == WinState::Open,
+                detail: format!(
+                    "device read returned OS-private data written after mapper \
+                     {m}'s dma_unmap returned (stale IOTLB window leak)"
+                ),
+            });
+        }
+    }
+    None
+}
+
+fn contains(haystack: &[u8], needle: &[u8]) -> bool {
+    haystack.windows(needle.len()).any(|w| w == needle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sentinels_are_distinct_per_mapper() {
+        assert_ne!(secret_magic(0), secret_magic(1));
+        assert_ne!(post_magic(0), post_magic(1));
+        assert_ne!(secret_magic(0), post_magic(0));
+        assert_ne!(pre_fill(0), pre_fill(1));
+    }
+
+    #[test]
+    fn write_effects_classified_by_window_state() {
+        let board = Board::new(&[(0, PhysAddr(0x1000), true)]);
+        board.set_open(0, 0x8000);
+        let before = vec![(0usize, PhysAddr(0x1000), vec![0u8; PAGE_SIZE])];
+        let mut changed = vec![0u8; PAGE_SIZE];
+        changed[10] = 0xEE;
+        let after = vec![(0usize, PhysAddr(0x1000), changed.clone())];
+        // Open window: in-buffer change is legal.
+        assert!(classify_write_effects(&board, "p", &before, &after).is_none());
+        // Closed window: the same change is a Window violation.
+        board.set_closed(0);
+        let v = classify_write_effects(&board, "p", &before, &after).unwrap();
+        assert_eq!(v.class, ViolationClass::Window);
+        // Tail change is Subpage even while open.
+        board.set_open(0, 0x8000);
+        let mut tail = vec![0u8; PAGE_SIZE];
+        tail[TAIL_OFF] = 1;
+        let after = vec![(0usize, PhysAddr(0x1000), tail)];
+        let v = classify_write_effects(&board, "p", &before, &after).unwrap();
+        assert_eq!(v.class, ViolationClass::Subpage);
+    }
+
+    #[test]
+    fn read_leaks_detected_by_magic() {
+        let board = Board::new(&[(0, PhysAddr(0x1000), false)]);
+        board.set_open(0, 0x8000);
+        let mut data = vec![0u8; 32];
+        assert!(classify_read_leak(&board, "r", 0, &data).is_none());
+        data[4..12].copy_from_slice(&secret_magic(0));
+        let v = classify_read_leak(&board, "r", 0, &data).unwrap();
+        assert_eq!(v.class, ViolationClass::Subpage);
+        let mut data = vec![0u8; 32];
+        data[0..8].copy_from_slice(&post_magic(0));
+        let v = classify_read_leak(&board, "r", 0, &data).unwrap();
+        assert_eq!(v.class, ViolationClass::Window);
+    }
+}

@@ -43,9 +43,26 @@ pub use metrics::{
 };
 pub use trace::{current_cause, span, Event, EventKind, SpanGuard, Tracer, DEFAULT_TRACE_CAPACITY};
 
+use simcore::sync::RwLock;
 use simcore::Cycles;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// A schedule-interception hook: called with every detail-gated event kind
+/// recorded while detail events are enabled. The `modelcheck` crate installs
+/// one to turn instrumented lock sites into preemption points.
+pub type YieldHook = Arc<dyn Fn(&EventKind) + Send + Sync>;
+
+#[derive(Default)]
+struct YieldHookCell(RwLock<Option<YieldHook>>);
+
+impl std::fmt::Debug for YieldHookCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("YieldHookCell")
+            .field(&self.0.read().is_some())
+            .finish()
+    }
+}
 
 /// A cheaply clonable handle bundling the metric [`Registry`] and the
 /// event [`Tracer`] for one simulation stack.
@@ -60,6 +77,11 @@ pub struct Obs {
     /// `LockRelease` / `SharedAccess`); off by default so benchmarks and
     /// ordinary runs never pay for or overflow the ring with them.
     detail: Arc<AtomicBool>,
+    /// Fast flag mirroring `yield_hook.is_some()`, checked before the
+    /// `RwLock` so ordinary runs pay one relaxed load.
+    has_yield_hook: Arc<AtomicBool>,
+    /// The installed schedule-interception hook, if any.
+    yield_hook: Arc<YieldHookCell>,
 }
 
 impl Default for Obs {
@@ -84,6 +106,28 @@ impl Obs {
             tracer: Arc::new(Tracer::with_capacity(capacity)),
             now_hint: Arc::new(AtomicU64::new(0)),
             detail: Arc::new(AtomicBool::new(false)),
+            has_yield_hook: Arc::new(AtomicBool::new(false)),
+            yield_hook: Arc::new(YieldHookCell::default()),
+        }
+    }
+
+    /// Installs (or, with `None`, removes) the schedule-interception hook.
+    ///
+    /// While a hook is installed and detail events are enabled, every
+    /// detail-gated `trace` call invokes it with the event kind *after*
+    /// recording — the `modelcheck` executor uses this to hand control to
+    /// its scheduler at instrumented lock-acquisition points.
+    pub fn set_yield_hook(&self, hook: Option<YieldHook>) {
+        self.has_yield_hook.store(hook.is_some(), Ordering::SeqCst);
+        *self.yield_hook.0.write() = hook;
+    }
+
+    fn fire_yield_hook(&self, kind: &EventKind) {
+        if self.has_yield_hook.load(Ordering::SeqCst) {
+            let hook = self.yield_hook.0.read().clone();
+            if let Some(hook) = hook {
+                hook(kind);
+            }
         }
     }
 
@@ -153,8 +197,19 @@ impl Obs {
     }
 
     /// Shorthand: record a trace event, returning its sequence number.
+    ///
+    /// If a [yield hook](Obs::set_yield_hook) is installed, it fires after
+    /// recording a `LockAcquire` event. All instrumented lock sites emit
+    /// `LockAcquire` *before* taking the underlying lock, so a hook that
+    /// blocks here never holds a host lock — the property the model
+    /// checker's schedule-controlled executor relies on.
     pub fn trace(&self, at: Cycles, core: u16, device: Option<u16>, kind: EventKind) -> u64 {
-        self.tracer.record(at, core, device, kind)
+        let is_acquire = matches!(kind, EventKind::LockAcquire { .. });
+        let seq = self.tracer.record(at, core, device, kind.clone());
+        if is_acquire {
+            self.fire_yield_hook(&kind);
+        }
+        seq
     }
 
     /// Shorthand: record a trace event caused by event `cause`.

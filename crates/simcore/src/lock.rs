@@ -1,5 +1,9 @@
 //! Spinlocks contended in virtual time.
 
+// lint: allow(relaxed-atomic) — contention counters and virtual-time
+// stamps; the scheduler serializes simulated cores, so the atomics carry
+// statistics, not synchronization
+
 use crate::{CoreCtx, Cycles, Phase};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 

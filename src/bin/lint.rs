@@ -1,9 +1,11 @@
 //! Workspace lint runner: `cargo run --bin lint`.
 //!
-//! Scans every member crate's sources and manifest for the house rules
-//! (see [`dma_shadowing::lint`]) and exits non-zero if anything is found
-//! — wired into `ci.sh` between the test and clippy passes.
+//! Scans every member crate's sources, tests, benches, and manifest for
+//! the house rules (see [`dma_shadowing::lint`]), prints a per-rule
+//! summary, and exits with a CI-friendly code: `0` clean, `1` findings,
+//! `2` the scan itself failed (I/O error, missing workspace).
 
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -16,7 +18,7 @@ fn main() -> ExitCode {
         Ok(v) => v,
         Err(e) => {
             eprintln!("lint: cannot scan {}: {e}", root.display());
-            return ExitCode::FAILURE;
+            return ExitCode::from(2);
         }
     };
     if violations.is_empty() {
@@ -26,6 +28,18 @@ fn main() -> ExitCode {
     for v in &violations {
         eprintln!("{v}");
     }
-    eprintln!("lint: {} violation(s)", violations.len());
-    ExitCode::FAILURE
+    let mut by_rule: BTreeMap<&str, usize> = BTreeMap::new();
+    for v in &violations {
+        *by_rule.entry(v.rule).or_default() += 1;
+    }
+    let summary: Vec<String> = by_rule
+        .iter()
+        .map(|(rule, n)| format!("{rule}: {n}"))
+        .collect();
+    eprintln!(
+        "lint: {} violation(s) ({})",
+        violations.len(),
+        summary.join(", ")
+    );
+    ExitCode::from(1)
 }

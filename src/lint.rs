@@ -21,11 +21,27 @@
 //! 4. **No external dependencies** — every `Cargo.toml` dependency must be
 //!    an in-tree `path`/`workspace` crate, so the workspace builds with no
 //!    network access.
+//! 5. **No `Ordering::Relaxed` outside `crates/obs`** — the telemetry
+//!    counters are the only place relaxed atomics are the right default;
+//!    everywhere else the ordering must be argued for in a waiver:
+//!    `// lint: allow(relaxed-atomic) — <reason>`.
+//! 6. **Consistent lock order** — the pass extracts every instrumented
+//!    lock site (`SimLock::new`, `.with(ctx, …)`, `lockset_guarded`,
+//!    `with_lockset`) from the member crates, resolves the lock-name
+//!    constants, builds the nested-acquisition graph by paren matching the
+//!    critical-section closures, and flags any cycle as a `lock-order`
+//!    violation. The same site inventory is exported
+//!    ([`lock_order_analysis`]) and fed to the bounded model checker's
+//!    `known_locks` check, so a lock the checker schedules around can
+//!    never be missing from the static map.
 //!
 //! The scanner strips comments and string/char literals before matching,
 //! and tracks `#[cfg(test)]` item spans by brace matching, so doc examples
-//! and test modules do not trip the rules. Run via `cargo run --bin lint`.
+//! and test modules do not trip the rules. Member crates' `tests/` and
+//! `benches/` trees are scanned too, for the ambient-I/O rule only (panic
+//! discipline is a library-code concern). Run via `cargo run --bin lint`.
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -37,7 +53,7 @@ pub struct LintViolation {
     /// 1-indexed line.
     pub line: usize,
     /// Stable rule name: `panic`, `phys-addr-arith`, `ambient-io`,
-    /// `external-dep`.
+    /// `external-dep`, `relaxed-atomic`, `lock-order`.
     pub rule: &'static str,
     /// What was found.
     pub detail: String,
@@ -61,6 +77,11 @@ pub const PANIC_WAIVER: &str = "// lint: allow(panic)";
 /// reason is mandatory:
 /// `// lint: allow(ambient-io) — the harness writes BENCH_HOST.json`.
 pub const IO_WAIVER: &str = "// lint: allow(ambient-io)";
+
+/// The waiver comment a file uses to opt out of the relaxed-atomic rule.
+/// A reason is mandatory — it must say why no ordering is needed:
+/// `// lint: allow(relaxed-atomic) — stats counters, never synchronized on`.
+pub const RELAXED_WAIVER: &str = "// lint: allow(relaxed-atomic)";
 
 /// Whether `src` contains `waiver` followed by a non-trivial reason.
 fn has_waiver(src: &str, waiver: &str) -> bool {
@@ -260,6 +281,13 @@ pub struct FileContext {
     /// cannot carry a waiver comment); source files normally opt out with
     /// a reasoned [`IO_WAIVER`] comment instead.
     pub io_allowed: bool,
+    /// The file belongs to `crates/obs` (relaxed telemetry counters are
+    /// its job).
+    pub in_obs: bool,
+    /// The file lives under a member's `tests/` or `benches/` tree: only
+    /// the ambient-I/O rule applies (panic / address / atomic discipline
+    /// is a library-code concern).
+    pub aux: bool,
 }
 
 /// Lints one Rust source file's contents. `label` is used for reporting.
@@ -267,12 +295,13 @@ pub fn lint_source(label: &str, src: &str, ctx: FileContext) -> Vec<LintViolatio
     let mut out = Vec::new();
     let waived_panics = has_waiver(src, PANIC_WAIVER);
     let waived_io = has_waiver(src, IO_WAIVER);
+    let waived_relaxed = has_waiver(src, RELAXED_WAIVER);
     let stripped = strip_code(src);
     let mask = test_region_mask(&stripped);
     for (idx, line) in stripped.lines().enumerate() {
         let in_test = mask.get(idx).copied().unwrap_or(false);
         let lineno = idx + 1;
-        if !in_test && !waived_panics {
+        if !in_test && !waived_panics && !ctx.aux {
             for pat in [".unwrap()", ".expect("] {
                 if line.contains(pat) {
                     out.push(LintViolation {
@@ -287,7 +316,7 @@ pub fn lint_source(label: &str, src: &str, ctx: FileContext) -> Vec<LintViolatio
                 }
             }
         }
-        if !in_test && !ctx.in_memsim {
+        if !in_test && !ctx.in_memsim && !ctx.aux {
             if let Some(arg) = phys_addr_ctor_arg(line) {
                 if arg.contains(['+', '*']) || arg.contains("<<") || arg.contains(" - ") {
                     out.push(LintViolation {
@@ -317,6 +346,22 @@ pub fn lint_source(label: &str, src: &str, ctx: FileContext) -> Vec<LintViolatio
                     });
                 }
             }
+        }
+        if !in_test
+            && !ctx.aux
+            && !ctx.in_obs
+            && !waived_relaxed
+            && line.contains("Ordering::Relaxed")
+        {
+            out.push(LintViolation {
+                file: label.to_string(),
+                line: lineno,
+                rule: "relaxed-atomic",
+                detail: format!(
+                    "`Ordering::Relaxed` outside the obs counters; pick an ordering \
+                     or argue why none is needed via `{RELAXED_WAIVER} — <reason>`"
+                ),
+            });
         }
     }
     out
@@ -383,6 +428,581 @@ pub fn lint_manifest(label: &str, toml: &str) -> Vec<LintViolation> {
     out
 }
 
+// ---------------------------------------------------------------------------
+// Lock-order static analysis
+// ---------------------------------------------------------------------------
+
+/// One statically discovered lock site in a member crate's sources.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockSite {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-indexed line.
+    pub line: usize,
+    /// Resolved lock name — the string handed to `SimLock::new` or the
+    /// dmasan lockset helpers, after constant resolution.
+    pub lock: String,
+    /// `true` for acquisition sites (`.with(ctx, …)`, `lockset_guarded`,
+    /// `with_lockset`); `false` for the `SimLock::new` declaration.
+    pub acquisition: bool,
+}
+
+/// A nested acquisition: `inner` is acquired while `outer` is held.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockEdge {
+    /// Lock held at the outer site.
+    pub outer: String,
+    /// Lock acquired inside the outer critical section.
+    pub inner: String,
+    /// File of the inner (nested) acquisition.
+    pub file: String,
+    /// 1-indexed line of the inner acquisition.
+    pub line: usize,
+}
+
+/// The exported result of the lock-order pass: the full site inventory
+/// (which the model checker cross-checks its runtime lock labels against),
+/// the nested-acquisition graph, and any cycles found in it.
+#[derive(Debug, Clone, Default)]
+pub struct LockOrderReport {
+    /// Every declaration and acquisition site found.
+    pub sites: Vec<LockSite>,
+    /// Deduplicated nested-acquisition edges.
+    pub edges: Vec<LockEdge>,
+    /// Each distinct acquisition-order cycle, smallest lock name first.
+    pub cycles: Vec<Vec<String>>,
+}
+
+impl LockOrderReport {
+    /// Sorted, deduplicated lock names — the model checker's
+    /// `Config::known_locks` input.
+    pub fn lock_names(&self) -> Vec<String> {
+        let set: BTreeSet<&str> = self.sites.iter().map(|s| s.lock.as_str()).collect();
+        set.into_iter().map(str::to_string).collect()
+    }
+
+    /// One `lock-order` violation per cycle, anchored at a witnessing
+    /// nested acquisition.
+    pub fn cycle_violations(&self) -> Vec<LintViolation> {
+        self.cycles
+            .iter()
+            .map(|cyc| {
+                let outer = &cyc[0];
+                let inner = cyc.get(1).unwrap_or(&cyc[0]);
+                let site = self
+                    .edges
+                    .iter()
+                    .find(|e| &e.outer == outer && &e.inner == inner);
+                let ring: Vec<&str> = cyc
+                    .iter()
+                    .map(String::as_str)
+                    .chain([cyc[0].as_str()])
+                    .collect();
+                LintViolation {
+                    file: site.map(|e| e.file.clone()).unwrap_or_default(),
+                    line: site.map(|e| e.line).unwrap_or(0),
+                    rule: "lock-order",
+                    detail: format!(
+                        "lock acquisition cycle {}; nested acquisitions must follow \
+                         one global order",
+                        ring.join(" -> ")
+                    ),
+                }
+            })
+            .collect()
+    }
+}
+
+/// A source file prepared for lock scanning: `kept` has comments blanked
+/// but string literals preserved (lock names live in strings, which
+/// [`strip_code`] erases); `blank` additionally blanks string/char
+/// contents. The two are byte-aligned with each other, so patterns are
+/// matched on `blank` (immune to string contents) and names are read out
+/// of `kept` at the same offsets.
+struct FilePrep {
+    label: String,
+    kept: String,
+    blank: String,
+}
+
+/// Builds the byte-aligned comment-stripped / fully-blanked views.
+fn aligned_views(src: &str) -> (String, String) {
+    let b = src.as_bytes();
+    let mut kept = Vec::with_capacity(b.len());
+    let mut blank = Vec::with_capacity(b.len());
+    let nl = |c: u8| if c == b'\n' { b'\n' } else { b' ' };
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        if c == b'/' && b.get(i + 1) == Some(&b'/') {
+            while i < b.len() && b[i] != b'\n' {
+                kept.push(b' ');
+                blank.push(b' ');
+                i += 1;
+            }
+        } else if c == b'/' && b.get(i + 1) == Some(&b'*') {
+            let mut depth = 1;
+            kept.extend([b' ', b' ']);
+            blank.extend([b' ', b' ']);
+            i += 2;
+            while i < b.len() && depth > 0 {
+                if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                    depth += 1;
+                    kept.extend([b' ', b' ']);
+                    blank.extend([b' ', b' ']);
+                    i += 2;
+                } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                    depth -= 1;
+                    kept.extend([b' ', b' ']);
+                    blank.extend([b' ', b' ']);
+                    i += 2;
+                } else {
+                    kept.push(nl(b[i]));
+                    blank.push(nl(b[i]));
+                    i += 1;
+                }
+            }
+        } else if c == b'r' && raw_string_here(b, i) {
+            let start = i;
+            let mut j = i + 1;
+            while j < b.len() && b[j] == b'#' {
+                j += 1;
+            }
+            let hashes = j - (i + 1);
+            // Copy `r##"` verbatim into kept, spaces into blank.
+            for &d in &b[start..=j] {
+                kept.push(d);
+                blank.push(b' ');
+            }
+            i = j + 1;
+            while i < b.len() {
+                if b[i] == b'"' && b[i + 1..].iter().take(hashes).all(|&d| d == b'#') {
+                    for &d in &b[i..i + 1 + hashes] {
+                        kept.push(d);
+                        blank.push(b' ');
+                    }
+                    i += 1 + hashes;
+                    break;
+                }
+                kept.push(b[i]);
+                blank.push(nl(b[i]));
+                i += 1;
+            }
+        } else if c == b'"' {
+            kept.push(c);
+            blank.push(b' ');
+            i += 1;
+            while i < b.len() {
+                if b[i] == b'\\' && i + 1 < b.len() {
+                    kept.push(b[i]);
+                    kept.push(b[i + 1]);
+                    blank.push(b' ');
+                    blank.push(nl(b[i + 1]));
+                    i += 2;
+                    continue;
+                }
+                let done = b[i] == b'"';
+                kept.push(b[i]);
+                blank.push(nl(b[i]));
+                i += 1;
+                if done {
+                    break;
+                }
+            }
+        } else if c == b'\'' && char_literal_here(b, i) {
+            kept.push(c);
+            blank.push(b' ');
+            i += 1;
+            while i < b.len() {
+                if b[i] == b'\\' && i + 1 < b.len() {
+                    kept.push(b[i]);
+                    kept.push(b[i + 1]);
+                    blank.extend([b' ', b' ']);
+                    i += 2;
+                    continue;
+                }
+                let done = b[i] == b'\'';
+                kept.push(b[i]);
+                blank.push(b' ');
+                i += 1;
+                if done {
+                    break;
+                }
+            }
+        } else {
+            kept.push(c);
+            blank.push(c);
+            i += 1;
+        }
+    }
+    (
+        String::from_utf8_lossy(&kept).into_owned(),
+        String::from_utf8_lossy(&blank).into_owned(),
+    )
+}
+
+fn raw_string_here(b: &[u8], i: usize) -> bool {
+    if i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_') {
+        return false;
+    }
+    let mut j = i + 1;
+    while j < b.len() && b[j] == b'#' {
+        j += 1;
+    }
+    j < b.len() && b[j] == b'"' && (j > i + 1 || b[i + 1] == b'"')
+}
+
+fn char_literal_here(b: &[u8], i: usize) -> bool {
+    match b.get(i + 1) {
+        Some(b'\\') => true,
+        Some(_) => b.get(i + 2) == Some(&b'\''),
+        None => false,
+    }
+}
+
+fn prep_file(label: &str, src: &str) -> FilePrep {
+    let (kept, blank) = aligned_views(src);
+    FilePrep {
+        label: label.to_string(),
+        kept,
+        blank,
+    }
+}
+
+/// Collects `const NAME: &str = "value";`-style string constants (the
+/// idiom lock names are declared with) into `consts`, crate-wide.
+fn scan_lock_consts(prep: &FilePrep, consts: &mut BTreeMap<String, String>) {
+    let bb = prep.blank.as_bytes();
+    let kb = prep.kept.as_bytes();
+    for (pos, _) in prep.blank.match_indices("const ") {
+        if pos > 0 && (bb[pos - 1].is_ascii_alphanumeric() || bb[pos - 1] == b'_') {
+            continue;
+        }
+        let mut k = pos + "const ".len();
+        while k < bb.len() && bb[k] == b' ' {
+            k += 1;
+        }
+        let start = k;
+        while k < bb.len() && (bb[k].is_ascii_alphanumeric() || bb[k] == b'_') {
+            k += 1;
+        }
+        if k == start {
+            continue;
+        }
+        let ident = &prep.blank[start..k];
+        // The type between `:` and `=` must be a &str flavor.
+        let Some(eq) = prep.blank[k..].find('=').map(|o| k + o) else {
+            continue;
+        };
+        if !prep.blank[k..eq].contains("str") {
+            continue;
+        }
+        let mut v = eq + 1;
+        while v < kb.len() && (kb[v] == b' ' || kb[v] == b'\n') {
+            v += 1;
+        }
+        if v >= kb.len() || kb[v] != b'"' {
+            continue;
+        }
+        let mut e = v + 1;
+        while e < kb.len() && kb[e] != b'"' {
+            e += 1;
+        }
+        if let Ok(val) = std::str::from_utf8(&kb[v + 1..e]) {
+            consts.insert(ident.to_string(), val.to_string());
+        }
+    }
+}
+
+/// Reads a lock-name argument starting at byte `k`: a string literal
+/// (from the comment-stripped view) or an identifier resolved through the
+/// crate's constant table.
+fn read_lock_arg(
+    prep: &FilePrep,
+    mut k: usize,
+    consts: &BTreeMap<String, String>,
+) -> Option<String> {
+    let bb = prep.blank.as_bytes();
+    let kb = prep.kept.as_bytes();
+    while k < kb.len() && (kb[k] == b' ' || kb[k] == b'\n' || kb[k] == b'\t') {
+        k += 1;
+    }
+    if k >= kb.len() {
+        return None;
+    }
+    if kb[k] == b'"' {
+        let mut e = k + 1;
+        while e < kb.len() && kb[e] != b'"' {
+            e += 1;
+        }
+        return std::str::from_utf8(&kb[k + 1..e]).ok().map(str::to_string);
+    }
+    let start = k;
+    let mut e = k;
+    while e < bb.len() && (bb[e].is_ascii_alphanumeric() || bb[e] == b'_') {
+        e += 1;
+    }
+    if e == start {
+        return None;
+    }
+    consts.get(&prep.blank[start..e]).cloned()
+}
+
+/// The identifier ending right before byte `end` (used for `.with`
+/// receivers and `SimLock::new` binders).
+fn ident_before(blank: &str, end: usize) -> &str {
+    let bb = blank.as_bytes();
+    let mut k = end;
+    while k > 0 && (bb[k - 1].is_ascii_alphanumeric() || bb[k - 1] == b'_') {
+        k -= 1;
+    }
+    &blank[k..end]
+}
+
+/// Matches the `(` at `open` to its `)` on the fully-blanked view (string
+/// contents cannot unbalance it).
+fn match_paren(blank: &[u8], open: usize) -> Option<usize> {
+    let mut depth = 0i64;
+    for (k, &c) in blank.iter().enumerate().skip(open) {
+        match c {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// An acquisition occurrence with the byte span of its critical-section
+/// argument list (nested occurrences starting inside the span become
+/// lock-order edges).
+struct Acq {
+    start: usize,
+    end: usize,
+    line: usize,
+    names: Vec<String>,
+}
+
+/// Scans one prepared file for lock declarations and acquisitions,
+/// recording sites and intra-file nested-acquisition edges.
+fn scan_lock_file(
+    prep: &FilePrep,
+    consts: &BTreeMap<String, String>,
+    sites: &mut Vec<LockSite>,
+    edges: &mut Vec<LockEdge>,
+) {
+    let bb = prep.blank.as_bytes();
+    let mask = test_region_mask(&prep.blank);
+    let line_of = |pos: usize| prep.blank[..pos].bytes().filter(|&c| c == b'\n').count() + 1;
+    let in_test = |line: usize| mask.get(line - 1).copied().unwrap_or(false);
+
+    // Declarations: `binder: SimLock::new(ARG)` / `let binder = …`.
+    let mut fields: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for (pos, _) in prep.blank.match_indices("SimLock::new(") {
+        let line = line_of(pos);
+        if in_test(line) {
+            continue;
+        }
+        let Some(name) = read_lock_arg(prep, pos + "SimLock::new(".len(), consts) else {
+            continue;
+        };
+        let mut j = pos;
+        while j > 0 && bb[j - 1] == b' ' {
+            j -= 1;
+        }
+        if j > 0 && (bb[j - 1] == b':' || bb[j - 1] == b'=') {
+            j -= 1;
+            while j > 0 && bb[j - 1] == b' ' {
+                j -= 1;
+            }
+            let binder = ident_before(&prep.blank, j);
+            if !binder.is_empty() && binder != "let" {
+                fields
+                    .entry(binder.to_string())
+                    .or_default()
+                    .insert(name.clone());
+            }
+        }
+        sites.push(LockSite {
+            file: prep.label.clone(),
+            line,
+            lock: name,
+            acquisition: false,
+        });
+    }
+
+    let unique_lock: Option<String> = {
+        let all: BTreeSet<&String> = fields.values().flatten().collect();
+        (all.len() == 1).then(|| (*all.iter().next().expect("len checked")).clone())
+    };
+
+    let mut acqs: Vec<Acq> = Vec::new();
+    let mut record = |names: Vec<String>, open: usize, pos: usize, acqs: &mut Vec<Acq>| {
+        let line = line_of(pos);
+        if names.is_empty() || in_test(line) {
+            return;
+        }
+        let Some(end) = match_paren(bb, open) else {
+            return;
+        };
+        for n in &names {
+            sites.push(LockSite {
+                file: prep.label.clone(),
+                line,
+                lock: n.clone(),
+                acquisition: true,
+            });
+        }
+        acqs.push(Acq {
+            start: pos,
+            end,
+            line,
+            names,
+        });
+    };
+
+    // `receiver.with(ctx, |ctx| …)` — receiver must be a known SimLock
+    // binder (this is what keeps `CURRENT.with(|…|)` thread-locals out).
+    for (pos, _) in prep.blank.match_indices(".with(") {
+        let names: Vec<String> = fields
+            .get(ident_before(&prep.blank, pos))
+            .map(|s| s.iter().cloned().collect())
+            .unwrap_or_default();
+        record(names, pos + ".with".len(), pos, &mut acqs);
+    }
+    // `lockset_guarded(ctx, NAME, …)` — dmasan lockset regions.
+    for (pos, _) in prep.blank.match_indices("lockset_guarded(ctx") {
+        let mut k = pos + "lockset_guarded(ctx".len();
+        while k < bb.len() && (bb[k] == b' ' || bb[k] == b'\n') {
+            k += 1;
+        }
+        if k >= bb.len() || bb[k] != b',' {
+            continue;
+        }
+        let names = read_lock_arg(prep, k + 1, consts).into_iter().collect();
+        record(names, pos + "lockset_guarded".len(), pos, &mut acqs);
+    }
+    // `self.with_lockset(ctx, |ctx| …)` — resolves to the file's single
+    // declared lock (the helper wraps `self.lock.with` internally).
+    for (pos, _) in prep.blank.match_indices(".with_lockset(ctx") {
+        let names = unique_lock.clone().into_iter().collect();
+        record(names, pos + ".with_lockset".len(), pos, &mut acqs);
+    }
+
+    for outer in &acqs {
+        for inner in &acqs {
+            if inner.start <= outer.start || inner.start >= outer.end {
+                continue;
+            }
+            for no in &outer.names {
+                for ni in &inner.names {
+                    if !edges.iter().any(|e| &e.outer == no && &e.inner == ni) {
+                        edges.push(LockEdge {
+                            outer: no.clone(),
+                            inner: ni.clone(),
+                            file: prep.label.clone(),
+                            line: inner.line,
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// DFS cycle extraction over the lock-name graph; each cycle reported
+/// once, rotated so its smallest name comes first.
+fn find_cycles(edges: &[LockEdge]) -> Vec<Vec<String>> {
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for e in edges {
+        adj.entry(&e.outer).or_default().insert(&e.inner);
+    }
+    fn dfs<'a>(
+        n: &'a str,
+        adj: &BTreeMap<&'a str, BTreeSet<&'a str>>,
+        color: &mut BTreeMap<&'a str, u8>,
+        stack: &mut Vec<&'a str>,
+        out: &mut Vec<Vec<String>>,
+    ) {
+        color.insert(n, 1);
+        stack.push(n);
+        for &m in adj.get(n).into_iter().flatten() {
+            match color.get(m).copied().unwrap_or(0) {
+                0 => dfs(m, adj, color, stack, out),
+                1 => {
+                    let k = stack.iter().position(|&x| x == m).unwrap_or(0);
+                    let mut cyc: Vec<String> = stack[k..].iter().map(|s| s.to_string()).collect();
+                    if let Some(mi) = (0..cyc.len()).min_by_key(|&i| cyc[i].clone()) {
+                        cyc.rotate_left(mi);
+                    }
+                    if !out.contains(&cyc) {
+                        out.push(cyc);
+                    }
+                }
+                _ => {}
+            }
+        }
+        stack.pop();
+        color.insert(n, 2);
+    }
+    let mut color = BTreeMap::new();
+    let mut stack = Vec::new();
+    let mut out = Vec::new();
+    let nodes: Vec<&str> = adj.keys().copied().collect();
+    for n in nodes {
+        if color.get(n).copied().unwrap_or(0) == 0 {
+            dfs(n, &adj, &mut color, &mut stack, &mut out);
+        }
+    }
+    out
+}
+
+/// Runs the lock-order pass over every member crate's `src/` tree rooted
+/// at `root`, returning the site inventory, acquisition graph, and cycles.
+pub fn lock_order_analysis(root: &Path) -> std::io::Result<LockOrderReport> {
+    let label = |p: &Path| {
+        p.strip_prefix(root)
+            .unwrap_or(p)
+            .display()
+            .to_string()
+            .replace('\\', "/")
+    };
+    let mut report = LockOrderReport::default();
+    let crates_dir = root.join("crates");
+    let mut members: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    members.sort();
+    for member in &members {
+        let src_dir = member.join("src");
+        if !src_dir.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        rust_files(&src_dir, &mut files)?;
+        files.sort();
+        let mut preps = Vec::new();
+        let mut consts = BTreeMap::new();
+        for f in &files {
+            let src = fs::read_to_string(f)?;
+            let prep = prep_file(&label(f), &src);
+            scan_lock_consts(&prep, &mut consts);
+            preps.push(prep);
+        }
+        for prep in &preps {
+            scan_lock_file(prep, &consts, &mut report.sites, &mut report.edges);
+        }
+    }
+    report.cycles = find_cycles(&report.edges);
+    Ok(report)
+}
+
 /// Recursively collects `.rs` files under `dir`.
 fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     for entry in fs::read_dir(dir)? {
@@ -434,15 +1054,35 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<LintViolation>> {
             let rel = label(f);
             let ctx = FileContext {
                 in_memsim: crate_name == "memsim",
-                io_allowed: false,
+                in_obs: crate_name == "obs",
+                ..Default::default()
             };
             out.extend(lint_source(&rel, &src, ctx));
+        }
+        // Integration tests and benches: ambient-I/O discipline only.
+        for sub in ["tests", "benches"] {
+            let aux_dir = member.join(sub);
+            if !aux_dir.is_dir() {
+                continue;
+            }
+            let mut aux_files = Vec::new();
+            rust_files(&aux_dir, &mut aux_files)?;
+            aux_files.sort();
+            for f in &aux_files {
+                let src = fs::read_to_string(f)?;
+                let ctx = FileContext {
+                    aux: true,
+                    ..Default::default()
+                };
+                out.extend(lint_source(&label(f), &src, ctx));
+            }
         }
     }
     let root_manifest = root.join("Cargo.toml");
     if let Ok(toml) = fs::read_to_string(&root_manifest) {
         out.extend(lint_manifest(&label(&root_manifest), &toml));
     }
+    out.extend(lock_order_analysis(root)?.cycle_violations());
     Ok(out)
 }
 
@@ -540,6 +1180,137 @@ mod tests {
         let v = lint_source("x.rs", cross, FileContext::default());
         assert_eq!(v.len(), 1, "{v:?}");
         assert_eq!(v[0].rule, "ambient-io");
+    }
+
+    #[test]
+    fn relaxed_atomic_rule() {
+        let src = "fn f(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }\n";
+        let v = lint_source("x.rs", src, FileContext::default());
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "relaxed-atomic");
+        // obs owns relaxed telemetry counters.
+        let obs = FileContext {
+            in_obs: true,
+            ..Default::default()
+        };
+        assert!(lint_source("x.rs", src, obs).is_empty());
+        // A reasoned waiver silences it; a bare one does not.
+        let waived = "// lint: allow(relaxed-atomic) — stats counter, never synchronized on\nfn f(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }\n";
+        assert!(lint_source("x.rs", waived, FileContext::default()).is_empty());
+        let bare = "// lint: allow(relaxed-atomic)\nfn f(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }\n";
+        assert_eq!(lint_source("x.rs", bare, FileContext::default()).len(), 1);
+    }
+
+    #[test]
+    fn aux_files_only_get_ambient_io() {
+        let src = "use std::fs;\nfn f() { v.unwrap(); let p = PhysAddr(a + b); x.load(Ordering::Relaxed); }\n";
+        let aux = FileContext {
+            aux: true,
+            ..Default::default()
+        };
+        let v = lint_source("tests/x.rs", src, aux);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "ambient-io");
+    }
+
+    #[test]
+    fn lock_sites_resolve_consts_fields_and_nesting() {
+        let src = concat!(
+            "const A_LOCK: &str = \"lock-a\";\n",
+            "struct S { a: SimLock, b: SimLock }\n",
+            "impl S {\n",
+            "    fn build() -> Self { Self { a: SimLock::new(A_LOCK), b: SimLock::new(\"lock-b\") } }\n",
+            "    fn nest(&self, ctx: &mut CoreCtx) {\n",
+            "        self.a.with(ctx, |ctx| {\n",
+            "            self.b.with(ctx, |_ctx| {});\n",
+            "        });\n",
+            "    }\n",
+            "}\n",
+        );
+        let prep = prep_file("x.rs", src);
+        let mut consts = BTreeMap::new();
+        scan_lock_consts(&prep, &mut consts);
+        assert_eq!(consts.get("A_LOCK").map(String::as_str), Some("lock-a"));
+        let (mut sites, mut edges) = (Vec::new(), Vec::new());
+        scan_lock_file(&prep, &consts, &mut sites, &mut edges);
+        assert!(
+            sites
+                .iter()
+                .any(|s| s.lock == "lock-a" && !s.acquisition && s.line == 4),
+            "{sites:?}"
+        );
+        assert!(
+            sites
+                .iter()
+                .any(|s| s.lock == "lock-b" && s.acquisition && s.line == 7),
+            "{sites:?}"
+        );
+        assert_eq!(edges.len(), 1, "{edges:?}");
+        assert_eq!(
+            (
+                edges[0].outer.as_str(),
+                edges[0].inner.as_str(),
+                edges[0].line
+            ),
+            ("lock-a", "lock-b", 7)
+        );
+    }
+
+    #[test]
+    fn thread_locals_and_test_regions_are_not_lock_sites() {
+        let src = concat!(
+            "fn f() { CURRENT.with(|c| c.get()); }\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    fn t() { let l = SimLock::new(\"test\"); l.with(ctx, |ctx| {}); }\n",
+            "}\n",
+        );
+        let prep = prep_file("x.rs", src);
+        let (mut sites, mut edges) = (Vec::new(), Vec::new());
+        scan_lock_file(&prep, &BTreeMap::new(), &mut sites, &mut edges);
+        assert!(sites.is_empty(), "{sites:?}");
+        assert!(edges.is_empty(), "{edges:?}");
+    }
+
+    #[test]
+    fn lock_cycles_are_detected_and_reported() {
+        let edges = vec![
+            LockEdge {
+                outer: "b".into(),
+                inner: "a".into(),
+                file: "x.rs".into(),
+                line: 9,
+            },
+            LockEdge {
+                outer: "a".into(),
+                inner: "b".into(),
+                file: "x.rs".into(),
+                line: 4,
+            },
+        ];
+        let cycles = find_cycles(&edges);
+        assert_eq!(cycles, vec![vec!["a".to_string(), "b".to_string()]]);
+        let report = LockOrderReport {
+            sites: Vec::new(),
+            edges,
+            cycles,
+        };
+        let v = report.cycle_violations();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "lock-order");
+        assert!(v[0].detail.contains("a -> b -> a"), "{}", v[0].detail);
+        assert_eq!((v[0].file.as_str(), v[0].line), ("x.rs", 4));
+    }
+
+    #[test]
+    fn acyclic_lock_graph_is_clean() {
+        let edges = vec![LockEdge {
+            outer: "a".into(),
+            inner: "b".into(),
+            file: "x.rs".into(),
+            line: 4,
+        }];
+        assert!(find_cycles(&edges).is_empty());
     }
 
     #[test]

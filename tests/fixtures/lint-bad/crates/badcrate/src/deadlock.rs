@@ -1,0 +1,34 @@
+//! Planted lock-order cycle: `fixture-a` and `fixture-b` are nested in
+//! both orders, which the lock-order pass must flag exactly once. Never
+//! compiled.
+
+use simcore::{CoreCtx, SimLock};
+
+const LOCK_A: &str = "fixture-a";
+const LOCK_B: &str = "fixture-b";
+
+pub struct Tangle {
+    a: SimLock,
+    b: SimLock,
+}
+
+impl Tangle {
+    pub fn new() -> Self {
+        Tangle {
+            a: SimLock::new(LOCK_A),
+            b: SimLock::new(LOCK_B),
+        }
+    }
+
+    pub fn forward(&self, ctx: &mut CoreCtx) {
+        self.a.with(ctx, |ctx| {
+            self.b.with(ctx, |_ctx| {});
+        });
+    }
+
+    pub fn backward(&self, ctx: &mut CoreCtx) {
+        self.b.with(ctx, |ctx| {
+            self.a.with(ctx, |_ctx| {});
+        });
+    }
+}

@@ -2,6 +2,7 @@
 //! where `tests/lint.rs` expects. Never compiled.
 
 use std::fs;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 pub fn leak_to_disk(data: &[u8]) {
     fs::write("/tmp/leak", data).unwrap();
@@ -13,6 +14,10 @@ pub fn forge_address(base: u64, idx: u64) -> PhysAddr {
 
 pub fn risky(v: Option<u32>) -> u32 {
     v.expect("fixture panic")
+}
+
+pub fn sloppy_count(c: &AtomicUsize) -> usize {
+    c.fetch_add(1, Ordering::Relaxed)
 }
 
 #[cfg(test)]

@@ -3,7 +3,7 @@
 //! every rule firing. Together they prove the scanner neither rubber-stamps
 //! nor cries wolf.
 
-use dma_shadowing::lint::lint_workspace;
+use dma_shadowing::lint::{lint_workspace, lock_order_analysis};
 use std::path::Path;
 
 fn repo_root() -> &'static Path {
@@ -25,6 +25,31 @@ fn real_workspace_is_lint_clean() {
 }
 
 #[test]
+fn real_workspace_lock_inventory_is_acyclic_and_complete() {
+    let report = lock_order_analysis(repo_root()).expect("scan workspace");
+    assert!(
+        report.cycles.is_empty(),
+        "lock-order cycles in the real workspace: {:?}",
+        report.cycles
+    );
+    let names = report.lock_names();
+    for expected in [
+        "pool-cache",
+        "pool-fallback",
+        "deferred-flush-list",
+        "linux-iova-rbtree",
+        "scalable-iova-shared",
+        "eiovar-iova-cache",
+        "iommu-invalidation-queue",
+    ] {
+        assert!(
+            names.iter().any(|n| n == expected),
+            "lock `{expected}` missing from the static inventory: {names:?}"
+        );
+    }
+}
+
+#[test]
 fn planted_fixture_trips_every_rule() {
     let fixture = repo_root().join("tests/fixtures/lint-bad");
     let violations = lint_workspace(&fixture).expect("scan fixture");
@@ -38,9 +63,21 @@ fn planted_fixture_trips_every_rule() {
     assert_eq!(count("phys-addr-arith"), 1, "{violations:?}");
     // `use std::fs;` outside the bench / obs-sink allowance.
     assert_eq!(count("ambient-io"), 1, "{violations:?}");
+    // `Ordering::Relaxed` outside the obs counters, no waiver.
+    assert_eq!(count("relaxed-atomic"), 1, "{violations:?}");
+    // `deadlock.rs` nests fixture-a / fixture-b in both orders: one cycle.
+    assert_eq!(count("lock-order"), 1, "{violations:?}");
+    let cycle = violations
+        .iter()
+        .find(|v| v.rule == "lock-order")
+        .expect("cycle violation");
+    assert!(
+        cycle.detail.contains("fixture-a -> fixture-b -> fixture-a"),
+        "{cycle:?}"
+    );
     // The `#[cfg(test)]` unwrap in the fixture must NOT be counted; the
     // totals above are exhaustive.
-    assert_eq!(violations.len(), 7, "{violations:?}");
+    assert_eq!(violations.len(), 9, "{violations:?}");
 
     // The in-tree path dependency (`memsim = {{ path = .. }}`) is allowed.
     assert!(

@@ -1,0 +1,31 @@
+//! Cross-layer check: the lint pass's *static* lock-site inventory must
+//! cover every lock the bounded model checker *observes at runtime*. A
+//! lock the checker schedules around but the static pass cannot see would
+//! make the lock-order analysis silently incomplete — this test makes
+//! that drift a failure.
+
+use dma_shadowing::lint::lock_order_analysis;
+use modelcheck::{explore, Config, Strategy};
+use std::path::Path;
+
+#[test]
+fn static_inventory_covers_model_checker_runtime_locks() {
+    let report = lock_order_analysis(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("scan workspace lock sites");
+    let names = report.lock_names();
+    assert!(!names.is_empty(), "static lock inventory came back empty");
+    // Copy exercises the pool locks; linux-deferred exercises the IOVA
+    // allocator, the deferred flush list, and the invalidation queue.
+    for strategy in [Strategy::Copy, Strategy::LinuxDeferred] {
+        let mut cfg = Config::new(strategy);
+        cfg.known_locks = Some(names.clone());
+        let r = explore(&cfg);
+        assert!(r.exhausted, "{strategy}: bounded space not covered");
+        assert!(
+            r.unknown_locks.is_empty(),
+            "{strategy}: runtime locks missing from the static inventory \
+             {names:?}: {:?}",
+            r.unknown_locks
+        );
+    }
+}
