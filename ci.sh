@@ -12,6 +12,12 @@ cargo run -q --bin lint
 cargo run -q --release -p modelcheck --bin mc-suite
 cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings
+# Observability round-trips: the telemetry walk-through re-verifies the
+# trajectory export from its own file, and profile_report asserts the
+# profile tree's depth-1 cut is cycle-identical to the Fig. 5 breakdown
+# (and writes the flamegraph/Perfetto artifacts under target/).
+cargo run -q --release --example telemetry_report
+cargo run -q --release --bin profile_report
 # Host-time regression gate: fail if any hot-path workload runs >25%
 # slower than the last entry recorded in BENCH_HOST.json.
 cargo bench -p bench --bench host -- --check

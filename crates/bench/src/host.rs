@@ -122,6 +122,32 @@ fn micro_pagetable_loop() {
     std::hint::black_box(acc);
 }
 
+fn micro_obs_loop() {
+    // Profiler self-overhead: a task root with nested scopes and phase
+    // charges per iteration, everything the hot paths do per packet. The
+    // trajectory gate keeps the instrumentation from quietly getting
+    // slower.
+    use obs::profile;
+    use simcore::Phase;
+    let o = obs::Obs::isolated();
+    o.profiler().set_enabled(true);
+    let mut cx = zero_ctx();
+    for i in 0..200_000u64 {
+        profile::task_scope(&o, &mut cx, "bench", Some(0), "task", |cx| {
+            profile::scope(cx, "map", |cx| {
+                cx.charge(Phase::CopyMgmt, Cycles(10));
+                profile::scope(cx, "inner", |cx| {
+                    cx.charge(Phase::Memcpy, Cycles(i & 7));
+                });
+            });
+            profile::scope(cx, "unmap", |cx| {
+                cx.charge(Phase::Other, Cycles(5));
+            });
+        });
+    }
+    std::hint::black_box(o.profiler().snapshot());
+}
+
 /// The harness workloads, in reporting order. `fig1_16core` is the
 /// headline number the perf trajectory tracks.
 pub fn workloads() -> Vec<(&'static str, fn())> {
@@ -132,6 +158,7 @@ pub fn workloads() -> Vec<(&'static str, fn())> {
         ("micro_pool", micro_pool_loop),
         ("micro_iotlb", micro_iotlb_loop),
         ("micro_pagetable", micro_pagetable_loop),
+        ("micro_obs", micro_obs_loop),
     ]
 }
 

@@ -206,11 +206,16 @@ impl DmaEngine for ShadowDma {
                 os_pa: buf.pa,
             });
         }
-        let iova = self.pool.acquire_shadow(ctx, buf, dir.perms())?;
+        let iova = obs::profile::scope(ctx, "pool_acquire", |ctx| {
+            self.pool.acquire_shadow(ctx, buf, dir.perms())
+        })?;
         if dir.device_reads() {
             let sref = self.pool.find_shadow(iova).expect("just acquired");
-            self.mem.copy(buf.pa, sref.shadow_pa, buf.len)?;
-            self.charge_copy(ctx, buf.len, self.is_cross_numa(buf.pa, sref.shadow_pa));
+            obs::profile::scope(ctx, "copy_in", |ctx| {
+                self.mem.copy(buf.pa, sref.shadow_pa, buf.len)?;
+                self.charge_copy(ctx, buf.len, self.is_cross_numa(buf.pa, sref.shadow_pa));
+                Ok::<(), DmaError>(())
+            })?;
         }
         Ok(DmaMapping {
             iova,
@@ -238,10 +243,15 @@ impl DmaEngine for ShadowDma {
             } else {
                 mapping.len
             };
-            self.mem.copy(sref.shadow_pa, sref.os_pa, n)?;
-            self.charge_copy(ctx, n, self.is_cross_numa(sref.shadow_pa, sref.os_pa));
+            obs::profile::scope(ctx, "copy_back", |ctx| {
+                self.mem.copy(sref.shadow_pa, sref.os_pa, n)?;
+                self.charge_copy(ctx, n, self.is_cross_numa(sref.shadow_pa, sref.os_pa));
+                Ok::<(), DmaError>(())
+            })?;
         }
-        self.pool.release_shadow(ctx, mapping.iova)
+        obs::profile::scope(ctx, "pool_release", |ctx| {
+            self.pool.release_shadow(ctx, mapping.iova)
+        })
     }
 
     fn alloc_coherent(&self, ctx: &mut CoreCtx, len: usize) -> Result<CoherentBuffer, DmaError> {

@@ -371,6 +371,20 @@ impl ShadowPool {
         li: usize,
         ai: usize,
     ) -> Result<Option<u64>, DmaError> {
+        obs::profile::scope(ctx, "pool_grow", |ctx| {
+            self.grow_inner(ctx, core, class, rights, li, ai)
+        })
+    }
+
+    fn grow_inner(
+        &self,
+        ctx: &mut CoreCtx,
+        core: CoreId,
+        class: usize,
+        rights: Perms,
+        li: usize,
+        ai: usize,
+    ) -> Result<Option<u64>, DmaError> {
         let size = self.codec.class_size(class);
         let domain = self.mem.topology().domain_of_core(core);
         let array = &self.arrays[ai];

@@ -110,7 +110,7 @@ impl<E: DmaEngine> DmaEngine for TracedDma<E> {
         buf: DmaBuf,
         dir: DmaDirection,
     ) -> Result<DmaMapping, DmaError> {
-        let m = self.inner.map(ctx, buf, dir)?;
+        let m = obs::profile::scope(ctx, "dma_map", |ctx| self.inner.map(ctx, buf, dir))?;
         self.maps.inc();
         self.map_bytes.record(m.len as u64);
         self.obs.set_now_hint(ctx.now());
@@ -151,13 +151,15 @@ impl<E: DmaEngine> DmaEngine for TracedDma<E> {
         if let Some(o) = &self.observer {
             o.on_unmap(ctx, self.inner.device(), &mapping, seq);
         }
-        self.inner.unmap(ctx, mapping)?;
+        obs::profile::scope(ctx, "dma_unmap", |ctx| self.inner.unmap(ctx, mapping))?;
         self.unmaps.inc();
         Ok(())
     }
 
     fn alloc_coherent(&self, ctx: &mut CoreCtx, len: usize) -> Result<CoherentBuffer, DmaError> {
-        let buf = self.inner.alloc_coherent(ctx, len)?;
+        let buf = obs::profile::scope(ctx, "dma_alloc_coherent", |ctx| {
+            self.inner.alloc_coherent(ctx, len)
+        })?;
         if let Some(o) = &self.observer {
             o.on_alloc_coherent(ctx, self.inner.device(), &buf);
         }
@@ -168,7 +170,9 @@ impl<E: DmaEngine> DmaEngine for TracedDma<E> {
         if let Some(o) = &self.observer {
             o.on_free_coherent(ctx, self.inner.device(), &buf);
         }
-        self.inner.free_coherent(ctx, buf)
+        obs::profile::scope(ctx, "dma_free_coherent", |ctx| {
+            self.inner.free_coherent(ctx, buf)
+        })
     }
 
     fn flush_deferred(&self, ctx: &mut CoreCtx) {

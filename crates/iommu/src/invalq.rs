@@ -158,6 +158,18 @@ impl InvalQueue {
         if pages.is_empty() {
             return;
         }
+        obs::profile::scope(ctx, "invalq_drain", |ctx| {
+            self.invalidate_pages_sync_inner(ctx, iotlb, dev, pages)
+        });
+    }
+
+    fn invalidate_pages_sync_inner(
+        &self,
+        ctx: &mut CoreCtx,
+        iotlb: &Mutex<Iotlb>,
+        dev: DeviceId,
+        pages: &[IovaPage],
+    ) {
         let active = ctx.active_cores;
         let spin_before = self.lock.stats().total_spin;
         let wait_start = ctx.breakdown.get(Phase::InvalidateIotlb);
@@ -228,17 +240,19 @@ impl InvalQueue {
     /// protection pays once per drained batch (§2.2.1: every 250 unmaps or
     /// 10 ms).
     pub fn flush_device_sync(&self, ctx: &mut CoreCtx, iotlb: &Mutex<Iotlb>, dev: DeviceId) {
-        let spin_before = self.lock.stats().total_spin;
-        let wait_start = ctx.breakdown.get(Phase::InvalidateIotlb);
-        self.with_lockset(ctx, |ctx| {
-            ctx.charge(Phase::InvalidateIotlb, ctx.cost.inval_queue_post);
-            iotlb.lock().invalidate_device(dev);
-            self.flush_commands.inc();
-            ctx.charge(Phase::InvalidateIotlb, ctx.cost.global_iotlb_flush);
-            self.waits.inc();
+        obs::profile::scope(ctx, "invalq_flush", |ctx| {
+            let spin_before = self.lock.stats().total_spin;
+            let wait_start = ctx.breakdown.get(Phase::InvalidateIotlb);
+            self.with_lockset(ctx, |ctx| {
+                ctx.charge(Phase::InvalidateIotlb, ctx.cost.inval_queue_post);
+                iotlb.lock().invalidate_device(dev);
+                self.flush_commands.inc();
+                ctx.charge(Phase::InvalidateIotlb, ctx.cost.global_iotlb_flush);
+                self.waits.inc();
+            });
+            // pages = 0 marks a full device flush.
+            self.trace_op(ctx, dev, 0, wait_start, spin_before);
         });
-        // pages = 0 marks a full device flush.
-        self.trace_op(ctx, dev, 0, wait_start, spin_before);
     }
 
     /// Statistics snapshot (thin view over the registry counters).

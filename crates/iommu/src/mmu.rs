@@ -140,15 +140,17 @@ impl Iommu {
         pfn: Pfn,
         perms: Perms,
     ) -> Result<(), IommuError> {
-        ctx.charge(Phase::IommuPageTableMgmt, ctx.cost.pagetable_map_page);
-        self.obs.set_now_hint(ctx.now());
-        self.tables
-            .write()
-            .entry(dev)
-            .or_default()
-            .map(page, pfn, perms)?;
-        self.map_ops.inc();
-        Ok(())
+        obs::profile::scope(ctx, "pt_map", |ctx| {
+            ctx.charge(Phase::IommuPageTableMgmt, ctx.cost.pagetable_map_page);
+            self.obs.set_now_hint(ctx.now());
+            self.tables
+                .write()
+                .entry(dev)
+                .or_default()
+                .map(page, pfn, perms)?;
+            self.map_ops.inc();
+            Ok(())
+        })
     }
 
     /// Maps `n` consecutive IOVA pages to `n` consecutive physical frames.
@@ -178,15 +180,17 @@ impl Iommu {
         dev: DeviceId,
         page: IovaPage,
     ) -> Result<PtEntry, IommuError> {
-        ctx.charge(Phase::IommuPageTableMgmt, ctx.cost.pagetable_unmap_page);
-        self.obs.set_now_hint(ctx.now());
-        let mut tables = self.tables.write();
-        let table = tables
-            .get_mut(&dev)
-            .ok_or(IommuError::PageTable(PtError::NotMapped(page)))?;
-        let entry = table.unmap(page)?;
-        self.unmap_ops.inc();
-        Ok(entry)
+        obs::profile::scope(ctx, "pt_unmap", |ctx| {
+            ctx.charge(Phase::IommuPageTableMgmt, ctx.cost.pagetable_unmap_page);
+            self.obs.set_now_hint(ctx.now());
+            let mut tables = self.tables.write();
+            let table = tables
+                .get_mut(&dev)
+                .ok_or(IommuError::PageTable(PtError::NotMapped(page)))?;
+            let entry = table.unmap(page)?;
+            self.unmap_ops.inc();
+            Ok(entry)
+        })
     }
 
     /// Synchronously invalidates one IOVA page of `dev` in the IOTLB

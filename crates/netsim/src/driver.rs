@@ -91,11 +91,13 @@ impl CoreDriver {
     ) -> usize {
         let domain = stack.mem.topology().domain_of_core(self.core);
         // Allocate and map an MTU receive buffer.
-        ctx.charge(Phase::Other, ctx.cost.kmalloc_alloc);
-        let skb = stack
-            .kmalloc
-            .alloc(MTU + SKB_OVERHEAD, domain)
-            .expect("skb allocation");
+        let skb = obs::profile::scope(ctx, "skb_alloc", |ctx| {
+            ctx.charge(Phase::Other, ctx.cost.kmalloc_alloc);
+            stack
+                .kmalloc
+                .alloc(MTU + SKB_OVERHEAD, domain)
+                .expect("skb allocation")
+        });
         let mapping = stack
             .engine
             .map(ctx, DmaBuf::new(skb, MTU), DmaDirection::FromDevice)
@@ -114,9 +116,11 @@ impl CoreDriver {
         stack.engine.unmap(ctx, mapping).expect("dma_unmap");
 
         // Protocol processing and delivery to userspace.
-        ctx.charge(Phase::RxParsing, ctx.cost.rx_parse);
-        ctx.charge(Phase::CopyUser, ctx.cost.copy_user(completion.len));
-        ctx.charge(Phase::Other, ctx.cost.rx_other);
+        obs::profile::scope(ctx, "deliver", |ctx| {
+            ctx.charge(Phase::RxParsing, ctx.cost.rx_parse);
+            ctx.charge(Phase::CopyUser, ctx.cost.copy_user(completion.len));
+            ctx.charge(Phase::Other, ctx.cost.rx_other);
+        });
 
         if verify {
             let intact = stack
@@ -129,7 +133,9 @@ impl CoreDriver {
                 stack.engine.name()
             );
         }
-        ctx.charge(Phase::Other, ctx.cost.kmalloc_free);
+        obs::profile::scope(ctx, "skb_free", |ctx| {
+            ctx.charge(Phase::Other, ctx.cost.kmalloc_free);
+        });
         stack.kmalloc.free(skb).expect("kfree");
         stack.obs.set_now_hint(ctx.now());
         stack.net.rx_packets.inc();
@@ -152,18 +158,23 @@ impl CoreDriver {
         assert!(len <= stack.nic.config().tso_max, "TSO limit");
 
         // copy_from_user into the skb.
-        ctx.charge(Phase::Other, ctx.cost.kmalloc_alloc);
-        let skb = stack
-            .kmalloc
-            .alloc(len + SKB_OVERHEAD, domain)
-            .expect("skb allocation");
-        stack.mem.write(skb, payload).expect("skb writable");
-        ctx.charge(Phase::CopyUser, ctx.cost.copy_user(len));
+        let skb = obs::profile::scope(ctx, "skb_alloc", |ctx| {
+            ctx.charge(Phase::Other, ctx.cost.kmalloc_alloc);
+            let skb = stack
+                .kmalloc
+                .alloc(len + SKB_OVERHEAD, domain)
+                .expect("skb allocation");
+            stack.mem.write(skb, payload).expect("skb writable");
+            ctx.charge(Phase::CopyUser, ctx.cost.copy_user(len));
+            skb
+        });
 
         // TCP/TSO preparation.
-        let segments = len.div_ceil(MTU).max(1);
-        ctx.charge(Phase::Other, ctx.cost.tx_other_per_buffer);
-        ctx.charge(Phase::Other, ctx.cost.tx_per_segment * segments as u64);
+        obs::profile::scope(ctx, "tso_prep", |ctx| {
+            let segments = len.div_ceil(MTU).max(1);
+            ctx.charge(Phase::Other, ctx.cost.tx_other_per_buffer);
+            ctx.charge(Phase::Other, ctx.cost.tx_per_segment * segments as u64);
+        });
 
         let mapping = stack
             .engine
@@ -191,7 +202,9 @@ impl CoreDriver {
 
         // Completion: unmap and free.
         stack.engine.unmap(ctx, mapping).expect("dma_unmap");
-        ctx.charge(Phase::Other, ctx.cost.kmalloc_free);
+        obs::profile::scope(ctx, "skb_free", |ctx| {
+            ctx.charge(Phase::Other, ctx.cost.kmalloc_free);
+        });
         stack.kmalloc.free(skb).expect("kfree");
         stack.obs.set_now_hint(ctx.now());
         stack.net.tx_buffers.inc();
@@ -224,25 +237,29 @@ impl CoreDriver {
         let mut bufs = Vec::with_capacity(frags);
         let mut pas = Vec::with_capacity(frags);
         let mut off = 0;
-        while off < len {
-            let take = per.min(len - off);
-            ctx.charge(Phase::Other, ctx.cost.kmalloc_alloc);
-            let pa = stack
-                .kmalloc
-                .alloc(take, domain)
-                .expect("fragment allocation");
-            stack
-                .mem
-                .write(pa, &payload[off..off + take])
-                .expect("frag");
-            bufs.push(DmaBuf::new(pa, take));
-            pas.push(pa);
-            off += take;
-        }
-        ctx.charge(Phase::CopyUser, ctx.cost.copy_user(len));
-        let segments = len.div_ceil(MTU).max(1);
-        ctx.charge(Phase::Other, ctx.cost.tx_other_per_buffer);
-        ctx.charge(Phase::Other, ctx.cost.tx_per_segment * segments as u64);
+        obs::profile::scope(ctx, "skb_alloc", |ctx| {
+            while off < len {
+                let take = per.min(len - off);
+                ctx.charge(Phase::Other, ctx.cost.kmalloc_alloc);
+                let pa = stack
+                    .kmalloc
+                    .alloc(take, domain)
+                    .expect("fragment allocation");
+                stack
+                    .mem
+                    .write(pa, &payload[off..off + take])
+                    .expect("frag");
+                bufs.push(DmaBuf::new(pa, take));
+                pas.push(pa);
+                off += take;
+            }
+            ctx.charge(Phase::CopyUser, ctx.cost.copy_user(len));
+        });
+        obs::profile::scope(ctx, "tso_prep", |ctx| {
+            let segments = len.div_ceil(MTU).max(1);
+            ctx.charge(Phase::Other, ctx.cost.tx_other_per_buffer);
+            ctx.charge(Phase::Other, ctx.cost.tx_per_segment * segments as u64);
+        });
 
         let mappings = stack
             .engine
@@ -276,8 +293,12 @@ impl CoreDriver {
             completion
         });
         stack.engine.unmap_sg(ctx, mappings).expect("dma_unmap_sg");
+        obs::profile::scope(ctx, "skb_free", |ctx| {
+            for _ in &pas {
+                ctx.charge(Phase::Other, ctx.cost.kmalloc_free);
+            }
+        });
         for pa in pas {
-            ctx.charge(Phase::Other, ctx.cost.kmalloc_free);
             stack.kmalloc.free(pa).expect("kfree");
         }
         stack.obs.set_now_hint(ctx.now());

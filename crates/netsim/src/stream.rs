@@ -71,33 +71,38 @@ impl<'a> RxTask<'a> {
 
 impl CoreTask for RxTask<'_> {
     fn step(&mut self, ctx: &mut CoreCtx) -> StepOutcome {
-        // The paired sender produces the next MTU frame; frames from all
-        // senders serialize on the shared wire.
-        self.count += 1;
-        self.sender_ready += self.sender_gap;
-        let arrival = self.stack.wire.transmit(
-            self.sender_ready.max(Cycles(1)),
-            self.payload.len() + HEADER_BYTES,
-        );
-        ctx.wait_until(arrival);
+        let dev = Some(crate::setup::NIC_DEV.0);
+        let engine = self.stack.kind.name();
+        obs::profile::task_scope(&self.stack.obs, ctx, engine, dev, "rx", |ctx| {
+            // The paired sender produces the next MTU frame; frames from
+            // all senders serialize on the shared wire.
+            self.count += 1;
+            self.sender_ready += self.sender_gap;
+            let arrival = self.stack.wire.transmit(
+                self.sender_ready.max(Cycles(1)),
+                self.payload.len() + HEADER_BYTES,
+            );
+            ctx.wait_until(arrival);
 
-        // Stamp the frame so every packet's bytes are distinct.
-        self.payload[2..10].copy_from_slice(&self.count.to_le_bytes());
-        let n = self.drv.rx_one(self.stack, ctx, &self.payload, self.verify);
+            // Stamp the frame so every packet's bytes are distinct.
+            self.payload[2..10].copy_from_slice(&self.count.to_le_bytes());
+            let n = self.drv.rx_one(self.stack, ctx, &self.payload, self.verify);
 
-        if self.count == self.warmup {
-            ctx.reset_stats();
-            self.meas.start = ctx.now();
-        } else if self.count > self.warmup {
-            self.meas.items += 1;
-            self.meas.bytes += n as u64;
-        }
-        if self.count >= self.total {
-            self.meas.end = ctx.now();
-            StepOutcome::Done
-        } else {
-            StepOutcome::Continue
-        }
+            if self.count == self.warmup {
+                ctx.reset_stats();
+                obs::profile::note_reset(ctx);
+                self.meas.start = ctx.now();
+            } else if self.count > self.warmup {
+                self.meas.items += 1;
+                self.meas.bytes += n as u64;
+            }
+            if self.count >= self.total {
+                self.meas.end = ctx.now();
+                StepOutcome::Done
+            } else {
+                StepOutcome::Continue
+            }
+        })
     }
 }
 
@@ -140,39 +145,44 @@ impl<'a> TxTask<'a> {
 
 impl CoreTask for TxTask<'_> {
     fn step(&mut self, ctx: &mut CoreCtx) -> StepOutcome {
-        self.count += 1;
-        let buffer_len = self.payload.len();
+        let dev = Some(crate::setup::NIC_DEV.0);
+        let engine = self.stack.kind.name();
+        obs::profile::task_scope(&self.stack.obs, ctx, engine, dev, "tx", |ctx| {
+            self.count += 1;
+            let buffer_len = self.payload.len();
 
-        // netperf keeps writing `msg_size`d messages; charge the syscalls
-        // that produced this buffer's bytes.
-        self.msg_credit += buffer_len;
-        while self.msg_credit >= self.msg_size {
-            ctx.charge(Phase::Other, ctx.cost.syscall_per_message);
-            self.msg_credit -= self.msg_size;
-        }
+            // netperf keeps writing `msg_size`d messages; charge the
+            // syscalls that produced this buffer's bytes.
+            self.msg_credit += buffer_len;
+            while self.msg_credit >= self.msg_size {
+                ctx.charge(Phase::Other, ctx.cost.syscall_per_message);
+                self.msg_credit -= self.msg_size;
+            }
 
-        self.payload[1..9].copy_from_slice(&self.count.to_le_bytes());
-        let (n, _frames) = if self.sg_frags > 1 {
-            self.drv
-                .tx_one_sg(self.stack, ctx, &self.payload, self.sg_frags, self.verify)
-        } else {
-            self.drv.tx_one(self.stack, ctx, &self.payload, self.verify)
-        };
-        self.drv.wire_out(self.stack, ctx, n);
+            self.payload[1..9].copy_from_slice(&self.count.to_le_bytes());
+            let (n, _frames) = if self.sg_frags > 1 {
+                self.drv
+                    .tx_one_sg(self.stack, ctx, &self.payload, self.sg_frags, self.verify)
+            } else {
+                self.drv.tx_one(self.stack, ctx, &self.payload, self.verify)
+            };
+            self.drv.wire_out(self.stack, ctx, n);
 
-        if self.count == self.warmup {
-            ctx.reset_stats();
-            self.meas.start = ctx.now();
-        } else if self.count > self.warmup {
-            self.meas.items += 1;
-            self.meas.bytes += n as u64;
-        }
-        if self.count >= self.total {
-            self.meas.end = ctx.now();
-            StepOutcome::Done
-        } else {
-            StepOutcome::Continue
-        }
+            if self.count == self.warmup {
+                ctx.reset_stats();
+                obs::profile::note_reset(ctx);
+                self.meas.start = ctx.now();
+            } else if self.count > self.warmup {
+                self.meas.items += 1;
+                self.meas.bytes += n as u64;
+            }
+            if self.count >= self.total {
+                self.meas.end = ctx.now();
+                StepOutcome::Done
+            } else {
+                StepOutcome::Continue
+            }
+        })
     }
 }
 

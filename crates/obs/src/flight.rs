@@ -1,0 +1,350 @@
+//! Flight recorder: post-mortem JSONL dumps of the stack's telemetry.
+//!
+//! When something goes wrong — the IOMMU blocks a DMA attack
+//! (`AttackBlocked`), the sanitizer flags an API misuse
+//! (`SanitizerViolation`), or the process panics (dmasan strict mode
+//! panics on violation) — the interesting state is what happened *just
+//! before*. An armed recorder dumps, as one replayable JSON-lines
+//! document:
+//!
+//! 1. a `{"type":"run","kind":"flight","reason":...}` header carrying
+//!    the trigger, the virtual time, and the tracer's retention stats,
+//! 2. the full registry snapshot (`{"type":"metric",...}` lines),
+//! 3. every collected profile tree (`{"type":"profile",...}` lines),
+//! 4. the last-N retained trace events (`{"type":"event",...}` lines).
+//!
+//! The document round-trips through [`crate::sink::parse_jsonl`] +
+//! [`crate::sink::event_from_json`] +
+//! [`crate::profile::ProfileSnapshot::from_json_lines`], so a dump can
+//! be replayed by the same tooling that reads `BENCH_*.json`
+//! trajectories.
+//!
+//! Security-event triggers are wired inside [`Obs::trace`] /
+//! [`Obs::trace_caused`]; panics are caught by
+//! [`install_panic_hook`], which chains the previously installed hook.
+//! Dump storms are bounded by a max-dump budget (default
+//! [`DEFAULT_MAX_DUMPS`]).
+//!
+// lint: allow(ambient-io) — the flight recorder's purpose is writing crash dumps to disk
+
+use crate::json::Json;
+use crate::sink;
+use crate::Obs;
+use simcore::sync::Mutex;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Default number of trailing trace events included in a dump.
+pub const DEFAULT_LAST_N: usize = 256;
+
+/// Default cap on dumps written per recorder (bounds dump storms when
+/// e.g. a malicious device scan blocks thousands of probes).
+pub const DEFAULT_MAX_DUMPS: u64 = 4;
+
+#[derive(Debug, Clone)]
+struct FlightCfg {
+    dir: PathBuf,
+    last_n: usize,
+    max_dumps: u64,
+}
+
+impl Default for FlightCfg {
+    fn default() -> Self {
+        FlightCfg {
+            dir: PathBuf::from("target/flight"),
+            last_n: DEFAULT_LAST_N,
+            max_dumps: DEFAULT_MAX_DUMPS,
+        }
+    }
+}
+
+/// The flight recorder riding inside every [`Obs`] handle
+/// (see [`Obs::flight`]). Disarmed by default: ordinary runs pay one
+/// relaxed load per security event and nothing otherwise.
+pub struct FlightRecorder {
+    armed: AtomicBool,
+    dumps: AtomicU64,
+    cfg: Mutex<FlightCfg>,
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("armed", &self.armed.load(Ordering::Relaxed))
+            .field("dumps", &self.dumps.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder {
+            armed: AtomicBool::new(false),
+            dumps: AtomicU64::new(0),
+            cfg: Mutex::new(FlightCfg::default()),
+        }
+    }
+}
+
+impl FlightRecorder {
+    /// Arms the recorder: dumps go to `dir`, carrying the last `last_n`
+    /// trace events. Resets the dump budget.
+    pub fn arm(&self, dir: impl Into<PathBuf>, last_n: usize) {
+        {
+            let mut cfg = self.cfg.lock();
+            cfg.dir = dir.into();
+            cfg.last_n = last_n.max(1);
+        }
+        self.dumps.store(0, Ordering::Relaxed);
+        self.armed.store(true, Ordering::Relaxed);
+    }
+
+    /// Disarms the recorder; no further dumps are written.
+    pub fn disarm(&self) {
+        self.armed.store(false, Ordering::Relaxed);
+    }
+
+    /// True when armed.
+    pub fn armed(&self) -> bool {
+        self.armed.load(Ordering::Relaxed)
+    }
+
+    /// Caps how many dumps this recorder will write before going quiet.
+    pub fn set_max_dumps(&self, n: u64) {
+        self.cfg.lock().max_dumps = n;
+    }
+
+    /// Number of dumps written so far.
+    pub fn dumps(&self) -> u64 {
+        self.dumps.load(Ordering::Relaxed)
+    }
+
+    /// Takes one unit of dump budget; `None` when exhausted/disarmed.
+    fn take_budget(&self) -> Option<FlightCfg> {
+        if !self.armed() {
+            return None;
+        }
+        let cfg = self.cfg.lock().clone();
+        self.dumps
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+                (n < cfg.max_dumps).then_some(n + 1)
+            })
+            .ok()
+            .map(|_| cfg)
+    }
+}
+
+/// Assembles a flight dump for `obs` as a JSON-lines string: header,
+/// registry snapshot, profile trees, then the last `last_n` trace
+/// events. Pure (no I/O) — the disk path is [`dump_now`].
+pub fn dump_string(obs: &Obs, reason: &str, last_n: usize) -> String {
+    let stats = obs.tracer().stats();
+    let header = Json::Obj(vec![
+        ("type".into(), Json::Str("run".into())),
+        ("kind".into(), Json::Str("flight".into())),
+        ("reason".into(), Json::Str(reason.into())),
+        ("at".into(), Json::UInt(obs.now_hint().0)),
+        ("trace_retained".into(), Json::UInt(stats.retained)),
+        ("trace_sampled_out".into(), Json::UInt(stats.sampled_out)),
+        ("trace_dropped".into(), Json::UInt(stats.dropped)),
+        (
+            "trace_sample_period".into(),
+            Json::UInt(stats.sample_period),
+        ),
+    ]);
+    let mut out = header.encode();
+    out.push('\n');
+    for line in sink::metric_lines(&obs.registry().snapshot()) {
+        out.push_str(&line.encode());
+        out.push('\n');
+    }
+    for line in obs.profiler().snapshot().to_json_lines() {
+        out.push_str(&line.encode());
+        out.push('\n');
+    }
+    let events = obs.tracer().events();
+    let start = events.len().saturating_sub(last_n);
+    for e in &events[start..] {
+        out.push_str(&sink::event_line(e).encode());
+        out.push('\n');
+    }
+    out
+}
+
+fn sanitize(reason: &str) -> String {
+    reason
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .take(40)
+        .collect()
+}
+
+/// Writes one dump if the recorder is armed and under budget; returns
+/// the file path on success. Write errors are swallowed (the recorder
+/// must never take the stack down with it).
+pub fn dump_now(obs: &Obs, reason: &str) -> Option<PathBuf> {
+    let cfg = obs.flight().take_budget()?;
+    let doc = dump_string(obs, reason, cfg.last_n);
+    let seq = obs.flight().dumps();
+    let path = cfg
+        .dir
+        .join(format!("flight-{seq:03}-{}.jsonl", sanitize(reason)));
+    if std::fs::create_dir_all(&cfg.dir).is_err() {
+        return None;
+    }
+    match std::fs::write(&path, doc) {
+        Ok(()) => Some(path),
+        Err(_) => None,
+    }
+}
+
+/// Installs a process-wide panic hook that writes a flight dump for
+/// `obs` (reason `"panic"`) before delegating to the previously
+/// installed hook. dmasan's strict mode panics on violation, so this is
+/// the strict-mode trigger path; arm the recorder first.
+pub fn install_panic_hook(obs: &Obs) {
+    let prev = std::panic::take_hook();
+    let obs = obs.clone();
+    std::panic::set_hook(Box::new(move |info| {
+        dump_now(&obs, "panic");
+        prev(info);
+    }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile;
+    use crate::sink::{event_from_json, parse_jsonl};
+    use crate::trace::EventKind;
+    use simcore::{CoreCtx, CoreId, CostModel, Cycles, Phase};
+    use std::borrow::Cow;
+    use std::sync::Arc;
+
+    fn seeded_obs() -> Obs {
+        let obs = Obs::isolated();
+        obs.profiler().set_enabled(true);
+        let mut ctx = CoreCtx::new(CoreId(0), Arc::new(CostModel::haswell_2_4ghz()));
+        profile::task_scope(&obs, &mut ctx, "copy", Some(0), "rx", |ctx| {
+            ctx.charge(Phase::Memcpy, Cycles(77));
+        });
+        obs.counter("pool", "acquires", Some(0)).add(3);
+        for i in 0..10u64 {
+            obs.trace(
+                Cycles(i),
+                0,
+                Some(0),
+                EventKind::DmaMap {
+                    iova: i,
+                    len: 64,
+                    dir: Cow::Borrowed("from_device"),
+                },
+            );
+        }
+        obs.set_now_hint(Cycles(10));
+        obs
+    }
+
+    #[test]
+    fn dump_roundtrips_through_jsonl_parsers() {
+        let obs = seeded_obs();
+        let doc = dump_string(&obs, "unit-test", 4);
+        let lines = parse_jsonl(&doc).ok().unwrap_or_default();
+        // Header carries the trigger and trace stats.
+        let header = &lines[0];
+        assert_eq!(header.get("kind").and_then(Json::as_str), Some("flight"));
+        assert_eq!(
+            header.get("reason").and_then(Json::as_str),
+            Some("unit-test")
+        );
+        assert_eq!(
+            header.get("trace_retained").and_then(Json::as_u64),
+            Some(10)
+        );
+        // Events decode losslessly and only the tail is kept.
+        let events: Vec<_> = lines
+            .iter()
+            .filter(|l| l.get("type").and_then(Json::as_str) == Some("event"))
+            .map(event_from_json)
+            .collect::<Result<_, _>>()
+            .ok()
+            .unwrap_or_default();
+        assert_eq!(events.len(), 4, "last-N tail only");
+        assert_eq!(events[0].seq, 6);
+        // The profile tree reconstructs.
+        let prof = profile::ProfileSnapshot::from_json_lines(&lines)
+            .ok()
+            .unwrap_or_default();
+        assert_eq!(prof, obs.profiler().snapshot());
+        assert_eq!(prof.merged(Some("copy")).total(), 77);
+        // Metrics are present.
+        assert!(lines
+            .iter()
+            .any(|l| l.get("key").and_then(Json::as_str) == Some("pool.acquires{dev0}")));
+    }
+
+    #[test]
+    fn security_event_triggers_armed_dump() {
+        let obs = seeded_obs();
+        let dir = std::path::Path::new("target").join("flight-test-security");
+        let _ = std::fs::remove_dir_all(&dir);
+        obs.flight().arm(&dir, 8);
+        obs.flight().set_max_dumps(2);
+        for _ in 0..5 {
+            obs.trace(
+                Cycles(100),
+                0,
+                Some(13),
+                EventKind::AttackBlocked {
+                    iova: 0xbad,
+                    access: Cow::Borrowed("read"),
+                    reason: Cow::Borrowed("not_mapped"),
+                },
+            );
+        }
+        let files: Vec<_> = std::fs::read_dir(&dir)
+            .ok()
+            .map(|d| d.flatten().collect())
+            .unwrap_or_default();
+        assert_eq!(files.len(), 2, "dump budget caps the storm");
+        // The dumped security event survives the round trip.
+        let doc = std::fs::read_to_string(files[0].path())
+            .ok()
+            .unwrap_or_default();
+        let lines = parse_jsonl(&doc).ok().unwrap_or_default();
+        assert!(lines
+            .iter()
+            .any(|l| { l.get("event").and_then(Json::as_str) == Some("AttackBlocked") }));
+    }
+
+    #[test]
+    fn disarmed_recorder_writes_nothing() {
+        let obs = seeded_obs();
+        assert_eq!(dump_now(&obs, "nope"), None);
+        obs.trace(
+            Cycles(1),
+            0,
+            None,
+            EventKind::SanitizerViolation {
+                rule: Cow::Borrowed("leak"),
+                iova: 1,
+                detail: Cow::Borrowed("x"),
+            },
+        );
+        assert_eq!(obs.flight().dumps(), 0);
+    }
+
+    #[test]
+    fn panic_hook_dumps_before_unwinding() {
+        let obs = seeded_obs();
+        let dir = std::path::Path::new("target").join("flight-test-panic");
+        let _ = std::fs::remove_dir_all(&dir);
+        obs.flight().arm(&dir, 8);
+        install_panic_hook(&obs);
+        let caught = std::panic::catch_unwind(|| panic!("strict violation"));
+        obs.flight().disarm();
+        assert!(caught.is_err());
+        let n = std::fs::read_dir(&dir).ok().map(|d| d.count()).unwrap_or(0);
+        assert!(n >= 1, "panic produced a dump");
+    }
+}

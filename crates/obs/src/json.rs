@@ -259,10 +259,32 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
                 }
                 *pos += 1;
             }
+            Some(&c) if c < 0x80 => {
+                // Consume a whole run of plain ASCII in one step — the
+                // run is valid UTF-8 by construction, so validation cost
+                // stays linear in the document size (validating the full
+                // remaining slice per character is quadratic, minutes on
+                // a multi-megabyte chrome trace).
+                let start = *pos;
+                while matches!(b.get(*pos), Some(&c) if c < 0x80 && c != b'"' && c != b'\\') {
+                    *pos += 1;
+                }
+                out.push_str(std::str::from_utf8(&b[start..*pos]).map_err(|_| "invalid utf-8")?);
+            }
             Some(_) => {
-                // Consume one UTF-8 character.
-                let rest = std::str::from_utf8(&b[*pos..]).map_err(|_| "invalid utf-8")?;
-                let c = rest.chars().next().ok_or("unterminated string")?;
+                // One multi-byte UTF-8 character: at most 4 bytes, so
+                // only a bounded window is validated.
+                let end = (*pos + 4).min(b.len());
+                let window = &b[*pos..end];
+                let s = match std::str::from_utf8(window) {
+                    Ok(s) => s,
+                    Err(e) if e.valid_up_to() > 0 => {
+                        std::str::from_utf8(&window[..e.valid_up_to()])
+                            .map_err(|_| "invalid utf-8")?
+                    }
+                    Err(_) => return Err("invalid utf-8".into()),
+                };
+                let c = s.chars().next().ok_or("unterminated string")?;
                 out.push(c);
                 *pos += c.len_utf8();
             }
@@ -342,6 +364,20 @@ mod tests {
         assert!(Json::parse("1 2").is_err());
         assert!(Json::parse("{").is_err());
         assert!(Json::parse("").is_err());
+    }
+
+    #[test]
+    fn multibyte_strings_roundtrip() {
+        // Exercises the ASCII-run fast path interleaved with 2-, 3- and
+        // 4-byte UTF-8 sequences and escapes.
+        let v = Json::Str("héllo → w\\orld 🦀 end".into());
+        assert_eq!(Json::parse(&v.encode()).unwrap(), v);
+        // A multi-byte char hard against end-of-input.
+        assert_eq!(Json::parse("\"🦀\"").unwrap(), Json::Str("🦀".into()));
+        // Input ending mid-string is rejected, not mis-decoded.
+        assert!(Json::parse("\"ü").is_err());
+        // 4-byte window cutting into the following char still decodes.
+        assert_eq!(Json::parse("\"é🦀é\"").unwrap(), Json::Str("é🦀é".into()));
     }
 
     #[test]

@@ -16,6 +16,13 @@
 //!   (`BENCH_*.json` trajectory format) with a lossless importer.
 //! - [`breakdown`] — bridges [`simcore::Breakdown`] phase accounting onto
 //!   the registry.
+//! - [`profile`] — a hierarchical virtual-time profiler: nested scopes
+//!   accumulate per-phase cycles into call trees keyed
+//!   `engine × core × device`, with flamegraph and Chrome trace-event
+//!   (Perfetto) exporters.
+//! - [`flight`] — a flight recorder that dumps the last-N trace events,
+//!   the registry snapshot and the profile trees as replayable JSONL on
+//!   panics and security events.
 //!
 //! All timestamps are **simulated cycles** ([`simcore::Cycles`]); `obs`
 //! deliberately never reads host wall-clock time, keeping experiments
@@ -31,17 +38,23 @@
 #![warn(missing_docs)]
 
 pub mod breakdown;
+pub mod flight;
 pub mod json;
 pub mod metrics;
+pub mod profile;
 pub mod sink;
 pub mod trace;
 
+pub use flight::FlightRecorder;
 pub use json::Json;
 pub use metrics::{
     bucket_index, bucket_upper_bound, Counter, Gauge, Histogram, HistogramSnapshot, MetricKey,
     Registry, RegistrySnapshot, HIST_BUCKETS,
 };
-pub use trace::{current_cause, span, Event, EventKind, SpanGuard, Tracer, DEFAULT_TRACE_CAPACITY};
+pub use profile::{ProfileNode, ProfileSnapshot, Profiler, SpanEvent};
+pub use trace::{
+    current_cause, span, Event, EventKind, SpanGuard, TraceStats, Tracer, DEFAULT_TRACE_CAPACITY,
+};
 
 use simcore::sync::RwLock;
 use simcore::Cycles;
@@ -82,6 +95,10 @@ pub struct Obs {
     has_yield_hook: Arc<AtomicBool>,
     /// The installed schedule-interception hook, if any.
     yield_hook: Arc<YieldHookCell>,
+    /// The hierarchical virtual-time profiler (disabled by default).
+    profiler: Arc<Profiler>,
+    /// The flight recorder (disarmed by default).
+    flight: Arc<FlightRecorder>,
 }
 
 impl Default for Obs {
@@ -108,6 +125,8 @@ impl Obs {
             detail: Arc::new(AtomicBool::new(false)),
             has_yield_hook: Arc::new(AtomicBool::new(false)),
             yield_hook: Arc::new(YieldHookCell::default()),
+            profiler: Arc::new(Profiler::new()),
+            flight: Arc::new(FlightRecorder::default()),
         }
     }
 
@@ -169,6 +188,16 @@ impl Obs {
         &self.tracer
     }
 
+    /// The hierarchical profiler (see [`profile::task_scope`]).
+    pub fn profiler(&self) -> &Arc<Profiler> {
+        &self.profiler
+    }
+
+    /// The flight recorder (see [`flight::dump_now`]).
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
     /// Shorthand: get-or-create a counter.
     pub fn counter(
         &self,
@@ -205,9 +234,14 @@ impl Obs {
     /// checker's schedule-controlled executor relies on.
     pub fn trace(&self, at: Cycles, core: u16, device: Option<u16>, kind: EventKind) -> u64 {
         let is_acquire = matches!(kind, EventKind::LockAcquire { .. });
+        let security = kind.is_security();
+        let name = kind.name();
         let seq = self.tracer.record(at, core, device, kind.clone());
         if is_acquire {
             self.fire_yield_hook(&kind);
+        }
+        if security && self.flight.armed() {
+            flight::dump_now(self, name);
         }
         seq
     }
@@ -221,7 +255,13 @@ impl Obs {
         cause: u64,
         kind: EventKind,
     ) -> u64 {
-        self.tracer.record_caused(at, core, device, cause, kind)
+        let security = kind.is_security();
+        let name = kind.name();
+        let seq = self.tracer.record_caused(at, core, device, cause, kind);
+        if security && self.flight.armed() {
+            flight::dump_now(self, name);
+        }
+        seq
     }
 
     /// True when `other` shares this handle's registry and tracer.

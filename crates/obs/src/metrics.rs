@@ -248,6 +248,80 @@ impl HistogramSnapshot {
         }
         self.buckets.last().map(|&(b, _)| b).unwrap_or(0)
     }
+
+    /// Percentile with **within-bucket linear interpolation**.
+    ///
+    /// [`HistogramSnapshot::percentile`] returns the containing bucket's
+    /// *upper bound*, which with power-of-two buckets overstates tail
+    /// percentiles by up to 2×. This variant assumes samples are spread
+    /// uniformly inside each bucket and interpolates between the
+    /// bucket's lower and upper bound; for distributions that fill a
+    /// bucket uniformly it is exact. Returns 0.0 for an empty histogram.
+    pub fn percentile_interp(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = p.clamp(0.0, 1.0) * self.count as f64;
+        let mut cum = 0u64;
+        for &(upper, c) in &self.buckets {
+            let next = cum + c;
+            if next as f64 >= target {
+                let lower = bucket_lower_bound(upper);
+                let frac = ((target - cum as f64) / c as f64).clamp(0.0, 1.0);
+                return lower as f64 + frac * (upper - lower) as f64;
+            }
+            cum = next;
+        }
+        self.buckets.last().map(|&(b, _)| b as f64).unwrap_or(0.0)
+    }
+
+    /// Accumulates `other` into `self` (cross-core aggregation): counts
+    /// and sums add, bucket lists merge by upper bound.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        let mut merged = Vec::with_capacity(self.buckets.len() + other.buckets.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.buckets.len() || j < other.buckets.len() {
+            let a = self.buckets.get(i).copied();
+            let b = other.buckets.get(j).copied();
+            match (a, b) {
+                (Some((ba, ca)), Some((bb, _))) if ba < bb => {
+                    merged.push((ba, ca));
+                    i += 1;
+                }
+                (Some((ba, _)), Some((bb, cb))) if bb < ba => {
+                    merged.push((bb, cb));
+                    j += 1;
+                }
+                (Some((ba, ca)), Some((_, cb))) => {
+                    merged.push((ba, ca + cb));
+                    i += 1;
+                    j += 1;
+                }
+                (Some((ba, ca)), None) => {
+                    merged.push((ba, ca));
+                    i += 1;
+                }
+                (None, Some((bb, cb))) => {
+                    merged.push((bb, cb));
+                    j += 1;
+                }
+                (None, None) => break,
+            }
+        }
+        self.buckets = merged;
+    }
+}
+
+/// Inclusive lower bound of the bucket whose upper bound is `upper`
+/// (inverse companion of [`bucket_upper_bound`]).
+fn bucket_lower_bound(upper: u64) -> u64 {
+    if upper == 0 {
+        0
+    } else {
+        (upper >> 1) + 1
+    }
 }
 
 #[derive(Default)]
@@ -470,6 +544,92 @@ mod tests {
         assert_eq!(snap.buckets, vec![(0, 1), (1, 1), (3, 2), (1023, 1)]);
         assert_eq!(snap.percentile(0.5), 3);
         assert_eq!(snap.percentile(1.0), 1023);
+    }
+
+    #[test]
+    fn percentile_interp_exact_on_bucket_uniform() {
+        // 256..=511 once each fills bucket 9 uniformly: interpolation is
+        // exact, while the upper-bound percentile pins at 511.
+        let h = Histogram::default();
+        for v in 256..=511u64 {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.percentile(0.50), 511, "upper bound overstates");
+        assert!((snap.percentile_interp(0.50) - 383.5).abs() < 1e-9);
+        assert!((snap.percentile_interp(0.99) - 508.45).abs() < 1e-9);
+        assert!((snap.percentile_interp(0.999) - 510.745).abs() < 1e-9);
+        assert!((snap.percentile_interp(1.0) - 511.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_interp_known_small_distribution() {
+        // Same distribution as `histogram_stats`: buckets
+        // [(0,1),(1,1),(3,2),(1023,1)], count 5.
+        let h = Histogram::default();
+        for v in [0, 1, 2, 3, 1000] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        // p50: target 2.5 lands in bucket [2,3] at frac 0.25 -> 2.25.
+        assert!((snap.percentile_interp(0.50) - 2.25).abs() < 1e-9);
+        // p99: target 4.95 lands in bucket [512,1023] at frac 0.95.
+        assert!((snap.percentile_interp(0.99) - (512.0 + 0.95 * 511.0)).abs() < 1e-9);
+        // p999 stays below the bare upper bound the old API returns.
+        assert!(snap.percentile_interp(0.999) < snap.percentile(0.999) as f64);
+        assert_eq!(snap.percentile(0.999), 1023);
+    }
+
+    #[test]
+    fn percentile_interp_tail_overstatement_halved() {
+        // 1..=1000 uniform: true p50 is 500.5; the upper-bound variant
+        // answers 511, interpolation lands within 1%.
+        let h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.percentile(0.50), 511);
+        let p50 = snap.percentile_interp(0.50);
+        assert!((p50 - 500.5).abs() < 5.0, "p50 interp = {p50}");
+        let p99 = snap.percentile_interp(0.99);
+        assert!(p99 < 1023.0, "p99 interp = {p99} must beat the bound");
+        assert!(snap.percentile_interp(0.0) >= 0.0);
+        assert_eq!(HistogramSnapshot::default().percentile_interp(0.5), 0.0);
+    }
+
+    #[test]
+    fn merge_matches_single_stream() {
+        // Two per-core histograms merged equal one histogram that saw
+        // both streams — the cross-core aggregation use case.
+        let (a, b, both) = (
+            Histogram::default(),
+            Histogram::default(),
+            Histogram::default(),
+        );
+        for v in [1u64, 5, 9, 100, 3000] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [0u64, 2, 100, 4096, 1 << 40] {
+            b.record(v);
+            both.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, both.snapshot());
+        assert_eq!(merged.count, 10);
+        assert_eq!(merged.mean(), both.snapshot().mean());
+        for p in [0.5, 0.9, 0.99, 0.999] {
+            assert_eq!(merged.percentile(p), both.snapshot().percentile(p));
+            assert!(
+                (merged.percentile_interp(p) - both.snapshot().percentile_interp(p)).abs() < 1e-9
+            );
+        }
+        // Merging an empty snapshot is the identity.
+        let before = merged.clone();
+        merged.merge(&HistogramSnapshot::default());
+        assert_eq!(merged, before);
     }
 
     #[test]

@@ -19,7 +19,7 @@
 
 use crate::json::Json;
 use crate::metrics::{MetricKey, RegistrySnapshot};
-use crate::trace::{Event, EventKind};
+use crate::trace::{Event, EventKind, TraceStats};
 use simcore::Cycles;
 use std::borrow::Cow;
 use std::fmt::Write as _;
@@ -245,9 +245,26 @@ pub fn event_from_json(j: &Json) -> Result<Event, String> {
 
 /// Exports a run header, every metric and every event as a JSON-lines
 /// document (one object per line, trailing newline).
-pub fn export_jsonl(run: &[(&str, Json)], snap: &RegistrySnapshot, events: &[Event]) -> String {
+///
+/// The header surfaces the tracer's retention stats
+/// (`trace_retained` / `trace_sampled_out` / `trace_dropped` /
+/// `trace_sample_period`) so every trajectory file states how complete
+/// its event record is.
+pub fn export_jsonl(
+    run: &[(&str, Json)],
+    snap: &RegistrySnapshot,
+    events: &[Event],
+    trace: &TraceStats,
+) -> String {
     let mut header = vec![("type".to_string(), Json::Str("run".into()))];
     header.extend(run.iter().map(|(k, v)| (k.to_string(), v.clone())));
+    header.push(("trace_retained".into(), Json::UInt(trace.retained)));
+    header.push(("trace_sampled_out".into(), Json::UInt(trace.sampled_out)));
+    header.push(("trace_dropped".into(), Json::UInt(trace.dropped)));
+    header.push((
+        "trace_sample_period".into(),
+        Json::UInt(trace.sample_period),
+    ));
     let mut out = Json::Obj(header).encode();
     out.push('\n');
     for line in metric_lines(snap) {
@@ -271,8 +288,11 @@ pub fn parse_jsonl(s: &str) -> Result<Vec<Json>, String> {
 }
 
 /// Renders the snapshot as an aligned text table: counters and gauges as
-/// `metric value` rows, histograms with count/mean/p50/p99.
-pub fn render_table(snap: &RegistrySnapshot) -> String {
+/// `metric value` rows, histograms with count/mean/p50/p99 (upper-bound
+/// and interpolated tail). When `trace` is given, trailing rows report
+/// the tracer's retained/sampled-out/dropped counts so no report
+/// silently hides an incomplete event record.
+pub fn render_table(snap: &RegistrySnapshot, trace: Option<&TraceStats>) -> String {
     let mut rows: Vec<(String, String)> = Vec::new();
     for (k, v) in &snap.counters {
         rows.push((k.to_string(), v.to_string()));
@@ -284,13 +304,22 @@ pub fn render_table(snap: &RegistrySnapshot) -> String {
         rows.push((
             k.to_string(),
             format!(
-                "count={} mean={:.1} p50<={} p99<={}",
+                "count={} mean={:.1} p50<={} p99<={} p99~={:.1}",
                 h.count,
                 h.mean(),
                 h.percentile(0.50),
-                h.percentile(0.99)
+                h.percentile(0.99),
+                h.percentile_interp(0.99)
             ),
         ));
+    }
+    if let Some(t) = trace {
+        rows.push(("trace.retained".into(), t.retained.to_string()));
+        rows.push((
+            "trace.sampled_out".into(),
+            format!("{} (period {})", t.sampled_out, t.sample_period),
+        ));
+        rows.push(("trace.dropped".into(), t.dropped.to_string()));
     }
     let width = rows.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
     let mut out = String::new();
@@ -422,13 +451,36 @@ mod tests {
             h.record(v);
         }
         let events = sample_events();
+        let stats = TraceStats {
+            retained: events.len() as u64,
+            sampled_out: 7,
+            dropped: 0,
+            sample_period: 1,
+        };
         let doc = export_jsonl(
             &[("workload", Json::Str("tcp_stream_rx".into()))],
             &r.snapshot(),
             &events,
+            &stats,
         );
         let lines = parse_jsonl(&doc).unwrap();
         assert_eq!(lines.len(), 1 + 3 + events.len());
+
+        // The run header surfaces the tracer's retention stats.
+        let header = &lines[0];
+        assert_eq!(
+            header.get("trace_retained").and_then(Json::as_u64),
+            Some(events.len() as u64)
+        );
+        assert_eq!(
+            header.get("trace_sampled_out").and_then(Json::as_u64),
+            Some(7)
+        );
+        assert_eq!(header.get("trace_dropped").and_then(Json::as_u64), Some(0));
+        assert_eq!(
+            header.get("trace_sample_period").and_then(Json::as_u64),
+            Some(1)
+        );
 
         // Byte-for-byte stability through a parse/re-encode cycle.
         let reencoded: String = lines.iter().map(|l| format!("{}\n", l.encode())).collect();
@@ -449,9 +501,26 @@ mod tests {
         r.counter(MetricKey::new("a", "count", None)).add(5);
         r.histogram(MetricKey::new("b", "sizes", Some(1)))
             .record(64);
-        let table = render_table(&r.snapshot());
+        let table = render_table(&r.snapshot(), None);
         assert!(table.contains("a.count"));
         assert!(table.contains("b.sizes{dev1}"));
         assert!(table.contains("count=1"));
+    }
+
+    #[test]
+    fn table_surfaces_trace_stats() {
+        let r = Registry::new();
+        r.counter(MetricKey::new("a", "count", None)).add(5);
+        let stats = TraceStats {
+            retained: 40,
+            sampled_out: 120,
+            dropped: 3,
+            sample_period: 4,
+        };
+        let table = render_table(&r.snapshot(), Some(&stats));
+        assert!(table.contains("trace.retained"), "got: {table}");
+        assert!(table.contains("40"));
+        assert!(table.contains("120 (period 4)"));
+        assert!(table.contains("trace.dropped"));
     }
 }

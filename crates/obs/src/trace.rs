@@ -142,6 +142,16 @@ impl EventKind {
             EventKind::SharedAccess { .. } => "SharedAccess",
         }
     }
+
+    /// True for security events ([`EventKind::AttackBlocked`],
+    /// [`EventKind::SanitizerViolation`]), which always bypass sampling
+    /// and can trigger the flight recorder.
+    pub fn is_security(&self) -> bool {
+        matches!(
+            self,
+            EventKind::AttackBlocked { .. } | EventKind::SanitizerViolation { .. }
+        )
+    }
 }
 
 /// One recorded trace event.
@@ -268,6 +278,21 @@ pub struct Tracer {
 /// Default ring capacity (events retained before the oldest are dropped).
 pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
 
+/// Point-in-time retention statistics of a [`Tracer`], so every report
+/// can state how complete its event record is (events skipped by chain
+/// sampling vs. dropped by ring overflow were previously invisible).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceStats {
+    /// Events currently held in the ring.
+    pub retained: u64,
+    /// Events skipped by chain sampling (never security events).
+    pub sampled_out: u64,
+    /// Events dropped because the ring was full.
+    pub dropped: u64,
+    /// Current sampling period (1 = record everything).
+    pub sample_period: u64,
+}
+
 impl Default for Tracer {
     fn default() -> Self {
         Tracer::with_capacity(DEFAULT_TRACE_CAPACITY)
@@ -353,6 +378,14 @@ impl Tracer {
                     .fetch_add(1, Ordering::Relaxed)
                     .is_multiple_of(period),
             };
+        // A security event recorded under a sampled-out chain is still
+        // retained, but its cause pointer would dangle — strip the link
+        // rather than export a seq that is not in the ring.
+        let cause = if security && cause_kept == Some(false) {
+            None
+        } else {
+            cause
+        };
         note_decision(seq, kept);
         if !kept {
             self.sampled_out.fetch_add(1, Ordering::Relaxed);
@@ -386,6 +419,21 @@ impl Tracer {
     /// Events dropped because the ring was full.
     pub fn dropped(&self) -> u64 {
         self.ring.lock().dropped
+    }
+
+    /// Retention statistics: retained / sampled-out / dropped counts and
+    /// the sampling period, for report headers and table sinks.
+    pub fn stats(&self) -> TraceStats {
+        let (retained, dropped) = {
+            let r = self.ring.lock();
+            (r.events.len() as u64, r.dropped)
+        };
+        TraceStats {
+            retained,
+            sampled_out: self.sampled_out(),
+            dropped,
+            sample_period: self.sample_period(),
+        }
     }
 
     /// Number of events currently retained.
@@ -566,6 +614,15 @@ mod tests {
         assert_eq!(t.sampled_out(), 10, "every other chain head skipped");
         assert_eq!(t.dropped(), 6, "10 kept, ring holds 4");
         assert_eq!(t.len(), 4);
+        assert_eq!(
+            t.stats(),
+            TraceStats {
+                retained: 4,
+                sampled_out: 10,
+                dropped: 6,
+                sample_period: 2,
+            }
+        );
         // Disabling sampling restores record-everything behavior.
         t.set_sample_period(0);
         let before = t.sampled_out();

@@ -7,7 +7,10 @@
 //! 3. a JSON-lines trajectory file (`BENCH_*.json` schema) in which every
 //!    `DmaMap` has a matching `DmaUnmap` and every blocked probe from a
 //!    malicious device appears as an `AttackBlocked` event — both
-//!    properties are re-verified here by parsing the file back.
+//!    properties are re-verified here by parsing the file back, and
+//! 4. the virtual-time profile tree (the Figure 5 breakdown refined into
+//!    per-scope self/total time), whose depth-1 cut must agree with the
+//!    registry breakdown cycle-for-cycle.
 //!
 //! Run with: `cargo run --release --example telemetry_report`
 
@@ -37,6 +40,7 @@ fn main() {
     // One telemetry handle for everything; a large trace ring so the full
     // run fits without wraparound.
     let obs = Obs::with_trace_capacity(1 << 20);
+    obs.profiler().set_enabled(true);
     let cfg = ExpConfig {
         cores: 4,
         msg_size: 64 * 1024,
@@ -130,8 +134,9 @@ fn main() {
 
     // ---- (2) metric table ----
     let snap = obs.registry().snapshot();
+    let trace_stats = obs.tracer().stats();
     println!("\n=== registry ===");
-    print!("{}", render_table(&snap));
+    print!("{}", render_table(&snap, Some(&trace_stats)));
 
     // ---- (3) JSON-lines trajectory ----
     let events = obs.tracer().events();
@@ -145,6 +150,7 @@ fn main() {
         ],
         &snap,
         &events,
+        &trace_stats,
     );
     let path = std::path::Path::new("target").join("telemetry_report.jsonl");
     std::fs::create_dir_all("target").expect("mkdir target");
@@ -192,4 +198,22 @@ fn main() {
         "  {n_maps} DmaMap / {n_unmaps} DmaUnmap (balanced), {blocked} AttackBlocked (all {} probes blocked)",
         scan.blocked
     );
+
+    // ---- (4) profile tree: Figure 5 refined into per-scope time ----
+    let prof = obs.profiler().snapshot();
+    assert!(!prof.is_empty(), "the profiler was enabled for both runs");
+    println!("\n=== profile tree (virtual time) ===");
+    print!("{}", prof.render(cfg.cost.clock_ghz));
+    // The depth-1 cut of the tree IS the registry breakdown: same cycles,
+    // same phases, just attributed to scopes.
+    let cut = prof.breakdown_cut(Some(NIC_DEV.0));
+    for p in Phase::ALL {
+        assert_eq!(
+            cut.get(p),
+            merged.get(p),
+            "profile depth-1 cut disagrees with the registry breakdown on '{}'",
+            p.label()
+        );
+    }
+    println!("\n  profile depth-1 cut == registry breakdown (all 8 phases)");
 }
