@@ -5,7 +5,11 @@ export CARGO_NET_OFFLINE=true
 cargo build --release --workspace --all-targets
 cargo test -q --workspace
 cargo test -q --workspace --features dmasan-strict
-cargo run -q --bin lint
+# Lint, split like the workflow: the fast style pass first (cheap,
+# pre-commit-friendly), then the full pass (protocol typestate checker,
+# lock-order, unsafe audit) with the machine-readable report artifact.
+cargo run -q --bin lint -- --fast
+cargo run -q --bin lint -- --json target/lint_report.json
 # Bounded model checking: prove the strict strategies hold the protection
 # invariant within bounds and replay the committed deferred-invalidation
 # counterexample. Deterministic (fixed bounds, no wall clock).

@@ -1,6 +1,7 @@
 //! The attack scenarios.
 
 // lint: allow(panic) — attack rigs panic on broken simulation invariants, not recoverable errors
+// lint: allow(use-after-unmap) — attacks deliberately replay stale IOVAs after dma_unmap to probe the window
 
 use devices::MaliciousDevice;
 use dma_api::{Bus, DmaBuf, DmaDirection};

@@ -86,6 +86,18 @@ pub trait DmaEngine: Send + Sync {
     /// invalidating its translations.
     fn free_coherent(&self, ctx: &mut CoreCtx, buf: CoherentBuffer) -> Result<(), DmaError>;
 
+    /// `dma_sync_single_for_cpu`: hands a streaming mapping back to the
+    /// CPU for inspection without unmapping it (§2.2). The simulated
+    /// memory system is cache-coherent, so the default is a no-op; the
+    /// method exists so drivers express the CPU handoff explicitly and
+    /// the static protocol checker / dmasan can audit it.
+    fn sync_for_cpu(&self, _ctx: &mut CoreCtx, _mapping: &DmaMapping) {}
+
+    /// `dma_sync_single_for_device`: returns a CPU-synced streaming
+    /// mapping to the device. No-op for the same reason as
+    /// [`DmaEngine::sync_for_cpu`].
+    fn sync_for_device(&self, _ctx: &mut CoreCtx, _mapping: &DmaMapping) {}
+
     /// Drains any deferred invalidations (the 10 ms timer / teardown
     /// path). No-op for strict engines.
     fn flush_deferred(&self, _ctx: &mut CoreCtx) {}
@@ -136,6 +148,14 @@ impl<T: DmaEngine + ?Sized> DmaEngine for Box<T> {
 
     fn free_coherent(&self, ctx: &mut CoreCtx, buf: CoherentBuffer) -> Result<(), DmaError> {
         (**self).free_coherent(ctx, buf)
+    }
+
+    fn sync_for_cpu(&self, ctx: &mut CoreCtx, mapping: &DmaMapping) {
+        (**self).sync_for_cpu(ctx, mapping)
+    }
+
+    fn sync_for_device(&self, ctx: &mut CoreCtx, mapping: &DmaMapping) {
+        (**self).sync_for_device(ctx, mapping)
     }
 
     fn flush_deferred(&self, ctx: &mut CoreCtx) {

@@ -175,6 +175,14 @@ impl<E: DmaEngine> DmaEngine for TracedDma<E> {
         })
     }
 
+    fn sync_for_cpu(&self, ctx: &mut CoreCtx, mapping: &DmaMapping) {
+        self.inner.sync_for_cpu(ctx, mapping);
+    }
+
+    fn sync_for_device(&self, ctx: &mut CoreCtx, mapping: &DmaMapping) {
+        self.inner.sync_for_device(ctx, mapping);
+    }
+
     fn flush_deferred(&self, ctx: &mut CoreCtx) {
         self.inner.flush_deferred(ctx);
     }

@@ -1,0 +1,177 @@
+// lint: allow(ambient-io) — the workspace walk must read source files and manifests
+//! A pure-std workspace lint (no `syn`, no external dependencies).
+//!
+//! The crate is built around a small in-tree Rust front-end
+//! ([`lexer`]: byte-aligned stripped views + token stream, [`cfg`]:
+//! token trees and per-function control-flow graphs) shared by every
+//! pass, so there is exactly one tokenizer, one `#[cfg(test)]` mask, and
+//! one file walk. On top of it:
+//!
+//! 1. **House style rules** ([`rules::style`]) — no `unwrap()`/`expect(`
+//!    outside `#[cfg(test)]`, no raw `PhysAddr` arithmetic outside
+//!    `memsim`, no `std::process`/`std::net`/`std::fs`, no
+//!    `Ordering::Relaxed` outside `crates/obs`, and no external
+//!    dependencies in any manifest (the workspace builds offline).
+//! 2. **Lock order** ([`rules::lock_order`]) — extracts every
+//!    instrumented lock site, builds the nested-acquisition graph, and
+//!    flags cycles; the site inventory feeds the model checker's
+//!    `known_locks`.
+//! 3. **DMA-API protocol** ([`rules::protocol`], [`typestate`]) — a
+//!    typestate dataflow over each function's CFG tracking DMA handles
+//!    (`Unmapped → Mapped → SyncedForCpu → Unmapped`): use-after-unmap,
+//!    leak-on-exit, double-unmap, sync-before-cpu-read — the static
+//!    mirror of dmasan's runtime rules.
+//! 4. **Unsafe audit** ([`rules::unsafe_audit`]) — every `unsafe` must
+//!    carry a `// SAFETY:` comment; the inventory (plus which crates
+//!    `#![forbid(unsafe_code)]`) is exported like the lock-order report.
+//!
+//! Every rule is waiver-compatible (`// lint: allow(<rule>) — <reason>`,
+//! reason mandatory) and the runner exits 0 (clean) / 1 (findings) /
+//! 2 (scan failure) as before. Run via `cargo run --bin lint`
+//! (`--fast` for style-only, `--json <path>` for the machine-readable
+//! report).
+#![forbid(unsafe_code)]
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+pub mod cfg;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod typestate;
+
+pub use lexer::{aligned_views, strip_code, test_region_mask, Prep};
+pub use report::{json_report, rule_summary, LintViolation};
+pub use rules::lock_order::{lock_order_analysis, LockEdge, LockOrderReport, LockSite};
+pub use rules::style::{lint_manifest, lint_source, FileContext};
+pub use rules::unsafe_audit::{unsafe_audit_analysis, UnsafeReport, UnsafeSite};
+pub use rules::{has_rule_waiver, IO_WAIVER, PANIC_WAIVER, RELAXED_WAIVER};
+pub use typestate::Finding;
+
+/// Every rule the workspace lint can emit, for the per-rule summary.
+pub const ALL_RULES: [&str; 11] = [
+    "ambient-io",
+    "double-unmap",
+    "external-dep",
+    "leak-on-exit",
+    "lock-order",
+    "panic",
+    "phys-addr-arith",
+    "relaxed-atomic",
+    "sync-before-cpu-read",
+    "unsafe-no-safety",
+    "use-after-unmap",
+];
+
+/// The sorted member crate directories under `root/crates`.
+pub(crate) fn member_crates(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut members: Vec<PathBuf> = fs::read_dir(root.join("crates"))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    members.sort();
+    Ok(members)
+}
+
+/// Recursively collects `.rs` files under `dir`.
+pub(crate) fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            rust_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Which rule passes a workspace scan runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Pass {
+    /// Style + manifest rules only (`lint --fast`).
+    Fast,
+    /// Everything: style, lock-order, protocol, unsafe audit.
+    #[default]
+    Full,
+}
+
+/// Lints the whole workspace rooted at `root`: every member crate's
+/// sources and manifest, plus the root manifest. `Pass::Full` adds the
+/// lock-order, protocol, and unsafe passes.
+pub fn lint_workspace_pass(root: &Path, pass: Pass) -> std::io::Result<Vec<LintViolation>> {
+    let mut out = Vec::new();
+    let label = |p: &Path| {
+        p.strip_prefix(root)
+            .unwrap_or(p)
+            .display()
+            .to_string()
+            .replace('\\', "/")
+    };
+    for member in member_crates(root)? {
+        let crate_name = member
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let manifest = member.join("Cargo.toml");
+        if let Ok(toml) = fs::read_to_string(&manifest) {
+            out.extend(lint_manifest(&label(&manifest), &toml));
+        }
+        let src_dir = member.join("src");
+        if !src_dir.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        rust_files(&src_dir, &mut files)?;
+        files.sort();
+        for f in &files {
+            let src = fs::read_to_string(f)?;
+            let rel = label(f);
+            let ctx = FileContext {
+                in_memsim: crate_name == "memsim",
+                in_obs: crate_name == "obs",
+                ..Default::default()
+            };
+            let p = lexer::prep(&rel, &src);
+            out.extend(rules::style::check_prepped(&p, &src, ctx));
+            if pass == Pass::Full {
+                out.extend(rules::protocol::check(&p, &src, ctx));
+                let sites = rules::unsafe_audit::scan_file(&p, &src);
+                out.extend(rules::unsafe_audit::violations(&sites, &src));
+            }
+        }
+        // Integration tests and benches: ambient-I/O discipline only.
+        for sub in ["tests", "benches"] {
+            let aux_dir = member.join(sub);
+            if !aux_dir.is_dir() {
+                continue;
+            }
+            let mut aux_files = Vec::new();
+            rust_files(&aux_dir, &mut aux_files)?;
+            aux_files.sort();
+            for f in &aux_files {
+                let src = fs::read_to_string(f)?;
+                let ctx = FileContext {
+                    aux: true,
+                    ..Default::default()
+                };
+                out.extend(lint_source(&label(f), &src, ctx));
+            }
+        }
+    }
+    let root_manifest = root.join("Cargo.toml");
+    if let Ok(toml) = fs::read_to_string(&root_manifest) {
+        out.extend(lint_manifest(&label(&root_manifest), &toml));
+    }
+    if pass == Pass::Full {
+        out.extend(lock_order_analysis(root)?.cycle_violations());
+    }
+    Ok(out)
+}
+
+/// Lints the whole workspace with every pass enabled (the historical
+/// entry point; equivalent to [`lint_workspace_pass`] with [`Pass::Full`]).
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<LintViolation>> {
+    lint_workspace_pass(root, Pass::Full)
+}

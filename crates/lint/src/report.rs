@@ -1,0 +1,209 @@
+//! Finding types and the machine-readable report.
+
+use std::collections::BTreeMap;
+
+use obs::json::Json;
+
+use crate::rules::lock_order::LockOrderReport;
+use crate::rules::unsafe_audit::UnsafeReport;
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintViolation {
+    /// Path (workspace-relative where possible) of the offending file.
+    pub file: String,
+    /// 1-indexed line.
+    pub line: usize,
+    /// Stable rule name: `panic`, `phys-addr-arith`, `ambient-io`,
+    /// `external-dep`, `relaxed-atomic`, `lock-order`, `use-after-unmap`,
+    /// `leak-on-exit`, `double-unmap`, `sync-before-cpu-read`,
+    /// `unsafe-no-safety`.
+    pub rule: &'static str,
+    /// What was found.
+    pub detail: String,
+}
+
+impl std::fmt::Display for LintViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.detail
+        )
+    }
+}
+
+/// Per-rule finding counts, every known rule present (zero when clean) so
+/// the CI log always prints the full table.
+pub fn rule_summary(violations: &[LintViolation]) -> BTreeMap<&'static str, usize> {
+    let mut counts: BTreeMap<&'static str, usize> =
+        crate::ALL_RULES.iter().map(|&r| (r, 0)).collect();
+    for v in violations {
+        *counts.entry(v.rule).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Builds the machine-readable lint report (`lint --json <path>`): the
+/// findings, the per-rule summary, and the exported lock-order and unsafe
+/// inventories.
+pub fn json_report(
+    violations: &[LintViolation],
+    locks: &LockOrderReport,
+    unsafes: &UnsafeReport,
+) -> Json {
+    let viol = |v: &LintViolation| {
+        Json::Obj(vec![
+            ("file".into(), Json::Str(v.file.clone())),
+            ("line".into(), Json::UInt(v.line as u64)),
+            ("rule".into(), Json::Str(v.rule.to_string())),
+            ("detail".into(), Json::Str(v.detail.clone())),
+        ])
+    };
+    let summary = Json::Obj(
+        rule_summary(violations)
+            .into_iter()
+            .map(|(r, n)| (r.to_string(), Json::UInt(n as u64)))
+            .collect(),
+    );
+    let lock_sites = Json::Arr(
+        locks
+            .sites
+            .iter()
+            .map(|s| {
+                Json::Obj(vec![
+                    ("file".into(), Json::Str(s.file.clone())),
+                    ("line".into(), Json::UInt(s.line as u64)),
+                    ("lock".into(), Json::Str(s.lock.clone())),
+                    ("acquisition".into(), Json::Bool(s.acquisition)),
+                ])
+            })
+            .collect(),
+    );
+    let lock_edges = Json::Arr(
+        locks
+            .edges
+            .iter()
+            .map(|e| {
+                Json::Obj(vec![
+                    ("outer".into(), Json::Str(e.outer.clone())),
+                    ("inner".into(), Json::Str(e.inner.clone())),
+                    ("file".into(), Json::Str(e.file.clone())),
+                    ("line".into(), Json::UInt(e.line as u64)),
+                ])
+            })
+            .collect(),
+    );
+    let cycles = Json::Arr(
+        locks
+            .cycles
+            .iter()
+            .map(|c| Json::Arr(c.iter().map(|n| Json::Str(n.clone())).collect()))
+            .collect(),
+    );
+    let unsafe_sites = Json::Arr(
+        unsafes
+            .sites
+            .iter()
+            .map(|s| {
+                Json::Obj(vec![
+                    ("file".into(), Json::Str(s.file.clone())),
+                    ("line".into(), Json::UInt(s.line as u64)),
+                    (
+                        "has_safety_comment".into(),
+                        Json::Bool(s.has_safety_comment),
+                    ),
+                ])
+            })
+            .collect(),
+    );
+    Json::Obj(vec![
+        ("tool".into(), Json::Str("lint".to_string())),
+        (
+            "violations".into(),
+            Json::Arr(violations.iter().map(viol).collect()),
+        ),
+        ("summary".into(), summary),
+        (
+            "lock_order".into(),
+            Json::Obj(vec![
+                ("sites".into(), lock_sites),
+                ("edges".into(), lock_edges),
+                ("cycles".into(), cycles),
+            ]),
+        ),
+        (
+            "unsafe_audit".into(),
+            Json::Obj(vec![
+                ("sites".into(), unsafe_sites),
+                (
+                    "forbid_crates".into(),
+                    Json::Arr(
+                        unsafes
+                            .forbid_crates
+                            .iter()
+                            .map(|c| Json::Str(c.clone()))
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_lists_every_rule_and_counts_findings() {
+        let v = vec![
+            LintViolation {
+                file: "a.rs".into(),
+                line: 1,
+                rule: "panic",
+                detail: "x".into(),
+            },
+            LintViolation {
+                file: "a.rs".into(),
+                line: 2,
+                rule: "panic",
+                detail: "y".into(),
+            },
+        ];
+        let s = rule_summary(&v);
+        assert_eq!(s["panic"], 2);
+        assert_eq!(s["use-after-unmap"], 0);
+        assert!(s.contains_key("lock-order"));
+    }
+
+    #[test]
+    fn json_report_round_trips() {
+        let v = vec![LintViolation {
+            file: "a.rs".into(),
+            line: 3,
+            rule: "leak-on-exit",
+            detail: "m leaks".into(),
+        }];
+        let j = json_report(&v, &LockOrderReport::default(), &UnsafeReport::default());
+        let parsed = Json::parse(&j.encode()).expect("valid json");
+        let first = parsed
+            .get("violations")
+            .and_then(|a| match a {
+                Json::Arr(items) => items.first(),
+                _ => None,
+            })
+            .expect("one violation");
+        assert_eq!(
+            first.get("rule").and_then(Json::as_str),
+            Some("leak-on-exit")
+        );
+        assert_eq!(
+            parsed
+                .get("summary")
+                .and_then(|s| s.get("leak-on-exit"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! The rule passes, all consuming the shared front-end ([`crate::lexer`]).
+//!
+//! - [`style`] — the line-level house rules (panic, phys-addr-arith,
+//!   ambient-io, relaxed-atomic) and the manifest rule (external-dep).
+//! - [`lock_order`] — lock-site inventory and acquisition-cycle detection.
+//! - [`protocol`] — the DMA-API typestate checker (use-after-unmap,
+//!   leak-on-exit, double-unmap, sync-before-cpu-read).
+//! - [`unsafe_audit`] — every `unsafe` must carry a `// SAFETY:` comment.
+//!
+//! Every rule is waiver-compatible: a file opts out of one rule with
+//! `// lint: allow(<rule>) — <reason>`; the reason is mandatory.
+
+pub mod lock_order;
+pub mod protocol;
+pub mod style;
+pub mod unsafe_audit;
+
+/// The waiver comment a file uses to opt out of the panic rule. A reason
+/// is mandatory: `// lint: allow(panic) — deliberate invariant panics`.
+pub const PANIC_WAIVER: &str = "// lint: allow(panic)";
+
+/// The waiver comment a file uses to opt out of the ambient-I/O rule. A
+/// reason is mandatory:
+/// `// lint: allow(ambient-io) — the harness writes BENCH_HOST.json`.
+pub const IO_WAIVER: &str = "// lint: allow(ambient-io)";
+
+/// The waiver comment a file uses to opt out of the relaxed-atomic rule.
+/// A reason is mandatory — it must say why no ordering is needed:
+/// `// lint: allow(relaxed-atomic) — stats counters, never synchronized on`.
+pub const RELAXED_WAIVER: &str = "// lint: allow(relaxed-atomic)";
+
+/// Whether `src` contains `waiver` followed by a non-trivial reason.
+pub(crate) fn has_waiver(src: &str, waiver: &str) -> bool {
+    src.lines().any(|l| {
+        let t = l.trim_start();
+        t.starts_with(waiver) && t.len() > waiver.len() + 3
+    })
+}
+
+/// Whether `src` carries a reasoned waiver for `rule`
+/// (`// lint: allow(<rule>) — <reason>`).
+pub fn has_rule_waiver(src: &str, rule: &str) -> bool {
+    let waiver = format!("// lint: allow({rule})");
+    has_waiver(src, &waiver)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_waiver_requires_reason() {
+        let with = "// lint: allow(use-after-unmap) — deliberate attack replay\nfn f() {}\n";
+        assert!(has_rule_waiver(with, "use-after-unmap"));
+        let bare = "// lint: allow(use-after-unmap)\nfn f() {}\n";
+        assert!(!has_rule_waiver(bare, "use-after-unmap"));
+        assert!(!has_rule_waiver(with, "double-unmap"));
+    }
+}

@@ -1,0 +1,85 @@
+//! The DMA-API protocol rule pass: runs the typestate checker
+//! ([`crate::typestate`]) over a prepared file and converts its findings
+//! into waiver-compatible lint violations.
+
+use crate::lexer::Prep;
+use crate::report::LintViolation;
+use crate::rules::has_rule_waiver;
+use crate::rules::style::FileContext;
+
+/// The protocol rule names, in reporting order.
+pub const PROTOCOL_RULES: [&str; 4] = [
+    "use-after-unmap",
+    "leak-on-exit",
+    "double-unmap",
+    "sync-before-cpu-read",
+];
+
+/// Runs the protocol checker over one prepared file. `src` is the raw
+/// source (for waiver comments). Aux files (`tests/`, `benches/`) are
+/// exempt: protocol discipline is a library-code concern, and test code
+/// deliberately constructs broken sequences to feed dmasan.
+pub fn check(prep: &Prep, src: &str, ctx: FileContext) -> Vec<LintViolation> {
+    if ctx.aux {
+        return Vec::new();
+    }
+    crate::typestate::check_file(prep)
+        .into_iter()
+        .filter(|f| !has_rule_waiver(src, f.rule))
+        .map(|f| LintViolation {
+            file: prep.label.clone(),
+            line: f.line,
+            rule: f.rule,
+            detail: f.detail,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::prep;
+
+    const LEAKY: &str = "fn f(engine: &E, ctx: &mut C) {\n\
+        let m = engine.map(ctx, DmaBuf::new(skb, 64), DmaDirection::ToDevice).expect(\"m\");\n\
+        }\n";
+
+    #[test]
+    fn protocol_findings_become_violations() {
+        let p = prep("x.rs", LEAKY);
+        let v = check(&p, LEAKY, FileContext::default());
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "leak-on-exit");
+        assert_eq!(v[0].file, "x.rs");
+    }
+
+    #[test]
+    fn aux_files_are_exempt() {
+        let p = prep("tests/x.rs", LEAKY);
+        let aux = FileContext {
+            aux: true,
+            ..Default::default()
+        };
+        assert!(check(&p, LEAKY, aux).is_empty());
+    }
+
+    #[test]
+    fn reasoned_waiver_silences_one_rule_only() {
+        let src = format!(
+            "// lint: allow(leak-on-exit) — ownership handed to the ring at runtime\n{LEAKY}"
+        );
+        let p = prep("x.rs", &src);
+        assert!(check(&p, &src, FileContext::default()).is_empty());
+        // The waiver names its rule; other protocol rules still fire.
+        let uaf = "// lint: allow(leak-on-exit) — reasoned\n\
+            fn f(engine: &E, ctx: &mut C) {\n\
+            let m = engine.map(ctx, DmaBuf::new(skb, 64), DmaDirection::ToDevice).expect(\"m\");\n\
+            engine.unmap(ctx, m).expect(\"u\");\n\
+            poke(m.iova.get());\n\
+            }\n";
+        let p = prep("x.rs", uaf);
+        let v = check(&p, uaf, FileContext::default());
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "use-after-unmap");
+    }
+}

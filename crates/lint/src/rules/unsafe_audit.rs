@@ -1,0 +1,194 @@
+// lint: allow(ambient-io) — the unsafe inventory must read member crates' sources
+//! The `unsafe` audit: every `unsafe` block, fn, impl, or trait outside
+//! `#[cfg(test)]` must carry a `// SAFETY:` comment (on the same line or
+//! an adjacent comment/attribute line above) stating why the invariants
+//! hold. The full site inventory is exported like the lock-order report,
+//! so CI artifacts record where unsafety lives even when every site is
+//! justified — today the answer is "nowhere": every member crate carries
+//! `#![forbid(unsafe_code)]`, which the inventory also records.
+
+use std::fs;
+use std::path::Path;
+
+use crate::lexer::{prep, tokenize, Prep};
+use crate::report::LintViolation;
+use crate::rules::has_rule_waiver;
+
+/// One `unsafe` occurrence in non-test code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnsafeSite {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-indexed line of the `unsafe` keyword.
+    pub line: usize,
+    /// A `// SAFETY:` comment was found for the site.
+    pub has_safety_comment: bool,
+}
+
+/// The exported result of the unsafe audit.
+#[derive(Debug, Clone, Default)]
+pub struct UnsafeReport {
+    /// Every non-test `unsafe` occurrence.
+    pub sites: Vec<UnsafeSite>,
+    /// Member crates whose lib.rs carries `#![forbid(unsafe_code)]`.
+    pub forbid_crates: Vec<String>,
+}
+
+/// How many comment/attribute lines above an `unsafe` are searched for
+/// the `SAFETY:` marker.
+const SAFETY_LOOKBACK: usize = 4;
+
+/// Scans one prepared file for `unsafe` keywords outside test regions.
+/// `src` is the raw source — the SAFETY marker lives in comments, which
+/// the blank view erases.
+pub fn scan_file(p: &Prep, src: &str) -> Vec<UnsafeSite> {
+    let raw_lines: Vec<&str> = src.lines().collect();
+    let mut out = Vec::new();
+    for tok in tokenize(&p.blank) {
+        if !(tok.is_ident && tok.text == "unsafe") || p.in_test(tok.line) {
+            continue;
+        }
+        let idx = tok.line - 1;
+        let mut found = raw_lines.get(idx).is_some_and(|l| l.contains("SAFETY:"));
+        let mut k = idx;
+        let mut looked = 0;
+        while !found && k > 0 && looked < SAFETY_LOOKBACK {
+            k -= 1;
+            looked += 1;
+            let t = raw_lines.get(k).map(|l| l.trim_start()).unwrap_or("");
+            if t.starts_with("//") || t.starts_with("#[") {
+                found = t.contains("SAFETY:");
+                if found {
+                    break;
+                }
+            } else {
+                break;
+            }
+        }
+        out.push(UnsafeSite {
+            file: p.label.clone(),
+            line: tok.line,
+            has_safety_comment: found,
+        });
+    }
+    out
+}
+
+/// Converts undocumented sites into `unsafe-no-safety` violations,
+/// honoring a reasoned file waiver.
+pub fn violations(sites: &[UnsafeSite], src: &str) -> Vec<LintViolation> {
+    if has_rule_waiver(src, "unsafe-no-safety") {
+        return Vec::new();
+    }
+    sites
+        .iter()
+        .filter(|s| !s.has_safety_comment)
+        .map(|s| LintViolation {
+            file: s.file.clone(),
+            line: s.line,
+            rule: "unsafe-no-safety",
+            detail: "`unsafe` without a `// SAFETY:` comment; state why the \
+                     invariants hold (or add `// lint: allow(unsafe-no-safety) — <reason>`)"
+                .to_string(),
+        })
+        .collect()
+}
+
+/// Runs the unsafe inventory over every member crate rooted at `root`
+/// (`src/`, `tests/`, and `benches/` trees — unsafety in tests still
+/// wants a reason, though only non-test *regions* are counted).
+pub fn unsafe_audit_analysis(root: &Path) -> std::io::Result<UnsafeReport> {
+    let label = |p: &Path| {
+        p.strip_prefix(root)
+            .unwrap_or(p)
+            .display()
+            .to_string()
+            .replace('\\', "/")
+    };
+    let mut report = UnsafeReport::default();
+    for member in crate::member_crates(root)? {
+        let crate_name = member
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let src_dir = member.join("src");
+        if !src_dir.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        crate::rust_files(&src_dir, &mut files)?;
+        files.sort();
+        for f in &files {
+            let src = fs::read_to_string(f)?;
+            if f.file_name().is_some_and(|n| n == "lib.rs")
+                && src.contains("#![forbid(unsafe_code)]")
+            {
+                report.forbid_crates.push(crate_name.clone());
+            }
+            let p = prep(&label(f), &src);
+            report.sites.extend(scan_file(&p, &src));
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::prep;
+
+    #[test]
+    fn documented_unsafe_is_inventoried_but_clean() {
+        let src = "fn f(p: *const u8) -> u8 {\n\
+                   // SAFETY: caller guarantees p is valid for reads\n\
+                   unsafe { *p }\n\
+                   }\n";
+        let sites = scan_file(&prep("x.rs", src), src);
+        assert_eq!(sites.len(), 1, "{sites:?}");
+        assert!(sites[0].has_safety_comment);
+        assert_eq!(sites[0].line, 3);
+        assert!(violations(&sites, src).is_empty());
+    }
+
+    #[test]
+    fn undocumented_unsafe_is_flagged() {
+        let src = "fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n";
+        let sites = scan_file(&prep("x.rs", src), src);
+        assert_eq!(sites.len(), 1);
+        assert!(!sites[0].has_safety_comment);
+        let v = violations(&sites, src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "unsafe-no-safety");
+    }
+
+    #[test]
+    fn same_line_and_distant_comments() {
+        let same = "unsafe { go() } // SAFETY: single-threaded init\n";
+        let sites = scan_file(&prep("x.rs", same), same);
+        assert!(sites[0].has_safety_comment);
+        // A code line between comment and site breaks the association.
+        let far = "// SAFETY: stale justification\nfn f() {\nunsafe { go() }\n}\n";
+        let sites = scan_file(&prep("x.rs", far), far);
+        assert!(!sites[0].has_safety_comment, "{sites:?}");
+    }
+
+    #[test]
+    fn test_regions_and_strings_are_ignored() {
+        let src = "const S: &str = \"unsafe\";\n\
+                   #[cfg(test)]\n\
+                   mod t {\n\
+                   fn x() { unsafe { no() } }\n\
+                   }\n";
+        let sites = scan_file(&prep("x.rs", src), src);
+        assert!(sites.is_empty(), "{sites:?}");
+    }
+
+    #[test]
+    fn waiver_silences_the_audit() {
+        let src = "// lint: allow(unsafe-no-safety) — ffi shim audited in DESIGN.md\n\
+                   fn f(p: *const u8) -> u8 { unsafe { *p } }\n";
+        let sites = scan_file(&prep("x.rs", src), src);
+        assert_eq!(sites.len(), 1);
+        assert!(violations(&sites, src).is_empty());
+    }
+}

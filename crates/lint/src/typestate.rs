@@ -1,0 +1,859 @@
+//! The DMA-API protocol typestate checker.
+//!
+//! Tracks the state of DMA handles (`Unmapped → Mapped → SyncedForCpu →
+//! Unmapped`) through local variables over each function's CFG and flags
+//! the static mirror of dmasan's runtime rules:
+//!
+//! - **use-after-unmap** — a handle projected (`m.iova`, `m.len`, …) on a
+//!   path after `unmap`/`free_coherent` (dmasan: `stale_access`).
+//! - **leak-on-exit** — a `map`/`alloc_coherent` result that can reach a
+//!   `return`/`?` edge or function exit still mapped, without an unmap or
+//!   an ownership transfer (dmasan: `leak` at teardown).
+//! - **double-unmap** — a handle unmapped twice along some path (dmasan:
+//!   `double_unmap`).
+//! - **sync-before-cpu-read** — a CPU-side read of a streaming
+//!   `FromDevice`/`Bidirectional` buffer while it is mapped and not yet
+//!   `sync_for_cpu`'d. dmasan has no mirror for this rule: the runtime
+//!   cannot observe CPU loads, only device-side bus accesses.
+//!
+//! ## Soundness caveats (by design, to keep the pass zero-false-positive)
+//!
+//! The analysis is **intraprocedural** with **no alias tracking**: only
+//! handles bound by a direct `let h = engine.map(…)` / `alloc_coherent(…)`
+//! call chain (optionally suffixed `?` / `.unwrap()` / `.expect(…)`) are
+//! tracked. Any *bare* mention of a tracked handle — `Ok(m)`, `return m`,
+//! `v.push(m)`, `f(&m)`, a struct store — is treated as an ownership
+//! transfer and ends tracking, so storing a mapped handle in a collection
+//! and leaking it there is out of scope. Map results consumed by a
+//! surrounding expression (a `match` scrutinee, a closure wrapper like
+//! `obs::profile::scope(…, |ctx| engine.map(…))`) are not tracked at all.
+//! A `map` call is recognized only when its first argument is a `ctx`-ish
+//! identifier and its last argument names a `DmaDirection` (or is the
+//! literal identifier `dir`), which keeps `Iterator::map`, page-table
+//! `map(page, pfn, perms)`, and `perms()`-projected calls out.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::cfg::{build_trees, extract_functions, Cfg, Stmt, Tree};
+use crate::lexer::Prep;
+
+/// One protocol finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Stable rule name: `use-after-unmap`, `leak-on-exit`,
+    /// `double-unmap`, `sync-before-cpu-read`.
+    pub rule: &'static str,
+    /// 1-indexed line.
+    pub line: usize,
+    /// What was found.
+    pub detail: String,
+}
+
+/// Streaming direction of a tracked mapping, as far as the source shows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dir {
+    ToDevice,
+    FromDevice,
+    Bidirectional,
+    /// Direction is a runtime value (`dir` variable): sync rule disabled.
+    Unknown,
+    /// Coherent allocation: always CPU-visible, sync rule not applicable.
+    Coherent,
+}
+
+impl Dir {
+    fn needs_cpu_sync(self) -> bool {
+        matches!(self, Dir::FromDevice | Dir::Bidirectional)
+    }
+}
+
+// Typestate bits. A variable's state is the *set* of states it may be in
+// on some path reaching the program point (union join).
+const MAPPED: u8 = 1;
+const UNMAPPED: u8 = 2;
+const SYNCED: u8 = 4;
+
+/// Abstract state of one tracked handle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct VarState {
+    bits: u8,
+    dir: Dir,
+    /// The identifier passed to `DmaBuf::new(addr, …)` at the map site,
+    /// when visible — lets the sync rule connect `mem.read_vec(addr, …)`
+    /// back to this mapping.
+    buf: Option<String>,
+    /// Line of the map call that created the handle.
+    born_line: usize,
+}
+
+type State = BTreeMap<String, VarState>;
+
+fn join_into(dst: &mut State, src: &State) -> bool {
+    let mut changed = false;
+    for (k, v) in src {
+        match dst.get_mut(k) {
+            None => {
+                dst.insert(k.clone(), v.clone());
+                changed = true;
+            }
+            Some(d) => {
+                let bits = d.bits | v.bits;
+                if bits != d.bits {
+                    d.bits = bits;
+                    changed = true;
+                }
+                if d.dir != v.dir && d.dir != Dir::Unknown {
+                    d.dir = Dir::Unknown;
+                    changed = true;
+                }
+            }
+        }
+    }
+    changed
+}
+
+const MAP_METHODS: [&str; 3] = ["map", "map_sg", "alloc_coherent"];
+const UNMAP_METHODS: [&str; 3] = ["unmap", "unmap_sg", "free_coherent"];
+/// CPU-side read markers on the simulated memory (`SimMemory` API).
+const READ_METHODS: [&str; 4] = ["read", "read_vec", "read_into", "equals"];
+
+/// What a recognized `.method(…)` call does to tracked state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CallKind {
+    Map,
+    Unmap,
+    SyncCpu,
+    SyncDev,
+}
+
+/// One ordered event extracted from a statement.
+#[derive(Debug)]
+enum Ev {
+    /// A recognized DMA call; `args` are the bare identifiers in its
+    /// argument list (the tracked one, if any, is the handle).
+    Call {
+        kind: CallKind,
+        args: Vec<String>,
+        line: usize,
+    },
+    /// `v.…` — a projection of `v` (reads the handle's fields).
+    Proj { var: String, line: usize },
+    /// A bare mention of `v` outside any recognized DMA call: potential
+    /// ownership transfer.
+    Bare { var: String },
+    /// A CPU-side memory read; `head` are the identifiers of its first
+    /// argument (the address expression).
+    Read { head: Vec<String>, line: usize },
+}
+
+fn ident_of(t: &Tree) -> Option<&str> {
+    match t {
+        Tree::Tok(tok) if tok.is_ident => Some(&tok.text),
+        _ => None,
+    }
+}
+
+/// Splits a call's argument trees at top-level commas.
+fn split_args(children: &[Tree]) -> Vec<&[Tree]> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    for (k, t) in children.iter().enumerate() {
+        if t.is_punct(",") {
+            out.push(&children[start..k]);
+            start = k + 1;
+        }
+    }
+    if start < children.len() {
+        out.push(&children[start..]);
+    }
+    out
+}
+
+/// First argument is `ctx`-flavored: an identifier ending in `ctx`
+/// (`ctx`, `setup_ctx`, `&mut ctx`, `r.ctx`).
+fn ctx_first_arg(children: &[Tree]) -> bool {
+    let args = split_args(children);
+    let Some(first) = args.first() else {
+        return false;
+    };
+    first
+        .iter()
+        .any(|t| ident_of(t).is_some_and(|s| s.ends_with("ctx")))
+}
+
+/// Last argument names a direction: mentions `DmaDirection` or is exactly
+/// the identifier `dir`. Rejects `dir.perms()` and friends.
+fn dir_last_arg(children: &[Tree]) -> Option<Dir> {
+    let args = split_args(children);
+    let last = args.last()?;
+    if let Some(k) = last.iter().position(|t| t.is_ident("DmaDirection")) {
+        let name = last.get(k + 2).and_then(ident_of).unwrap_or("");
+        return Some(match name {
+            "ToDevice" => Dir::ToDevice,
+            "FromDevice" => Dir::FromDevice,
+            "Bidirectional" => Dir::Bidirectional,
+            _ => Dir::Unknown,
+        });
+    }
+    if last.len() == 1 && last[0].is_ident("dir") {
+        return Some(Dir::Unknown);
+    }
+    None
+}
+
+/// The identifier handed to `DmaBuf::new(addr, …)` inside map args.
+fn dma_buf_ident(children: &[Tree]) -> Option<String> {
+    let mut i = 0;
+    while i < children.len() {
+        if children[i].is_ident("DmaBuf")
+            && children.get(i + 1).is_some_and(|t| t.is_punct("::"))
+            && children.get(i + 2).is_some_and(|t| t.is_ident("new"))
+        {
+            if let Some(Tree::Group {
+                children: inner, ..
+            }) = children.get(i + 3)
+            {
+                return inner.first().and_then(ident_of).map(str::to_string);
+            }
+        }
+        if let Tree::Group {
+            children: inner, ..
+        } = &children[i]
+        {
+            if let Some(found) = dma_buf_ident(inner) {
+                return Some(found);
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Classifies a method call; `None` means not a DMA-API call.
+fn dma_call_kind(name: &str, children: &[Tree]) -> Option<CallKind> {
+    if MAP_METHODS.contains(&name) && ctx_first_arg(children) {
+        if name == "alloc_coherent" || dir_last_arg(children).is_some() {
+            return Some(CallKind::Map);
+        }
+        return None;
+    }
+    if UNMAP_METHODS.contains(&name) && ctx_first_arg(children) {
+        return Some(CallKind::Unmap);
+    }
+    if name == "sync_for_cpu" && ctx_first_arg(children) {
+        return Some(CallKind::SyncCpu);
+    }
+    if name == "sync_for_device" && ctx_first_arg(children) {
+        return Some(CallKind::SyncDev);
+    }
+    None
+}
+
+/// All bare identifiers in a tree slice (recursing into groups).
+fn bare_idents(trees: &[Tree], out: &mut Vec<String>) {
+    for (k, t) in trees.iter().enumerate() {
+        match t {
+            Tree::Tok(tok) if tok.is_ident => {
+                let projected = trees.get(k + 1).is_some_and(|n| n.is_punct("."));
+                if !projected {
+                    out.push(tok.text.clone());
+                }
+            }
+            Tree::Group { children, .. } => bare_idents(children, out),
+            _ => {}
+        }
+    }
+}
+
+/// Left-to-right event extraction over a statement's trees.
+fn scan(trees: &[Tree], in_dma_args: bool, evs: &mut Vec<Ev>) {
+    let mut i = 0;
+    while i < trees.len() {
+        // `. method ( args )`
+        if trees[i].is_punct(".") {
+            if let (
+                Some(name),
+                Some(Tree::Group {
+                    delim: '(',
+                    children,
+                    ..
+                }),
+            ) = (trees.get(i + 1).and_then(ident_of), trees.get(i + 2))
+            {
+                let line = trees[i + 1].line();
+                if let Some(kind) = dma_call_kind(name, children) {
+                    let mut args = Vec::new();
+                    bare_idents(children, &mut args);
+                    evs.push(Ev::Call { kind, args, line });
+                    // Projections inside DMA args still count as uses;
+                    // bare mentions are consumed by the call.
+                    scan(children, true, evs);
+                    i += 3;
+                    continue;
+                }
+                if READ_METHODS.contains(&name) {
+                    let mut head = Vec::new();
+                    if let Some(first) = split_args(children).first() {
+                        bare_idents(first, &mut head);
+                    }
+                    evs.push(Ev::Read { head, line });
+                    scan(children, in_dma_args, evs);
+                    i += 3;
+                    continue;
+                }
+            }
+            i += 1;
+            continue;
+        }
+        match &trees[i] {
+            Tree::Tok(tok) if tok.is_ident => {
+                let projected = trees.get(i + 1).is_some_and(|n| n.is_punct("."));
+                if projected {
+                    evs.push(Ev::Proj {
+                        var: tok.text.clone(),
+                        line: tok.line,
+                    });
+                } else if !in_dma_args {
+                    evs.push(Ev::Bare {
+                        var: tok.text.clone(),
+                    });
+                }
+                i += 1;
+            }
+            Tree::Group { children, .. } => {
+                scan(children, in_dma_args, evs);
+                i += 1;
+            }
+            _ => {
+                i += 1;
+            }
+        }
+    }
+}
+
+/// A recognized `let h = <chain>.map(…)[?|.unwrap()|.expect(…)]` binding.
+#[derive(Debug)]
+struct Bind {
+    var: String,
+    dir: Dir,
+    buf: Option<String>,
+    line: usize,
+}
+
+/// Detects a trackable map binding in a statement. The RHS must *end*
+/// with the recognized call (modulo `?`/`.unwrap()`/`.expect(…)` suffixes)
+/// so results consumed by a larger expression are left untracked.
+fn detect_bind(trees: &[Tree]) -> Option<Bind> {
+    if !trees.first()?.is_ident("let") {
+        return None;
+    }
+    let mut j = 1;
+    if trees.get(j)?.is_ident("mut") {
+        j += 1;
+    }
+    let var = ident_of(trees.get(j)?)?.to_string();
+    if !trees.get(j + 1)?.is_punct("=") {
+        return None;
+    }
+    let rhs = &trees[j + 2..];
+    // Find the last `. name ( … )` with a MAP method at RHS top level.
+    let mut call_at = None;
+    let mut k = 0;
+    while k + 2 < rhs.len() {
+        if rhs[k].is_punct(".") {
+            if let (
+                Some(name),
+                Some(Tree::Group {
+                    delim: '(',
+                    children,
+                    ..
+                }),
+            ) = (rhs.get(k + 1).and_then(ident_of), rhs.get(k + 2))
+            {
+                if MAP_METHODS.contains(&name)
+                    && dma_call_kind(name, children) == Some(CallKind::Map)
+                {
+                    call_at = Some(k);
+                }
+            }
+        }
+        k += 1;
+    }
+    let at = call_at?;
+    let (name, children) = match (&rhs[at + 1], &rhs[at + 2]) {
+        (n, Tree::Group { children, .. }) => (ident_of(n)?, children),
+        _ => return None,
+    };
+    // Validate that only panic/try suffixes follow the call.
+    let mut s = at + 3;
+    while s < rhs.len() {
+        if rhs[s].is_punct("?") {
+            s += 1;
+        } else if rhs[s].is_punct(".")
+            && rhs
+                .get(s + 1)
+                .and_then(ident_of)
+                .is_some_and(|m| m == "unwrap" || m == "expect")
+            && matches!(rhs.get(s + 2), Some(Tree::Group { delim: '(', .. }))
+        {
+            s += 3;
+        } else {
+            return None;
+        }
+    }
+    let dir = if name == "alloc_coherent" {
+        Dir::Coherent
+    } else {
+        dir_last_arg(children).unwrap_or(Dir::Unknown)
+    };
+    Some(Bind {
+        var,
+        dir,
+        buf: dma_buf_ident(children),
+        line: rhs[at + 1].line(),
+    })
+}
+
+/// Collects findings with per-function leak dedup (one leak report per
+/// handle, at the first program point that witnesses it).
+#[derive(Default)]
+struct Reporter {
+    findings: Vec<Finding>,
+    leaked: BTreeSet<(String, usize)>,
+    seen: BTreeSet<(&'static str, usize, String)>,
+}
+
+impl Reporter {
+    fn push(&mut self, rule: &'static str, line: usize, detail: String) {
+        if self.seen.insert((rule, line, detail.clone())) {
+            self.findings.push(Finding { rule, line, detail });
+        }
+    }
+
+    fn leak(&mut self, var: &str, st: &VarState, line: usize, what: &str) {
+        if self.leaked.insert((var.to_string(), st.born_line)) {
+            self.push(
+                "leak-on-exit",
+                line,
+                format!(
+                    "mapping `{var}` (mapped at line {}) can reach {what} without \
+                     unmap or ownership transfer",
+                    st.born_line
+                ),
+            );
+        }
+    }
+}
+
+/// Applies one statement's events to `state`; reports findings when `rep`
+/// is set. Returns the statement's map binding *unapplied*: the caller
+/// applies it to the fallthrough state only, since on the `?` error edge
+/// the handle was never mapped.
+fn transfer(state: &mut State, stmt: &Stmt, mut rep: Option<&mut Reporter>) -> Option<Bind> {
+    if stmt.trees.first().is_some_and(|t| t.is_ident("fn")) {
+        return None; // nested fn item: analyzed as its own function
+    }
+    let bind = detect_bind(&stmt.trees);
+    let mut evs = Vec::new();
+    scan(&stmt.trees, false, &mut evs);
+    for ev in &evs {
+        match ev {
+            Ev::Call { kind, args, line } => match kind {
+                CallKind::Map => {}
+                CallKind::Unmap => {
+                    for a in args {
+                        if let Some(st) = state.get_mut(a) {
+                            if st.bits & UNMAPPED != 0 {
+                                if let Some(r) = rep.as_deref_mut() {
+                                    r.push(
+                                        "double-unmap",
+                                        *line,
+                                        format!("handle `{a}` already unmapped on some path reaching this unmap"),
+                                    );
+                                }
+                            }
+                            st.bits = UNMAPPED;
+                        }
+                    }
+                }
+                CallKind::SyncCpu => {
+                    for a in args {
+                        if let Some(st) = state.get_mut(a) {
+                            st.bits |= SYNCED;
+                        }
+                    }
+                }
+                CallKind::SyncDev => {
+                    for a in args {
+                        if let Some(st) = state.get_mut(a) {
+                            st.bits &= !SYNCED;
+                        }
+                    }
+                }
+            },
+            Ev::Proj { var, line } => {
+                if let Some(st) = state.get(var) {
+                    if st.bits & UNMAPPED != 0 {
+                        if let Some(r) = rep.as_deref_mut() {
+                            r.push(
+                                "use-after-unmap",
+                                *line,
+                                format!("handle `{var}` projected after unmap on some path (stale IOVA/token)"),
+                            );
+                        }
+                    }
+                }
+            }
+            Ev::Read { head, line } => {
+                if let Some(r) = rep.as_deref_mut() {
+                    for (var, st) in state.iter() {
+                        let hit = st.buf.as_ref().is_some_and(|b| head.iter().any(|h| h == b));
+                        if hit
+                            && st.bits & MAPPED != 0
+                            && st.bits & SYNCED == 0
+                            && st.dir.needs_cpu_sync()
+                        {
+                            r.push(
+                                "sync-before-cpu-read",
+                                *line,
+                                format!(
+                                    "CPU read of streaming buffer `{}` while `{var}` is mapped \
+                                     {:?} without sync_for_cpu",
+                                    st.buf.as_deref().unwrap_or("?"),
+                                    st.dir
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+            Ev::Bare { var } => {
+                // Ownership transfer: stop tracking. The bind's own var
+                // is not yet live on this statement.
+                if bind.as_ref().is_none_or(|b| &b.var != var) {
+                    state.remove(var);
+                }
+            }
+        }
+    }
+    bind
+}
+
+fn apply_bind(state: &mut State, b: Bind) {
+    state.insert(
+        b.var,
+        VarState {
+            bits: MAPPED,
+            dir: b.dir,
+            buf: b.buf,
+            born_line: b.line,
+        },
+    );
+}
+
+fn leak_check(state: &State, line: usize, what: &str, rep: &mut Reporter) {
+    for (var, st) in state.iter() {
+        if st.bits & MAPPED != 0 {
+            rep.leak(var, st, line, what);
+        }
+    }
+}
+
+/// Processes block `b` from in-state `st`. Returns the fallthrough
+/// out-state and, for a `?` statement, the implicit error-edge out-state
+/// (which excludes the statement's own binding: on the error path the
+/// handle was never mapped).
+fn block_out(
+    cfg: &Cfg,
+    b: usize,
+    mut st: State,
+    mut rep: Option<&mut Reporter>,
+) -> (State, Option<State>) {
+    let Some(stmt) = &cfg.blocks[b].stmt else {
+        return (st, None);
+    };
+    let bind = transfer(&mut st, stmt, rep.as_deref_mut());
+    let mut try_out = None;
+    if stmt.has_try {
+        if let Some(r) = rep.as_deref_mut() {
+            leak_check(&st, stmt.line, "the `?` error path", r);
+        }
+        try_out = Some(st.clone());
+    }
+    if stmt.is_return {
+        if let Some(r) = rep {
+            leak_check(&st, stmt.line, "this return", r);
+        }
+    }
+    if let Some(bd) = bind {
+        apply_bind(&mut st, bd);
+    }
+    (st, try_out)
+}
+
+/// Runs the typestate pass over one function's CFG.
+fn check_cfg(cfg: &Cfg, rep: &mut Reporter) {
+    let n = cfg.blocks.len();
+    let mut ins: Vec<State> = vec![State::new(); n];
+    // Fixpoint: propagate out-states along edges until stable.
+    let mut changed = true;
+    let mut rounds = 0;
+    while changed && rounds < 8 * n + 64 {
+        changed = false;
+        rounds += 1;
+        for b in 0..n {
+            let (out, try_out) = block_out(cfg, b, ins[b].clone(), None);
+            if let Some(t) = try_out {
+                if join_into(&mut ins[cfg.exit], &t) {
+                    changed = true;
+                }
+            }
+            for &s in &cfg.blocks[b].succs {
+                if join_into(&mut ins[s], &out) {
+                    changed = true;
+                }
+            }
+        }
+    }
+    // Reporting pass over the converged in-states, in block order. The
+    // exit node goes last so edge-level reports (`?`, `return`) win the
+    // per-handle leak dedup and anchor the finding at the leaking edge.
+    for (b, in_state) in ins.iter().enumerate() {
+        if b == cfg.exit {
+            continue;
+        }
+        block_out(cfg, b, in_state.clone(), Some(rep));
+    }
+    // Handles still mapped at the exit join that no explicit edge already
+    // reported (e.g. a fallthrough that ends the function with the handle
+    // live) are anchored at the map site.
+    let exit_state = ins[cfg.exit].clone();
+    for (var, vs) in exit_state.iter() {
+        if vs.bits & MAPPED != 0 {
+            rep.leak(var, vs, vs.born_line, "function exit");
+        }
+    }
+}
+
+/// Runs the DMA protocol checker over every non-test function in a
+/// prepared file.
+pub fn check_file(prep: &Prep) -> Vec<Finding> {
+    let tokens = crate::lexer::tokenize(&prep.blank);
+    let trees = build_trees(&tokens);
+    let mut rep = Reporter::default();
+    for f in extract_functions(prep, &trees) {
+        let cfg = Cfg::build(&f.body);
+        check_cfg(&cfg, &mut rep);
+    }
+    rep.findings.sort_by_key(|f| (f.line, f.rule));
+    rep.findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::prep;
+
+    fn run(src: &str) -> Vec<Finding> {
+        check_file(&prep("x.rs", src))
+    }
+
+    fn rules(src: &str) -> Vec<&'static str> {
+        run(src).into_iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn clean_map_unmap_is_silent() {
+        let src = "fn f(engine: &E, ctx: &mut C) -> Result<(), E> {\n\
+                   let m = engine.map(ctx, DmaBuf::new(skb, 64), DmaDirection::ToDevice)?;\n\
+                   post(m.iova.get());\n\
+                   engine.unmap(ctx, m)?;\n\
+                   Ok(())\n\
+                   }\n";
+        assert_eq!(rules(src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn use_after_unmap_is_flagged() {
+        let src = "fn f(engine: &E, ctx: &mut C) {\n\
+                   let m = engine.map(ctx, DmaBuf::new(skb, 64), DmaDirection::ToDevice).expect(\"m\");\n\
+                   engine.unmap(ctx, m).expect(\"u\");\n\
+                   poke(m.iova.get());\n\
+                   }\n";
+        let f = run(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "use-after-unmap");
+        assert_eq!(f[0].line, 4);
+    }
+
+    #[test]
+    fn leak_on_try_edge_is_flagged() {
+        let src = "fn f(engine: &E, ctx: &mut C) -> Result<(), E> {\n\
+                   let m = engine.map(ctx, DmaBuf::new(skb, 64), DmaDirection::ToDevice)?;\n\
+                   helper(ctx)?;\n\
+                   engine.unmap(ctx, m)?;\n\
+                   Ok(())\n\
+                   }\n";
+        let f = run(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "leak-on-exit");
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn leak_on_early_return_is_flagged() {
+        let src = "fn f(engine: &E, ctx: &mut C, bad: bool) -> Result<(), E> {\n\
+                   let m = engine.map(ctx, DmaBuf::new(skb, 64), DmaDirection::ToDevice).expect(\"m\");\n\
+                   if bad {\n\
+                   return Err(E::Bad);\n\
+                   }\n\
+                   engine.unmap(ctx, m).expect(\"u\");\n\
+                   Ok(())\n\
+                   }\n";
+        let f = run(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "leak-on-exit");
+    }
+
+    #[test]
+    fn leak_at_fallthrough_exit_is_flagged() {
+        let src = "fn f(engine: &E, ctx: &mut C) {\n\
+                   let m = engine.map(ctx, DmaBuf::new(skb, 64), DmaDirection::ToDevice).expect(\"m\");\n\
+                   touch(m.iova.get());\n\
+                   }\n";
+        let f = run(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "leak-on-exit");
+    }
+
+    #[test]
+    fn ownership_transfer_ends_tracking() {
+        // Returned and pushed handles are transfers, not leaks.
+        let src = "fn f(engine: &E, ctx: &mut C) -> Result<M, E> {\n\
+                   let m = engine.map(ctx, DmaBuf::new(skb, 64), DmaDirection::ToDevice)?;\n\
+                   Ok(m)\n\
+                   }\n\
+                   fn g(engine: &E, ctx: &mut C, out: &mut Vec<M>) {\n\
+                   let rx = engine.alloc_coherent(ctx, 4096).expect(\"ring\");\n\
+                   nic.attach(&rx);\n\
+                   out.push(rx);\n\
+                   }\n";
+        assert_eq!(rules(src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn double_unmap_along_a_path_is_flagged() {
+        let src = "fn f(engine: &E, ctx: &mut C, early: bool) {\n\
+                   let m = engine.map(ctx, DmaBuf::new(skb, 64), DmaDirection::ToDevice).expect(\"m\");\n\
+                   if early {\n\
+                   engine.unmap(ctx, m).expect(\"u1\");\n\
+                   }\n\
+                   engine.unmap(ctx, m).expect(\"u2\");\n\
+                   }\n";
+        let f = run(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "double-unmap");
+        assert_eq!(f[0].line, 6);
+    }
+
+    #[test]
+    fn cpu_read_of_streaming_buffer_needs_sync() {
+        let bad = "fn f(engine: &E, mem: &M, ctx: &mut C) {\n\
+                   let m = engine.map(ctx, DmaBuf::new(skb, 64), DmaDirection::FromDevice).expect(\"m\");\n\
+                   let got = mem.read_vec(skb, 64);\n\
+                   engine.unmap(ctx, m).expect(\"u\");\n\
+                   }\n";
+        let f = run(bad);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "sync-before-cpu-read");
+        assert_eq!(f[0].line, 3);
+
+        let good = "fn f(engine: &E, mem: &M, ctx: &mut C) {\n\
+                    let m = engine.map(ctx, DmaBuf::new(skb, 64), DmaDirection::FromDevice).expect(\"m\");\n\
+                    engine.sync_for_cpu(ctx, &m);\n\
+                    let got = mem.read_vec(skb, 64);\n\
+                    engine.unmap(ctx, m).expect(\"u\");\n\
+                    }\n";
+        assert_eq!(rules(good), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn read_after_unmap_needs_no_sync() {
+        // unmap performs the CPU handoff; reading afterwards is the
+        // normal driver pattern (netsim's rx path).
+        let src = "fn f(engine: &E, mem: &M, ctx: &mut C) {\n\
+                   let m = engine.map(ctx, DmaBuf::new(skb, 64), DmaDirection::FromDevice).expect(\"m\");\n\
+                   engine.unmap(ctx, m).expect(\"u\");\n\
+                   let got = mem.read_vec(skb, 64);\n\
+                   }\n";
+        assert_eq!(rules(src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn to_device_reads_need_no_sync() {
+        let src = "fn f(engine: &E, mem: &M, ctx: &mut C) {\n\
+                   let m = engine.map(ctx, DmaBuf::new(skb, 64), DmaDirection::ToDevice).expect(\"m\");\n\
+                   let echo = mem.read_vec(skb, 64);\n\
+                   engine.unmap(ctx, m).expect(\"u\");\n\
+                   }\n";
+        assert_eq!(rules(src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn iterator_and_page_table_maps_are_not_tracked() {
+        let src = "fn f(items: &[u32], pt: &mut Pt, ctx: &mut C) {\n\
+                   let v: Vec<u32> = items.iter().map(|x| x + 1).collect();\n\
+                   let e = pt.map(page, pfn, perms);\n\
+                   let h = self.huge.map(ctx, &self.zc_iova, buf, dir.perms());\n\
+                   }\n";
+        assert_eq!(rules(src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn map_consumed_by_match_or_closure_is_untracked() {
+        let src = "fn f(engine: &E, ctx: &mut C) -> Result<M, E> {\n\
+                   match self.map(ctx, buf, dir) {\n\
+                   Ok(m) => out.push(m),\n\
+                   Err(e) => roll(e),\n\
+                   }\n\
+                   let m = obs::profile::scope(ctx, |ctx| self.inner.map(ctx, buf, dir))?;\n\
+                   Ok(m)\n\
+                   }\n";
+        assert_eq!(rules(src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn loop_body_map_unmap_converges_clean() {
+        let src = "fn f(engine: &E, ctx: &mut C, n: u32) {\n\
+                   for i in 0..n {\n\
+                   let m = engine.map(ctx, DmaBuf::new(skb, 64), DmaDirection::ToDevice).expect(\"m\");\n\
+                   fire(m.iova.get());\n\
+                   engine.unmap(ctx, m).expect(\"u\");\n\
+                   }\n\
+                   }\n";
+        assert_eq!(rules(src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn unmap_on_both_if_arms_is_clean() {
+        let src = "fn f(engine: &E, ctx: &mut C, fast: bool) {\n\
+                   let m = engine.map(ctx, DmaBuf::new(skb, 64), DmaDirection::ToDevice).expect(\"m\");\n\
+                   if fast {\n\
+                   engine.unmap(ctx, m).expect(\"a\");\n\
+                   } else {\n\
+                   engine.unmap(ctx, m).expect(\"b\");\n\
+                   }\n\
+                   }\n";
+        assert_eq!(rules(src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn test_functions_are_exempt() {
+        let src = "#[cfg(test)]\nmod t {\n\
+                   fn leaky(engine: &E, ctx: &mut C) {\n\
+                   let m = engine.map(ctx, DmaBuf::new(skb, 64), DmaDirection::ToDevice).expect(\"m\");\n\
+                   }\n\
+                   }\n";
+        assert_eq!(rules(src), Vec::<&str>::new());
+    }
+}

@@ -26,6 +26,7 @@
 //! zero violations across the exhaustively-explored space — and *finds*
 //! the deferred-invalidation vulnerability window (§2.2.1) as a concrete,
 //! replayable schedule.
+#![forbid(unsafe_code)]
 
 pub mod counterexample;
 pub mod exec;

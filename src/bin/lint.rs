@@ -1,45 +1,86 @@
+// lint: allow(ambient-io) — the runner writes the --json report file
 //! Workspace lint runner: `cargo run --bin lint`.
 //!
 //! Scans every member crate's sources, tests, benches, and manifest for
-//! the house rules (see [`dma_shadowing::lint`]), prints a per-rule
+//! the house rules, the DMA-API protocol typestate rules, the lock-order
+//! pass, and the unsafe audit (see the `lint` crate), prints a per-rule
 //! summary, and exits with a CI-friendly code: `0` clean, `1` findings,
 //! `2` the scan itself failed (I/O error, missing workspace).
+//!
+//! Flags:
+//! - `--fast` — style + manifest rules only (the quick pre-commit pass);
+//!   the protocol, lock-order, and unsafe passes are skipped.
+//! - `--json <path>` — also write the machine-readable report (findings,
+//!   per-rule summary, lock-order and unsafe inventories) to `path`.
+//! - any other argument — the workspace root (default: this crate's
+//!   manifest directory).
 
-use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use lint::{json_report, lock_order_analysis, rule_summary, unsafe_audit_analysis, Pass};
+
 fn main() -> ExitCode {
-    let root = std::env::args()
-        .nth(1)
-        .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")));
-    let violations = match dma_shadowing::lint::lint_workspace(&root) {
+    let mut pass = Pass::Full;
+    let mut json_path: Option<PathBuf> = None;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--fast" => pass = Pass::Fast,
+            "--json" => match args.next() {
+                Some(p) => json_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("lint: --json requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            _ => root = Some(PathBuf::from(a)),
+        }
+    }
+    let root = root.unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")));
+
+    let violations = match lint::lint_workspace_pass(&root, pass) {
         Ok(v) => v,
         Err(e) => {
             eprintln!("lint: cannot scan {}: {e}", root.display());
             return ExitCode::from(2);
         }
     };
+
+    if let Some(path) = &json_path {
+        let (locks, unsafes) = match (lock_order_analysis(&root), unsafe_audit_analysis(&root)) {
+            (Ok(l), Ok(u)) => (l, u),
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("lint: cannot build inventories for {}: {e}", root.display());
+                return ExitCode::from(2);
+            }
+        };
+        let doc = json_report(&violations, &locks, &unsafes);
+        if let Err(e) = std::fs::write(path, doc.encode()) {
+            eprintln!("lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("lint: wrote {}", path.display());
+    }
+
+    let mode = match pass {
+        Pass::Fast => "fast (style rules)",
+        Pass::Full => "full (style + protocol + lock-order + unsafe)",
+    };
+    let summary: Vec<String> = rule_summary(&violations)
+        .iter()
+        .map(|(rule, n)| format!("{rule}: {n}"))
+        .collect();
     if violations.is_empty() {
-        println!("lint: workspace clean ({})", root.display());
+        println!("lint[{mode}]: workspace clean ({})", root.display());
+        println!("lint[{mode}]: {}", summary.join(", "));
         return ExitCode::SUCCESS;
     }
     for v in &violations {
         eprintln!("{v}");
     }
-    let mut by_rule: BTreeMap<&str, usize> = BTreeMap::new();
-    for v in &violations {
-        *by_rule.entry(v.rule).or_default() += 1;
-    }
-    let summary: Vec<String> = by_rule
-        .iter()
-        .map(|(rule, n)| format!("{rule}: {n}"))
-        .collect();
-    eprintln!(
-        "lint: {} violation(s) ({})",
-        violations.len(),
-        summary.join(", ")
-    );
+    eprintln!("lint[{mode}]: {} violation(s)", violations.len());
+    eprintln!("lint[{mode}]: {}", summary.join(", "));
     ExitCode::from(1)
 }

@@ -18,11 +18,13 @@
 //! - [`obs`] — telemetry: metrics registry, event tracer, report sinks.
 //! - [`dmasan`] — the DMA-API sanitizer and lockset race detector.
 //!
-//! It also hosts the workspace's correctness tooling: the [`lint`] module
-//! and its `cargo run --bin lint` runner.
+//! It also fronts the workspace's correctness tooling: the [`lint`]
+//! crate (style rules, lock-order analysis, the DMA-API protocol
+//! typestate checker, and the unsafe audit) and its
+//! `cargo run --bin lint` runner.
 #![forbid(unsafe_code)]
 
-pub mod lint;
+pub use lint;
 
 pub use attacks;
 pub use devices;

@@ -1,0 +1,152 @@
+//! Static ↔ dynamic crosscheck: the planted protocol violations in
+//! `tests/fixtures/lint-bad/crates/badcrate/src/protocol.rs` are replayed
+//! here as the equivalent runtime event sequences against the DMA
+//! sanitizer, pinning the correspondence between the static typestate
+//! rules and dmasan's runtime rules:
+//!
+//! | static rule            | dmasan rule    |
+//! |------------------------|----------------|
+//! | `use-after-unmap`      | `stale_access` |
+//! | `leak-on-exit`         | `leak`         |
+//! | `double-unmap`         | `double_unmap` |
+//! | `sync-before-cpu-read` | *(none)*       |
+//!
+//! The last row is the documented precision gap (the paper's §5.2
+//! `StaleAccess` discussion applies in reverse): the sanitizer observes
+//! device-side bus accesses, so a *CPU* read of an un-synced streaming
+//! buffer is invisible at runtime — only the static checker sees it.
+//! Conversely the static checker is intraprocedural and alias-free, so
+//! handles that escape (collections, struct stores) are only covered by
+//! dmasan's teardown check.
+
+use dma_shadowing::dma_api::{BusObserver, DmaDirection, DmaMapping, DmaObserver};
+use dma_shadowing::dmasan::{DmaSan, ViolationKind};
+use dma_shadowing::iommu::{DeviceId, Iova};
+use dma_shadowing::lint::{lint_workspace, LintViolation};
+use dma_shadowing::memsim::PhysAddr;
+use dma_shadowing::obs::Obs;
+use dma_shadowing::simcore::{CoreCtx, CoreId, CostModel};
+use std::path::Path;
+use std::sync::Arc;
+
+const DEV: DeviceId = DeviceId(0);
+
+fn ctx() -> CoreCtx {
+    CoreCtx::new(CoreId(0), Arc::new(CostModel::zero()))
+}
+
+fn san() -> (DmaSan, CoreCtx) {
+    // Lenient so the crosscheck also runs under `--features dmasan-strict`
+    // (the violations here are the point, not a test failure).
+    (DmaSan::lenient(Obs::isolated()), ctx())
+}
+
+fn mapping(iova: u64, len: usize, dir: DmaDirection, os_pa: u64) -> DmaMapping {
+    DmaMapping {
+        iova: Iova::new(iova),
+        len,
+        dir,
+        os_pa: PhysAddr(os_pa),
+    }
+}
+
+/// The static findings from the planted fixture, by protocol rule.
+fn static_count(rule: &str) -> usize {
+    let fixture = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/lint-bad");
+    let violations: Vec<LintViolation> = lint_workspace(&fixture).expect("scan fixture");
+    violations.iter().filter(|v| v.rule == rule).count()
+}
+
+/// `protocol.rs::use_after_unmap` — the fixture projects `m.iova` after
+/// `dma_unmap`; the runtime twin is the device using that stale IOVA.
+#[test]
+fn use_after_unmap_replays_as_stale_access() {
+    let (san, ctx) = san();
+    let m = mapping(0x1000, 1500, DmaDirection::ToDevice, 0x8000);
+    san.on_map(&ctx, DEV, &m, 1);
+    san.on_unmap(&ctx, DEV, &m, 2);
+    // The device (or, statically, the CPU via the stale handle) touches
+    // the retired IOVA and the hardware lets it through.
+    san.on_device_access(DEV, 0x1000, 64, false, true);
+    assert_eq!(san.count_of(ViolationKind::StaleAccess), 1);
+    assert_eq!(
+        static_count("use-after-unmap"),
+        san.count_of(ViolationKind::StaleAccess),
+        "static and dynamic checkers must agree on the planted count"
+    );
+}
+
+/// `protocol.rs::double_unmap` — the `early` path unmaps, then the
+/// unconditional unmap fires again.
+#[test]
+fn double_unmap_replays_identically() {
+    let (san, ctx) = san();
+    let m = mapping(0x2000, 1500, DmaDirection::ToDevice, 0x9000);
+    san.on_map(&ctx, DEV, &m, 1);
+    san.on_unmap(&ctx, DEV, &m, 2); // the `if early` arm
+    san.on_unmap(&ctx, DEV, &m, 3); // the unconditional unmap
+    assert_eq!(san.count_of(ViolationKind::DoubleUnmap), 1);
+    assert_eq!(
+        static_count("double-unmap"),
+        san.count_of(ViolationKind::DoubleUnmap)
+    );
+}
+
+/// `protocol.rs::{leak_on_early_return, leak_via_question}` — both exits
+/// leave the mapping live; dmasan sees them at teardown.
+#[test]
+fn leaks_replay_as_teardown_leaks() {
+    let (san, ctx) = san();
+    // leak_on_early_return: map, take the `return Err` path.
+    san.on_map(
+        &ctx,
+        DEV,
+        &mapping(0x3000, 1500, DmaDirection::ToDevice, 0xa000),
+        1,
+    );
+    // leak_via_question: map, take `refill_ring(ctx)?`'s error edge.
+    san.on_map(
+        &ctx,
+        DEV,
+        &mapping(0x4000, 1500, DmaDirection::FromDevice, 0xb000),
+        2,
+    );
+    assert_eq!(san.check_teardown(), 2);
+    assert_eq!(san.count_of(ViolationKind::Leak), 2);
+    assert_eq!(
+        static_count("leak-on-exit"),
+        san.count_of(ViolationKind::Leak)
+    );
+}
+
+/// `protocol.rs::read_without_sync` — the documented precision gap: the
+/// CPU read of the mapped, un-synced `FromDevice` buffer is invisible to
+/// dmasan (no bus access happens), so the replay is *clean* at runtime
+/// while the static checker flags it.
+#[test]
+fn sync_before_cpu_read_has_no_runtime_mirror() {
+    let (san, ctx) = san();
+    let m = mapping(0x5000, 1500, DmaDirection::FromDevice, 0xc000);
+    san.on_map(&ctx, DEV, &m, 1);
+    // CPU-side `mem.read_vec(pkt, 1500)` happens here: no observer hook
+    // exists for it, by construction.
+    san.on_unmap(&ctx, DEV, &m, 2);
+    assert_eq!(san.check_teardown(), 0);
+    assert!(san.violations().is_empty(), "{:?}", san.violations());
+    // The static side still catches it — that is the whole point of
+    // having both checkers.
+    assert_eq!(static_count("sync-before-cpu-read"), 1);
+}
+
+/// `protocol.rs::read_with_sync` (and every clean control): the canonical
+/// map → sync → read → unmap sequence is silent in both checkers.
+#[test]
+fn clean_sequences_are_silent_in_both_checkers() {
+    let (san, ctx) = san();
+    let m = mapping(0x6000, 1500, DmaDirection::FromDevice, 0xd000);
+    san.on_map(&ctx, DEV, &m, 1);
+    san.on_device_access(DEV, 0x6000, 1500, true, true); // device fills it
+    san.on_unmap(&ctx, DEV, &m, 2);
+    assert_eq!(san.check_teardown(), 0);
+    assert!(san.violations().is_empty(), "{:?}", san.violations());
+}

@@ -1,6 +1,8 @@
 //! Planted fixture source: trips every source-level lint rule exactly
 //! where `tests/lint.rs` expects. Never compiled.
 
+pub mod protocol;
+
 use std::fs;
 use std::sync::atomic::{AtomicUsize, Ordering};
 

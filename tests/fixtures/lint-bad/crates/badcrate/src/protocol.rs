@@ -1,0 +1,84 @@
+//! Planted DMA-API protocol fixture: each function trips exactly one
+//! typestate (or unsafe-audit) rule where `tests/lint.rs` expects, with
+//! one clean control per rule family. Never compiled.
+
+// lint: allow(panic) — fixture bodies use expect() to keep the planted statements one-liners
+
+/// Projects the handle after `dma_unmap`: the IOVA is stale
+/// (static mirror of dmasan `stale_access`).
+pub fn use_after_unmap(engine: &E, ctx: &mut C) {
+    let m = engine
+        .map(ctx, DmaBuf::new(pkt, 1500), DmaDirection::ToDevice)
+        .expect("map");
+    engine.unmap(ctx, m).expect("unmap");
+    fire(m.iova.get());
+}
+
+/// The early `return` leaves the mapping live (dmasan `leak`).
+pub fn leak_on_early_return(engine: &E, ctx: &mut C, bad: bool) -> Result<(), DmaError> {
+    let m = engine
+        .map(ctx, DmaBuf::new(pkt, 1500), DmaDirection::ToDevice)
+        .expect("map");
+    if bad {
+        return Err(DmaError::Exhausted);
+    }
+    engine.unmap(ctx, m).expect("unmap");
+    Ok(())
+}
+
+/// The `?` error edge of `refill_ring` leaves the mapping live
+/// (dmasan `leak`).
+pub fn leak_via_question(engine: &E, ctx: &mut C) -> Result<(), DmaError> {
+    let m = engine.map(ctx, DmaBuf::new(pkt, 1500), DmaDirection::FromDevice)?;
+    refill_ring(ctx)?;
+    engine.unmap(ctx, m)?;
+    Ok(())
+}
+
+/// Unmapped on the `early` path, then unconditionally unmapped again
+/// (dmasan `double_unmap`).
+pub fn double_unmap(engine: &E, ctx: &mut C, early: bool) {
+    let m = engine
+        .map(ctx, DmaBuf::new(pkt, 1500), DmaDirection::ToDevice)
+        .expect("map");
+    if early {
+        engine.unmap(ctx, m).expect("first");
+    }
+    engine.unmap(ctx, m).expect("second");
+}
+
+/// CPU read of a device-writable streaming buffer while it is still
+/// mapped and un-synced. dmasan has no runtime mirror: it observes bus
+/// accesses, not CPU loads.
+pub fn read_without_sync(engine: &E, mem: &M, ctx: &mut C) {
+    let m = engine
+        .map(ctx, DmaBuf::new(pkt, 1500), DmaDirection::FromDevice)
+        .expect("map");
+    let got = mem.read_vec(pkt, 1500).expect("read");
+    engine.unmap(ctx, m).expect("unmap");
+}
+
+/// Clean control: the `sync_for_cpu` handoff makes the read legal.
+pub fn read_with_sync(engine: &E, mem: &M, ctx: &mut C) {
+    let m = engine
+        .map(ctx, DmaBuf::new(pkt, 1500), DmaDirection::FromDevice)
+        .expect("map");
+    engine.sync_for_cpu(ctx, &m);
+    let got = mem.read_vec(pkt, 1500).expect("read");
+    engine.unmap(ctx, m).expect("unmap");
+}
+
+/// An `unsafe` block with no `// SAFETY:` justification.
+pub fn poke_raw(p: *mut u8) {
+    unsafe {
+        *p = 0;
+    }
+}
+
+/// Clean control: the justification satisfies the audit.
+pub fn poke_documented(p: *mut u8) {
+    // SAFETY: fixture pointer is valid for writes by construction.
+    unsafe {
+        *p = 1;
+    }
+}

@@ -3,7 +3,7 @@
 //! every rule firing. Together they prove the scanner neither rubber-stamps
 //! nor cries wolf.
 
-use dma_shadowing::lint::{lint_workspace, lock_order_analysis};
+use dma_shadowing::lint::{lint_workspace, lint_workspace_pass, lock_order_analysis, Pass};
 use std::path::Path;
 
 fn repo_root() -> &'static Path {
@@ -75,9 +75,19 @@ fn planted_fixture_trips_every_rule() {
         cycle.detail.contains("fixture-a -> fixture-b -> fixture-a"),
         "{cycle:?}"
     );
+
+    // `protocol.rs` plants one violation per DMA protocol rule (plus the
+    // `leak_via_question` variant) with clean controls alongside.
+    assert_eq!(count("use-after-unmap"), 1, "{violations:?}");
+    assert_eq!(count("leak-on-exit"), 2, "{violations:?}");
+    assert_eq!(count("double-unmap"), 1, "{violations:?}");
+    assert_eq!(count("sync-before-cpu-read"), 1, "{violations:?}");
+    // One undocumented `unsafe`; `poke_documented` must NOT be counted.
+    assert_eq!(count("unsafe-no-safety"), 1, "{violations:?}");
+
     // The `#[cfg(test)]` unwrap in the fixture must NOT be counted; the
     // totals above are exhaustive.
-    assert_eq!(violations.len(), 9, "{violations:?}");
+    assert_eq!(violations.len(), 15, "{violations:?}");
 
     // The in-tree path dependency (`memsim = {{ path = .. }}`) is allowed.
     assert!(
@@ -86,4 +96,22 @@ fn planted_fixture_trips_every_rule() {
             .any(|v| v.rule == "external-dep" && v.detail.contains("memsim")),
         "{violations:?}"
     );
+}
+
+#[test]
+fn fast_pass_skips_protocol_lock_order_and_unsafe() {
+    let fixture = repo_root().join("tests/fixtures/lint-bad");
+    let fast = lint_workspace_pass(&fixture, Pass::Fast).expect("scan fixture");
+    let skipped = [
+        "use-after-unmap",
+        "leak-on-exit",
+        "double-unmap",
+        "sync-before-cpu-read",
+        "unsafe-no-safety",
+        "lock-order",
+    ];
+    assert!(fast.iter().all(|v| !skipped.contains(&v.rule)), "{fast:?}");
+    // The style + manifest findings are exactly the full pass minus the
+    // protocol, unsafe, and lock-order ones.
+    assert_eq!(fast.len(), 8, "{fast:?}");
 }
