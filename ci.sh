@@ -22,6 +22,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 # (and writes the flamegraph/Perfetto artifacts under target/).
 cargo run -q --release --example telemetry_report
 cargo run -q --release --bin profile_report
+# Scaling sweep: Figures 6-8 extended along the core-count axis
+# (16/64/128/256 virtual cores, global vs per-core allocation state);
+# writes the curve artifacts to target/scaling_curves.{csv,jsonl}.
+cargo bench -p bench --bench scaling
 # Host-time regression gate: fail if any hot-path workload runs >25%
-# slower than the last entry recorded in BENCH_HOST.json.
-cargo bench -p bench --bench host -- --check
+# slower than the pinned `post-percore` baseline in BENCH_HOST.json.
+cargo bench -p bench --bench host -- --check post-percore

@@ -36,6 +36,7 @@ fn main() {
             PoolConfig {
                 codec: IovaCodec::new(6, 2, vec![2048, 4096, 65536]),
                 max_buffers_per_class: 16 * 1024,
+                magazines: None,
             },
         ),
     ];

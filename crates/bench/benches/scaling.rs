@@ -1,0 +1,184 @@
+//! Scaling sweep beyond the paper's 16 cores: 16/64/128/256 virtual
+//! cores, global vs per-core (magazine) allocation state.
+//!
+//! Extends Figures 6–8 along the core-count axis: per-engine RX
+//! throughput plus a per-lock spin breakdown (the IOVA-allocator lock and
+//! the invalidation-queue lock) at every point. The wire scales with the
+//! core count (40 Gb/s per 16 cores, a multi-port NIC) so the locks — not
+//! link serialization — are the resource under test.
+//!
+//! Besides the printed tables, the sweep writes machine-readable curves
+//! to `target/scaling_curves.csv` and `target/scaling_curves.jsonl`
+//! (one JSON object per measured point), the artifact CI uploads next to
+//! the lint report.
+
+// lint: allow(ambient-io) — the sweep writes its curve artifacts under target/
+// lint: allow(panic) — a bench harness aborts loudly on unwritable output
+
+use netsim::{tcp_stream_rx_on, EngineKind, ExpConfig, SimStack};
+use obs::Json;
+use simcore::Phase;
+use std::path::PathBuf;
+
+/// The x-axis: the paper's 16 cores plus the extended sweep.
+const CORE_COUNTS: [usize; 4] = [16, 64, 128, 256];
+
+/// Engines whose map/unmap paths take the contended locks.
+const ENGINES: [EngineKind; 4] = [
+    EngineKind::Copy,
+    EngineKind::IdentityMinus,
+    EngineKind::IdentityPlus,
+    EngineKind::LinuxStrict,
+];
+
+struct Point {
+    engine: &'static str,
+    cores: usize,
+    percore: bool,
+    gbps: f64,
+    cpu: f64,
+    spin_us_per_item: f64,
+    iova_lock: &'static str,
+    iova_spin_cycles: u64,
+    invalq_spin_cycles: u64,
+    invalq_acquisitions: u64,
+}
+
+fn measure(kind: EngineKind, cores: usize, percore: bool) -> Point {
+    // Item counts shrink with core count so the whole sweep stays in
+    // bench-budget host time; every run still simulates >10k packets.
+    let items = (12_800 / cores.max(16)) as u64 * 16;
+    let cfg = ExpConfig {
+        cores,
+        msg_size: 64 * 1024,
+        items_per_core: items,
+        warmup_per_core: items / 8,
+        wire_gbps: 40.0 * (cores as f64 / 16.0),
+        percore,
+        ..ExpConfig::default()
+    };
+    let stack = SimStack::new(kind, &cfg);
+    let r = tcp_stream_rx_on(&stack, &cfg);
+    let (iova_lock, iova_spin_cycles) = stack
+        .engine
+        .iova_lock_stats()
+        .map_or(("none", 0), |(name, s)| (name, s.total_spin.get()));
+    let invalq = stack.mmu.invalq().lock().stats();
+    Point {
+        engine: kind.name(),
+        cores,
+        percore,
+        gbps: r.gbps,
+        cpu: r.cpu,
+        spin_us_per_item: r.per_item.get(Phase::Spinlock).to_micros(r.clock_ghz),
+        iova_lock,
+        iova_spin_cycles,
+        invalq_spin_cycles: invalq.total_spin.get(),
+        invalq_acquisitions: invalq.acquisitions,
+    }
+}
+
+fn csv(points: &[Point]) -> String {
+    let mut out = String::from(
+        "engine,cores,config,gbps,cpu,spin_us_per_item,\
+         iova_lock,iova_spin_cycles,invalq_spin_cycles,invalq_acquisitions\n",
+    );
+    for p in points {
+        out.push_str(&format!(
+            "{},{},{},{:.3},{:.4},{:.4},{},{},{},{}\n",
+            p.engine,
+            p.cores,
+            if p.percore { "percore" } else { "global" },
+            p.gbps,
+            p.cpu,
+            p.spin_us_per_item,
+            p.iova_lock,
+            p.iova_spin_cycles,
+            p.invalq_spin_cycles,
+            p.invalq_acquisitions,
+        ));
+    }
+    out
+}
+
+fn jsonl(points: &[Point]) -> String {
+    let mut out = String::new();
+    for p in points {
+        let obj = Json::Obj(vec![
+            ("type".into(), Json::Str("scaling-point".into())),
+            ("engine".into(), Json::Str(p.engine.into())),
+            ("cores".into(), Json::UInt(p.cores as u64)),
+            (
+                "config".into(),
+                Json::Str(if p.percore { "percore" } else { "global" }.into()),
+            ),
+            ("gbps".into(), Json::Float((p.gbps * 1e3).round() / 1e3)),
+            ("cpu".into(), Json::Float((p.cpu * 1e4).round() / 1e4)),
+            (
+                "spin_us_per_item".into(),
+                Json::Float((p.spin_us_per_item * 1e4).round() / 1e4),
+            ),
+            ("iova_lock".into(), Json::Str(p.iova_lock.into())),
+            ("iova_spin_cycles".into(), Json::UInt(p.iova_spin_cycles)),
+            (
+                "invalq_spin_cycles".into(),
+                Json::UInt(p.invalq_spin_cycles),
+            ),
+            (
+                "invalq_acquisitions".into(),
+                Json::UInt(p.invalq_acquisitions),
+            ),
+        ]);
+        out.push_str(&obj.encode());
+        out.push('\n');
+    }
+    out
+}
+
+fn target_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target")
+}
+
+fn main() {
+    println!("==== Scaling sweep: 16/64/128/256 cores, global vs per-core ====");
+    let mut points = Vec::new();
+    for percore in [false, true] {
+        let config = if percore { "percore" } else { "global" };
+        for &cores in &CORE_COUNTS {
+            println!(
+                "\n-- {config}, {cores} cores (wire {} Gb/s) --",
+                40.0 * cores as f64 / 16.0
+            );
+            println!(
+                "{:<10} {:>9} {:>6} {:>12} {:>14} {:>14}",
+                "engine", "RX Gb/s", "cpu%", "spin us/pkt", "iova spin cyc", "invalq spin cyc"
+            );
+            for &kind in &ENGINES {
+                let p = measure(kind, cores, percore);
+                println!(
+                    "{:<10} {:>9.2} {:>6.1} {:>12.3} {:>14} {:>14}",
+                    p.engine,
+                    p.gbps,
+                    p.cpu * 100.0,
+                    p.spin_us_per_item,
+                    p.iova_spin_cycles,
+                    p.invalq_spin_cycles
+                );
+                points.push(p);
+            }
+        }
+    }
+    let dir = target_dir();
+    std::fs::create_dir_all(&dir).expect("create target dir");
+    let csv_path = dir.join("scaling_curves.csv");
+    std::fs::write(&csv_path, csv(&points)).expect("write scaling_curves.csv");
+    let jsonl_path = dir.join("scaling_curves.jsonl");
+    std::fs::write(&jsonl_path, jsonl(&points)).expect("write scaling_curves.jsonl");
+    println!(
+        "\ncurves written to {} and {}",
+        csv_path.display(),
+        jsonl_path.display()
+    );
+    println!("(per-core magazines shard the IOVA allocator and batch invalidation");
+    println!(" queue postings; the global config reproduces Figures 6-8's collapse)");
+}

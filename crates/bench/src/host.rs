@@ -13,9 +13,12 @@
 //! - *(none)* — run the workloads and print a table.
 //! - `--record <label>` — run, print, and append an entry to the
 //!   trajectory.
-//! - `--check` — run, compare against the **last** checked-in entry, and
-//!   exit non-zero if any workload is more than
-//!   [`REGRESSION_THRESHOLD`] slower (the `ci.sh` gate).
+//! - `--check <label>` — run, compare against the trajectory entry
+//!   **pinned by that label**, and exit non-zero if any workload is more
+//!   than [`REGRESSION_THRESHOLD`] slower (the `ci.sh` gate). A missing
+//!   or ambiguous label fails loudly: comparing against "whatever entry
+//!   happens to be last" would let any `--record` silently move the
+//!   goalposts.
 //!
 //! Host time is inherently noisy; each workload is timed [`RUNS`] times
 //! and the minimum reported, and the 25% gate plus multi-second
@@ -238,6 +241,37 @@ pub fn regressions(current: &[(String, f64)], baseline: &Json, threshold: f64) -
     out
 }
 
+/// The unique trajectory entry labeled `label`. The check gate pins its
+/// baseline by label so appending new entries (`--record`) can never
+/// silently change what `--check` compares against.
+pub fn find_baseline<'a>(trajectory: &'a [Json], label: &str) -> Result<&'a Json, String> {
+    let hits: Vec<&Json> = trajectory
+        .iter()
+        .filter(|e| e.get("label").and_then(Json::as_str) == Some(label))
+        .collect();
+    match hits.len() {
+        0 => {
+            let known: Vec<&str> = trajectory
+                .iter()
+                .filter_map(|e| e.get("label").and_then(Json::as_str))
+                .collect();
+            Err(format!(
+                "no trajectory entry labeled '{label}' (recorded labels: {})",
+                if known.is_empty() {
+                    "none".to_string()
+                } else {
+                    known.join(", ")
+                }
+            ))
+        }
+        1 => Ok(hits[0]),
+        n => Err(format!(
+            "{n} trajectory entries labeled '{label}'; labels must be \
+             unique to pin a baseline — re-record under a fresh label"
+        )),
+    }
+}
+
 /// Workspace-root path of the trajectory file.
 pub fn baseline_path() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("../../".to_string() + BASELINE_FILE)
@@ -252,7 +286,22 @@ pub fn run(args: &[String]) -> i32 {
         .position(|a| a == "--record")
         .and_then(|i| args.get(i + 1))
         .cloned();
-    let check = args.iter().any(|a| a == "--check");
+    // `--check` requires the baseline label to pin against; reject the
+    // bare form before spending minutes measuring.
+    let check_label = match args.iter().position(|a| a == "--check") {
+        Some(i) => match args.get(i + 1).filter(|a| !a.starts_with("--")) {
+            Some(l) => Some(l.clone()),
+            None => {
+                eprintln!(
+                    "--check requires a baseline label, e.g. \
+                     `--check post-percore`; see {BASELINE_FILE} for \
+                     recorded labels"
+                );
+                return 1;
+            }
+        },
+        None => None,
+    };
     let path = baseline_path();
 
     println!("host-time harness ({} workloads)", workloads().len());
@@ -273,7 +322,7 @@ pub fn run(args: &[String]) -> i32 {
         println!("recorded entry '{label}' in {}", path.display());
     }
 
-    if check {
+    if let Some(label) = check_label {
         let text = match std::fs::read_to_string(&path) {
             Ok(t) => t,
             Err(e) => {
@@ -292,12 +341,14 @@ pub fn run(args: &[String]) -> i32 {
                 return 1;
             }
         };
-        let Some(baseline) = trajectory.last() else {
-            eprintln!("{BASELINE_FILE} is empty");
-            return 1;
+        let baseline = match find_baseline(&trajectory, &label) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("{BASELINE_FILE}: {e}");
+                return 1;
+            }
         };
         let bad = regressions(&results, baseline, REGRESSION_THRESHOLD);
-        let label = baseline.get("label").and_then(Json::as_str).unwrap_or("?");
         if bad.is_empty() {
             println!(
                 "within {:.0}% of baseline '{label}'",
@@ -356,5 +407,38 @@ mod tests {
     fn malformed_baseline_is_reported() {
         let no_ms = Json::Obj(vec![("label".into(), Json::Str("x".into()))]);
         assert_eq!(regressions(&res(&[("a", 1.0)]), &no_ms, 0.25).len(), 1);
+    }
+
+    #[test]
+    fn check_pins_its_baseline_by_label() {
+        let t = vec![
+            entry_json("pre", &res(&[("a", 100.0)])),
+            entry_json("post", &res(&[("a", 50.0)])),
+        ];
+        // The pinned entry is found regardless of trajectory position —
+        // appending newer entries cannot move the goalposts.
+        let b = find_baseline(&t, "pre").unwrap();
+        assert_eq!(b.get("ms").unwrap().get("a"), Some(&Json::Float(100.0)));
+        let b = find_baseline(&t, "post").unwrap();
+        assert_eq!(b.get("ms").unwrap().get("a"), Some(&Json::Float(50.0)));
+    }
+
+    #[test]
+    fn missing_baseline_label_fails_loudly() {
+        let t = vec![entry_json("pre", &res(&[("a", 1.0)]))];
+        let e = find_baseline(&t, "nope").unwrap_err();
+        assert!(e.contains("nope") && e.contains("pre"), "{e}");
+        let e = find_baseline(&[], "nope").unwrap_err();
+        assert!(e.contains("none"), "{e}");
+    }
+
+    #[test]
+    fn ambiguous_baseline_label_fails_loudly() {
+        let t = vec![
+            entry_json("dup", &res(&[("a", 1.0)])),
+            entry_json("dup", &res(&[("a", 2.0)])),
+        ];
+        let e = find_baseline(&t, "dup").unwrap_err();
+        assert!(e.contains("2") && e.contains("unique"), "{e}");
     }
 }

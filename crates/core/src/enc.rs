@@ -115,6 +115,18 @@ impl IovaCodec {
         IovaCodec::new(7, 1, vec![4096, 65536])
     }
 
+    /// Returns a codec whose core field holds at least `cores` core ids,
+    /// widening `core_bits` if needed (the payload field shrinks by the
+    /// same amount). A codec that is already wide enough is unchanged, so
+    /// default-sized runs keep byte-identical IOVAs.
+    pub fn with_min_cores(self, cores: usize) -> Self {
+        let needed = (cores.max(1) as u64).next_power_of_two().trailing_zeros();
+        if needed <= self.core_bits {
+            return self;
+        }
+        Self::new(needed, self.class_bits, self.class_sizes)
+    }
+
     /// The configured size classes.
     pub fn class_sizes(&self) -> &[usize] {
         &self.class_sizes

@@ -264,6 +264,18 @@ impl DmaEngine for ShadowDma {
             self.zc_iova.free(ctx, first, pages)
         })
     }
+
+    fn flush_deferred(&self, ctx: &mut CoreCtx) {
+        // The copy engine defers no invalidations, but when per-core
+        // magazines are enabled the pool parks free slots per core; the
+        // teardown/timer path returns them to the depot so the pool's
+        // reclaim sees every slot.
+        self.pool.drain_magazines(ctx);
+    }
+
+    fn iova_lock_stats(&self) -> Option<(&'static str, simcore::LockStats)> {
+        self.zc_iova.lock_stats()
+    }
 }
 
 #[cfg(test)]

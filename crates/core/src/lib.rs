@@ -42,5 +42,8 @@ pub use enc::{DecodedIova, IovaCodec};
 pub use engine::{CopyHint, ShadowDma};
 pub use freelist::FreeList;
 pub use huge::{HugeMapper, HugeStats};
-pub use pool::{PoolConfig, PoolStats, ShadowPool, POOL_CACHE_LOCK, POOL_FALLBACK_LOCK};
+pub use pool::{
+    MagazineConfig, PoolConfig, PoolStats, ShadowPool, POOL_CACHE_LOCK, POOL_FALLBACK_LOCK,
+    POOL_MAGAZINE_LOCK,
+};
 pub(crate) use slot::MetadataArray;

@@ -22,6 +22,9 @@ pub struct PoolConfig {
     /// the paper uses 16 K ("a more practical bound", §6 *Memory
     /// consumption*). Beyond it the fallback path takes over.
     pub max_buffers_per_class: u64,
+    /// Opt-in per-core slot magazines in front of the free lists
+    /// (`None` keeps the original depot-only behavior, bit for bit).
+    pub magazines: Option<MagazineConfig>,
 }
 
 impl Default for PoolConfig {
@@ -29,6 +32,32 @@ impl Default for PoolConfig {
         PoolConfig {
             codec: IovaCodec::paper_default(),
             max_buffers_per_class: 16 * 1024,
+            magazines: None,
+        }
+    }
+}
+
+/// Per-core slot-magazine configuration (slab-magazine / iova-rcache
+/// style): each (core, class, rights) keeps a small stack of free slot
+/// indices so the steady-state acquire/release cycle never touches the
+/// shared free list. Misses refill in batches from the depot; owner-core
+/// releases land in the magazine until `capacity`, then overflow to the
+/// depot. Cross-core releases always go straight to the owner's depot
+/// list (the magazine stays single-core).
+#[derive(Debug, Clone, Copy)]
+pub struct MagazineConfig {
+    /// Slots cached per (core, class, rights) before overflowing.
+    pub capacity: usize,
+    /// Slots pulled from the depot on a magazine miss (1 is used, the
+    /// rest are cached).
+    pub refill: usize,
+}
+
+impl Default for MagazineConfig {
+    fn default() -> Self {
+        MagazineConfig {
+            capacity: 64,
+            refill: 16,
         }
     }
 }
@@ -94,6 +123,8 @@ const FALLBACK_PAGE_BASE: u64 = 1 << 34;
 pub const POOL_CACHE_LOCK: &str = "pool-cache";
 /// Lock name reported in lockset events for the fallback table.
 pub const POOL_FALLBACK_LOCK: &str = "pool-fallback";
+/// Lock name reported in lockset events for the per-core slot magazines.
+pub const POOL_MAGAZINE_LOCK: &str = "pool-magazine";
 
 fn rights_idx(p: Perms) -> usize {
     match p {
@@ -156,6 +187,10 @@ pub struct ShadowPool {
     /// split page goes to a private cache, not the free list, to avoid
     /// synchronizing with releases).
     caches: Vec<Mutex<Vec<u64>>>,
+    /// Per-core slot magazines, same indexing as `lists`; used only when
+    /// `mag` is `Some`.
+    magazines: Vec<Mutex<Vec<u64>>>,
+    mag: Option<MagazineConfig>,
     fallback: Mutex<FxHashMap<u64, FallbackEntry>>,
     fallback_pages: Mutex<FallbackIovaSpace>,
     // Telemetry: registry-backed handles (single source of truth).
@@ -169,6 +204,9 @@ pub struct ShadowPool {
     shadow_bytes: Gauge,
     peak_shadow_bytes: Gauge,
     reclaimed: Counter,
+    magazine_hits: Counter,
+    magazine_refills: Counter,
+    magazine_drained: Counter,
 }
 
 /// Bump-with-reuse IOVA page allocator for the fallback region, standing in
@@ -223,6 +261,16 @@ impl ShadowPool {
             .collect();
         let nlists = cores as usize * nclasses * 3;
         let d = Some(dev.0);
+        // Magazine metrics are registered only when magazines are on, so
+        // the default configuration's registry stays byte-identical.
+        let (magazine_hits, magazine_refills, magazine_drained) = match cfg.magazines {
+            Some(_) => (
+                obs.counter("pool", "magazine_hits", d),
+                obs.counter("pool", "magazine_refills", d),
+                obs.counter("pool", "magazine_drained", d),
+            ),
+            None => Default::default(),
+        };
         ShadowPool {
             mem,
             mmu,
@@ -233,6 +281,8 @@ impl ShadowPool {
             arrays,
             lists: (0..nlists).map(|_| FreeList::new()).collect(),
             caches: (0..nlists).map(|_| Mutex::new(Vec::new())).collect(),
+            magazines: (0..nlists).map(|_| Mutex::new(Vec::new())).collect(),
+            mag: cfg.magazines,
             fallback: Mutex::new(FxHashMap::default()),
             fallback_pages: Mutex::new(FallbackIovaSpace {
                 next: FALLBACK_PAGE_BASE,
@@ -247,6 +297,9 @@ impl ShadowPool {
             shadow_bytes: obs.gauge("pool", "shadow_bytes", d),
             peak_shadow_bytes: obs.gauge("pool", "peak_shadow_bytes", d),
             reclaimed: obs.counter("pool", "reclaimed", d),
+            magazine_hits,
+            magazine_refills,
+            magazine_drained,
             obs,
         }
     }
@@ -340,24 +393,122 @@ impl ShadowPool {
         let li = self.list_idx(core, class, rights);
         let ai = self.array_idx(core, class);
         let array = &self.arrays[ai];
-        // NOTE: bind the cache pop to a statement so its lock guard drops
-        // here — `grow` re-locks the same cache when splitting a page.
-        self.lockset_guarded(ctx, POOL_CACHE_LOCK, || format!("pool.cache[{li}]"));
-        let cached = self.caches[li].lock().pop();
-        let index = if let Some(i) = cached {
-            i
-        } else if let Some(i) = self.lists[li].pop(array) {
+        let index = if let Some(i) = self.magazine_pop(ctx, li) {
             i
         } else {
-            match self.grow(ctx, core, class, rights, li, ai)? {
-                Some(i) => i,
-                // Metadata exhausted: fall back.
-                None => return self.acquire_fallback(ctx, os_buf, rights),
+            // NOTE: bind the cache pop to a statement so its lock guard
+            // drops here — `grow` re-locks the same cache when splitting a
+            // page.
+            self.lockset_guarded(ctx, POOL_CACHE_LOCK, || format!("pool.cache[{li}]"));
+            let cached = self.caches[li].lock().pop();
+            if let Some(i) = cached {
+                i
+            } else if let Some(i) = self.pop_free(ctx, li, array) {
+                i
+            } else {
+                match self.grow(ctx, core, class, rights, li, ai)? {
+                    Some(i) => i,
+                    // Metadata exhausted: fall back.
+                    None => return self.acquire_fallback(ctx, os_buf, rights),
+                }
             }
         };
         let slot = array.slot(index);
         slot.associate(os_buf.pa, os_buf.len);
         Ok(self.codec.encode(core, rights, class, index))
+    }
+
+    /// Pops a slot from the calling core's magazine (`None` with
+    /// magazines disabled, or on a miss).
+    fn magazine_pop(&self, ctx: &mut CoreCtx, li: usize) -> Option<u64> {
+        self.mag?;
+        self.lockset_guarded(ctx, POOL_MAGAZINE_LOCK, || format!("pool.magazine[{li}]"));
+        let i = self.magazines[li].lock().pop();
+        if i.is_some() {
+            self.magazine_hits.inc();
+        }
+        i
+    }
+
+    /// Pops a slot from the depot free list. With magazines enabled this
+    /// pulls a batch: one slot is returned, the rest refill the magazine,
+    /// so the next `refill - 1` acquires never touch the shared list.
+    fn pop_free(&self, ctx: &mut CoreCtx, li: usize, array: &MetadataArray) -> Option<u64> {
+        let Some(mc) = self.mag else {
+            return self.lists[li].pop(array);
+        };
+        let got = self.lists[li].drain(array, mc.refill.max(1));
+        let (&first, rest) = got.split_first()?;
+        if !rest.is_empty() {
+            self.magazine_refills.inc();
+            self.lockset_guarded(ctx, POOL_MAGAZINE_LOCK, || format!("pool.magazine[{li}]"));
+            self.magazines[li].lock().extend_from_slice(rest);
+        }
+        Some(first)
+    }
+
+    /// Pushes a released slot into the calling core's magazine. Returns
+    /// `false` (caller sends the slot to the depot) when magazines are
+    /// off or the magazine is at capacity.
+    fn magazine_push(&self, ctx: &mut CoreCtx, li: usize, index: u64) -> bool {
+        let Some(mc) = self.mag else {
+            return false;
+        };
+        self.lockset_guarded(ctx, POOL_MAGAZINE_LOCK, || format!("pool.magazine[{li}]"));
+        let mut mag = self.magazines[li].lock();
+        if mag.len() >= mc.capacity.max(1) {
+            return false;
+        }
+        mag.push(index);
+        true
+    }
+
+    /// Returns every slot cached in one magazine to its depot list;
+    /// returns how many moved.
+    fn drain_magazine_into_list(
+        &self,
+        ctx: &mut CoreCtx,
+        li: usize,
+        array: &MetadataArray,
+    ) -> usize {
+        if self.mag.is_none() || self.magazines[li].lock().is_empty() {
+            return 0;
+        }
+        self.lockset_guarded(ctx, POOL_MAGAZINE_LOCK, || format!("pool.magazine[{li}]"));
+        let slots = std::mem::take(&mut *self.magazines[li].lock());
+        for &index in &slots {
+            self.lists[li].push(array, index);
+        }
+        self.magazine_drained.add(slots.len() as u64);
+        slots.len()
+    }
+
+    /// Drains every per-core magazine back into the depot free lists (the
+    /// teardown path, also run before reclaim scans a core). After this no
+    /// slot is checked out into a magazine, so teardown accounting and
+    /// memory-pressure reclaim see the whole pool. Returns the number of
+    /// slots returned.
+    pub fn drain_magazines(&self, ctx: &mut CoreCtx) -> usize {
+        if self.mag.is_none() {
+            return 0;
+        }
+        let mut drained = 0;
+        for core in 0..self.cores {
+            for class in 0..self.nclasses {
+                let ai = self.array_idx(CoreId(core), class);
+                let array = &self.arrays[ai];
+                for rights in Perms::ALL {
+                    let li = self.list_idx(CoreId(core), class, rights);
+                    drained += self.drain_magazine_into_list(ctx, li, array);
+                }
+            }
+        }
+        drained
+    }
+
+    /// Slots currently cached across all magazines (observability).
+    pub fn magazine_len(&self) -> usize {
+        self.magazines.iter().map(|m| m.lock().len()).sum()
     }
 
     /// Allocates and permanently maps fresh shadow buffer(s); returns
@@ -552,7 +703,13 @@ impl ShadowPool {
                 }
                 slot.disassociate();
                 let li = self.list_idx(d.core, d.class, d.rights);
-                self.lists[li].push(array, d.index);
+                // Owner-core releases land in the magazine (until full);
+                // cross-core releases go straight to the owner's depot
+                // list — the magazine stays single-core.
+                let owner_release = d.core == CoreId(ctx.core.0 % self.cores);
+                if !(owner_release && self.magazine_push(ctx, li, d.index)) {
+                    self.lists[li].push(array, d.index);
+                }
             }
             None => {
                 self.lockset_guarded(ctx, POOL_FALLBACK_LOCK, || "pool.fallback_table".into());
@@ -601,6 +758,9 @@ impl ShadowPool {
                     break;
                 }
                 let li = self.list_idx(core, class, rights);
+                // Slots parked in the magazine are free too: return them
+                // to the list so reclaim can retire them.
+                self.drain_magazine_into_list(ctx, li, array);
                 let drained = self.lists[li].drain(array, budget);
                 budget -= drained.len();
                 let mut to_inval = Vec::new();
@@ -845,6 +1005,7 @@ mod tests {
         let cfg = PoolConfig {
             codec: IovaCodec::new(6, 2, vec![1024, 4096, 65536]),
             max_buffers_per_class: 1024,
+            magazines: None,
         };
         let r = rig_with(cfg, NumaTopology::new(4, 2, 4096));
         let mut c = ctx(0);
@@ -920,6 +1081,7 @@ mod tests {
         let cfg = PoolConfig {
             codec: IovaCodec::paper_default(),
             max_buffers_per_class: 2,
+            magazines: None,
         };
         let r = rig_with(cfg, NumaTopology::new(2, 1, 4096));
         let mut c = ctx(0);
@@ -1064,6 +1226,146 @@ mod tests {
         assert_eq!(s.acquires, 2000);
         assert_eq!(s.in_flight, s.acquires - s.releases);
         assert!(s.releases >= 1500, "most buffers released cross-core");
+    }
+
+    fn mag_cfg(capacity: usize, refill: usize) -> PoolConfig {
+        PoolConfig {
+            magazines: Some(MagazineConfig { capacity, refill }),
+            ..PoolConfig::default()
+        }
+    }
+
+    #[test]
+    fn magazine_serves_owner_core_reuse_without_the_depot() {
+        let r = rig_with(mag_cfg(8, 4), NumaTopology::new(4, 2, 4096));
+        let mut c = ctx(0);
+        let buf = os_buf(&r, 1500);
+        let i1 = r.pool.acquire_shadow(&mut c, buf, Perms::Write).unwrap();
+        r.pool.release_shadow(&mut c, i1).unwrap();
+        assert_eq!(r.pool.magazine_len(), 1, "release parked in the magazine");
+        let i2 = r.pool.acquire_shadow(&mut c, buf, Perms::Write).unwrap();
+        assert_eq!(i2, i1, "same slot back from the magazine");
+        assert_eq!(r.pool.magazine_len(), 0);
+        assert_eq!(r.pool.stats().grows, 1, "no second allocation");
+        let snap = r.pool.obs().registry().snapshot();
+        assert_eq!(snap.counter("pool", "magazine_hits", Some(0)), Some(1));
+    }
+
+    #[test]
+    fn magazine_overflow_spills_to_the_depot() {
+        let r = rig_with(mag_cfg(2, 2), NumaTopology::new(2, 1, 16384));
+        let mut c = ctx(0);
+        let buf = os_buf(&r, 4000);
+        let iovas: Vec<Iova> = (0..4)
+            .map(|_| r.pool.acquire_shadow(&mut c, buf, Perms::Write).unwrap())
+            .collect();
+        for &i in &iovas {
+            r.pool.release_shadow(&mut c, i).unwrap();
+        }
+        assert_eq!(r.pool.magazine_len(), 2, "capacity bounds the magazine");
+        // All four slots still reacquirable (2 magazine, 2 depot) with no
+        // new growth.
+        let grows = r.pool.stats().grows;
+        let again: Vec<Iova> = (0..4)
+            .map(|_| r.pool.acquire_shadow(&mut c, buf, Perms::Write).unwrap())
+            .collect();
+        assert_eq!(r.pool.stats().grows, grows, "served from cached slots");
+        let mut a: Vec<u64> = iovas.iter().map(|i| i.get()).collect();
+        let mut b: Vec<u64> = again.iter().map(|i| i.get()).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "same four slots recycled");
+    }
+
+    #[test]
+    fn depot_exhaustion_under_refill_grows_then_falls_back() {
+        // Empty depot: the batched refill finds nothing and the grow path
+        // runs; once metadata is exhausted the fallback table serves the
+        // request — exactly as without magazines.
+        let cfg = PoolConfig {
+            codec: IovaCodec::paper_default(),
+            max_buffers_per_class: 2,
+            magazines: Some(MagazineConfig {
+                capacity: 8,
+                refill: 4,
+            }),
+        };
+        let r = rig_with(cfg, NumaTopology::new(2, 1, 4096));
+        let mut c = ctx(0);
+        let buf = os_buf(&r, 1000);
+        let mut iovas = Vec::new();
+        for _ in 0..4 {
+            iovas.push(r.pool.acquire_shadow(&mut c, buf, Perms::Read).unwrap());
+        }
+        let s = r.pool.stats();
+        assert_eq!(s.grows, 4, "every empty-magazine miss attempts growth");
+        assert_eq!(s.fallback_acquires, 2, "metadata exhaustion falls back");
+        for iova in iovas {
+            r.pool.release_shadow(&mut c, iova).unwrap();
+        }
+        assert_eq!(r.pool.stats().in_flight, 0);
+    }
+
+    #[test]
+    fn cross_core_free_bypasses_the_releasers_magazine() {
+        let r = rig_with(mag_cfg(8, 4), NumaTopology::new(4, 2, 4096));
+        let mut c0 = ctx(0);
+        let mut c3 = ctx(3);
+        let buf = os_buf(&r, 256);
+        let iova = r.pool.acquire_shadow(&mut c0, buf, Perms::Read).unwrap();
+        r.pool.release_shadow(&mut c3, iova).unwrap();
+        assert_eq!(
+            r.pool.magazine_len(),
+            0,
+            "cross-core release goes to the owner's depot, not core 3's magazine"
+        );
+        // Sticky reuse still holds: owner core 0 gets the slot back.
+        let iova2 = r.pool.acquire_shadow(&mut c0, buf, Perms::Read).unwrap();
+        assert_eq!(iova2, iova);
+    }
+
+    #[test]
+    fn drain_magazines_returns_every_cached_slot() {
+        let r = rig_with(mag_cfg(16, 4), NumaTopology::new(4, 2, 16384));
+        let buf = os_buf(&r, 1500);
+        for core in 0..4u16 {
+            let mut c = ctx(core);
+            let ivs: Vec<Iova> = (0..3)
+                .map(|_| r.pool.acquire_shadow(&mut c, buf, Perms::Write).unwrap())
+                .collect();
+            for &i in &ivs {
+                r.pool.release_shadow(&mut c, i).unwrap();
+            }
+        }
+        assert_eq!(r.pool.magazine_len(), 12);
+        let mut c = ctx(0);
+        assert_eq!(r.pool.drain_magazines(&mut c), 12);
+        assert_eq!(r.pool.magazine_len(), 0);
+        assert_eq!(r.pool.drain_magazines(&mut c), 0, "idempotent");
+        // Every slot is back in its depot list: reclaim can retire all 12.
+        let mut freed = 0;
+        for core in 0..4u16 {
+            freed += r.pool.reclaim(&mut c, CoreId(core), 16);
+        }
+        assert_eq!(freed, 12 * 4096);
+    }
+
+    #[test]
+    fn reclaim_reaches_slots_parked_in_magazines() {
+        let r = rig_with(mag_cfg(16, 4), NumaTopology::new(2, 1, 16384));
+        let mut c = ctx(0);
+        let buf = os_buf(&r, 4000);
+        let ivs: Vec<Iova> = (0..4)
+            .map(|_| r.pool.acquire_shadow(&mut c, buf, Perms::Write).unwrap())
+            .collect();
+        for &i in &ivs {
+            r.pool.release_shadow(&mut c, i).unwrap();
+        }
+        assert_eq!(r.pool.magazine_len(), 4, "all parked in the magazine");
+        // Reclaim drains the magazine into the list before retiring.
+        let freed = r.pool.reclaim(&mut c, CoreId(0), 16);
+        assert_eq!(freed, 4 * 4096);
+        assert_eq!(r.pool.magazine_len(), 0);
     }
 
     #[test]

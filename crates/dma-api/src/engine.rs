@@ -101,6 +101,14 @@ pub trait DmaEngine: Send + Sync {
     /// Drains any deferred invalidations (the 10 ms timer / teardown
     /// path). No-op for strict engines.
     fn flush_deferred(&self, _ctx: &mut CoreCtx) {}
+
+    /// The name and a snapshot of the engine's IOVA-allocator lock, if the
+    /// engine allocates IOVAs under a contention-visible lock. The scaling
+    /// sweep uses this to attribute `Phase::Spinlock` time to the
+    /// allocator, separately from the invalidation-queue lock.
+    fn iova_lock_stats(&self) -> Option<(&'static str, simcore::LockStats)> {
+        None
+    }
 }
 
 impl<T: DmaEngine + ?Sized> DmaEngine for Box<T> {
@@ -160,5 +168,9 @@ impl<T: DmaEngine + ?Sized> DmaEngine for Box<T> {
 
     fn flush_deferred(&self, ctx: &mut CoreCtx) {
         (**self).flush_deferred(ctx)
+    }
+
+    fn iova_lock_stats(&self) -> Option<(&'static str, simcore::LockStats)> {
+        (**self).iova_lock_stats()
     }
 }

@@ -13,10 +13,15 @@ use simcore::sync::Mutex;
 use simcore::{CoreCtx, Cycles, Phase, SimLock};
 use std::collections::BTreeMap;
 
-/// Emits a `LockContention` trace event if `lock` spun since `spin_before`.
-fn trace_contention(obs: &Obs, ctx: &CoreCtx, lock: &SimLock, spin_before: Cycles) {
-    let spun = lock.stats().total_spin.saturating_sub(spin_before);
-    if spun > Cycles::ZERO {
+/// Emits a `LockContention` trace event for an acquisition that spun.
+///
+/// `spin` must be the acquisition's *own* spin, as reported by
+/// [`SimLock::lock`] / [`SimLock::with_spin`]. Diffing the lock's global
+/// `total_spin` counter around an acquisition is wrong: that counter also
+/// accumulates other cores' concurrent spins, so an uncontended
+/// acquisition could be blamed for a neighbor's wait.
+fn trace_contention(obs: &Obs, ctx: &CoreCtx, lock: &SimLock, spin: Cycles) {
+    if spin > Cycles::ZERO {
         obs.set_now_hint(ctx.now());
         obs.trace(
             ctx.now(),
@@ -24,7 +29,7 @@ fn trace_contention(obs: &Obs, ctx: &CoreCtx, lock: &SimLock, spin_before: Cycle
             None,
             EventKind::LockContention {
                 lock: lock.name().into(),
-                spin_cycles: spun.get(),
+                spin_cycles: spin.get(),
             },
         );
     }
@@ -45,6 +50,18 @@ pub trait IovaAllocator {
     fn alloc(&self, ctx: &mut CoreCtx, n: u64) -> Result<IovaPage, DmaError>;
     /// Returns `n` consecutive IOVA pages starting at `page`.
     fn free(&self, ctx: &mut CoreCtx, page: IovaPage, n: u64);
+    /// The allocator's contention-visible lock, if it has one: its name
+    /// and a statistics snapshot. The scaling sweep uses this to break
+    /// `Phase::Spinlock` down by lock.
+    fn lock_stats(&self) -> Option<(&'static str, simcore::LockStats)> {
+        None
+    }
+    /// Returns any ranges cached outside the shared structure (per-core
+    /// magazines) to it; the teardown/idle path. Returns the number of
+    /// ranges drained; allocators without caches drain nothing.
+    fn drain(&self, _ctx: &mut CoreCtx) -> usize {
+        0
+    }
 }
 
 #[derive(Debug)]
@@ -139,8 +156,7 @@ impl Default for GlobalTreeIovaAllocator {
 impl IovaAllocator for GlobalTreeIovaAllocator {
     fn alloc(&self, ctx: &mut CoreCtx, n: u64) -> Result<IovaPage, DmaError> {
         assert!(n > 0);
-        let spin_before = self.lock.stats().total_spin;
-        let r = self.lock.with(ctx, |ctx| {
+        let (r, spin) = self.lock.with_spin(ctx, |ctx| {
             ctx.charge(Phase::IommuPageTableMgmt, ctx.cost.iova_tree_alloc);
             self.runs
                 .lock()
@@ -149,18 +165,21 @@ impl IovaAllocator for GlobalTreeIovaAllocator {
                 .ok_or(DmaError::IovaExhausted)
         });
         self.allocs.inc();
-        trace_contention(&self.obs, ctx, &self.lock, spin_before);
+        trace_contention(&self.obs, ctx, &self.lock, spin);
         r
     }
 
     fn free(&self, ctx: &mut CoreCtx, page: IovaPage, n: u64) {
-        let spin_before = self.lock.stats().total_spin;
-        self.lock.with(ctx, |ctx| {
+        let ((), spin) = self.lock.with_spin(ctx, |ctx| {
             ctx.charge(Phase::IommuPageTableMgmt, ctx.cost.iova_tree_free);
             self.runs.lock().free(page.0, n);
         });
         self.frees.inc();
-        trace_contention(&self.obs, ctx, &self.lock, spin_before);
+        trace_contention(&self.obs, ctx, &self.lock, spin);
+    }
+
+    fn lock_stats(&self) -> Option<(&'static str, simcore::LockStats)> {
+        Some((self.lock.name(), self.lock.stats()))
     }
 }
 
@@ -178,9 +197,11 @@ pub struct PerCoreIovaAllocator {
     shared: Mutex<Runs>,
     /// magazines[core] maps range-size -> cached range starts.
     magazines: Vec<Mutex<BTreeMap<u64, Vec<u64>>>>,
+    obs: Obs,
     allocs: Counter,
     frees: Counter,
     refills: Counter,
+    spills: Counter,
 }
 
 impl PerCoreIovaAllocator {
@@ -189,7 +210,9 @@ impl PerCoreIovaAllocator {
         Self::with_obs(cores, Obs::isolated())
     }
 
-    /// Creates the allocator reporting into `obs` (`iova.magazine_*`).
+    /// Creates the allocator reporting into `obs` (`iova.magazine_*`
+    /// metrics, dmasan lockset events on the shared pool, `LockContention`
+    /// events on contended shared-lock acquisitions).
     pub fn with_obs(cores: usize, obs: Obs) -> Self {
         assert!(cores > 0);
         PerCoreIovaAllocator {
@@ -199,6 +222,8 @@ impl PerCoreIovaAllocator {
             allocs: obs.counter("iova", "magazine_allocs", None),
             frees: obs.counter("iova", "magazine_frees", None),
             refills: obs.counter("iova", "magazine_refills", None),
+            spills: obs.counter("iova", "magazine_spills", None),
+            obs,
         }
     }
 
@@ -209,6 +234,75 @@ impl PerCoreIovaAllocator {
 
     fn magazine(&self, ctx: &CoreCtx) -> &Mutex<BTreeMap<u64, Vec<u64>>> {
         &self.magazines[ctx.core.index() % self.magazines.len()]
+    }
+
+    /// Runs `f` under the shared-pool lock with dmasan lockset
+    /// instrumentation (detail-gated `LockAcquire` / `SharedAccess` /
+    /// `LockRelease`, the same triple every other instrumented lock site
+    /// emits) and per-acquisition contention tracing.
+    fn with_shared<R>(&self, ctx: &mut CoreCtx, f: impl FnOnce(&mut CoreCtx) -> R) -> R {
+        let detail = self.obs.detail_enabled();
+        if detail {
+            self.obs.trace(
+                ctx.now(),
+                ctx.core.0,
+                None,
+                EventKind::LockAcquire {
+                    lock: self.shared_lock.name().into(),
+                },
+            );
+        }
+        let (r, spin) = self.shared_lock.with_spin(ctx, |ctx| {
+            if detail {
+                self.obs.trace(
+                    ctx.now(),
+                    ctx.core.0,
+                    None,
+                    EventKind::SharedAccess {
+                        var: "iova.shared_pool".into(),
+                        write: true,
+                    },
+                );
+            }
+            f(ctx)
+        });
+        if detail {
+            self.obs.trace(
+                ctx.now(),
+                ctx.core.0,
+                None,
+                EventKind::LockRelease {
+                    lock: self.shared_lock.name().into(),
+                },
+            );
+        }
+        trace_contention(&self.obs, ctx, &self.shared_lock, spin);
+        r
+    }
+
+    /// Returns every range cached in the calling core's magazine to the
+    /// shared pool (one batched shared-lock hold). The teardown drain
+    /// path: cached ranges must go home before the allocator's owner is
+    /// dropped so nothing stays checked out of the global structure.
+    pub fn drain_magazine(&self, ctx: &mut CoreCtx) -> usize {
+        let cached: Vec<(u64, Vec<u64>)> = {
+            let mut mag = self.magazine(ctx).lock();
+            std::mem::take(&mut *mag).into_iter().collect()
+        };
+        let drained: usize = cached.iter().map(|(_, v)| v.len()).sum();
+        if drained == 0 {
+            return 0;
+        }
+        self.with_shared(ctx, |ctx| {
+            ctx.charge(Phase::IommuPageTableMgmt, ctx.cost.iova_tree_free);
+            let mut shared = self.shared.lock();
+            for (n, starts) in cached {
+                for s in starts {
+                    shared.free(s, n);
+                }
+            }
+        });
+        drained
     }
 }
 
@@ -222,7 +316,7 @@ impl IovaAllocator for PerCoreIovaAllocator {
         }
         self.refills.inc();
         // Refill from the shared tree.
-        let refill = self.shared_lock.with(ctx, |ctx| {
+        let refill = self.with_shared(ctx, |ctx| {
             ctx.charge(Phase::IommuPageTableMgmt, ctx.cost.iova_tree_alloc);
             let mut shared = self.shared.lock();
             let mut got = Vec::with_capacity(MAGAZINE_REFILL);
@@ -257,7 +351,8 @@ impl IovaAllocator for PerCoreIovaAllocator {
             }
         };
         if let Some(spill) = spill {
-            self.shared_lock.with(ctx, |ctx| {
+            self.spills.inc();
+            self.with_shared(ctx, |ctx| {
                 ctx.charge(Phase::IommuPageTableMgmt, ctx.cost.iova_tree_free);
                 let mut shared = self.shared.lock();
                 for s in spill {
@@ -265,6 +360,14 @@ impl IovaAllocator for PerCoreIovaAllocator {
                 }
             });
         }
+    }
+
+    fn lock_stats(&self) -> Option<(&'static str, simcore::LockStats)> {
+        Some((self.shared_lock.name(), self.shared_lock.stats()))
+    }
+
+    fn drain(&self, ctx: &mut CoreCtx) -> usize {
+        self.drain_magazine(ctx)
     }
 }
 
@@ -317,8 +420,7 @@ impl Default for GlobalCachedIovaAllocator {
 impl IovaAllocator for GlobalCachedIovaAllocator {
     fn alloc(&self, ctx: &mut CoreCtx, n: u64) -> Result<IovaPage, DmaError> {
         assert!(n > 0);
-        let spin_before = self.lock.stats().total_spin;
-        let r = self.lock.with(ctx, |ctx| {
+        let (r, spin) = self.lock.with_spin(ctx, |ctx| {
             if let Some(start) = self.cache.lock().get_mut(&n).and_then(|v| v.pop()) {
                 // Cache hit: cheap, like a magazine op.
                 ctx.charge(Phase::IommuPageTableMgmt, ctx.cost.iova_magazine_alloc);
@@ -332,20 +434,23 @@ impl IovaAllocator for GlobalCachedIovaAllocator {
                 .ok_or(DmaError::IovaExhausted)
         });
         self.allocs.inc();
-        trace_contention(&self.obs, ctx, &self.lock, spin_before);
+        trace_contention(&self.obs, ctx, &self.lock, spin);
         r
     }
 
     fn free(&self, ctx: &mut CoreCtx, page: IovaPage, n: u64) {
-        let spin_before = self.lock.stats().total_spin;
-        self.lock.with(ctx, |ctx| {
+        let ((), spin) = self.lock.with_spin(ctx, |ctx| {
             // Frees go to the cache, matching EiovaR's observation that the
             // ring pattern re-allocates the same sizes immediately.
             ctx.charge(Phase::IommuPageTableMgmt, ctx.cost.iova_magazine_free);
             self.cache.lock().entry(n).or_default().push(page.0);
         });
         self.frees.inc();
-        trace_contention(&self.obs, ctx, &self.lock, spin_before);
+        trace_contention(&self.obs, ctx, &self.lock, spin);
+    }
+
+    fn lock_stats(&self) -> Option<(&'static str, simcore::LockStats)> {
+        Some((self.lock.name(), self.lock.stats()))
     }
 }
 
@@ -518,6 +623,72 @@ mod tests {
             "magazine {} vs tree {}",
             cm.busy(),
             ct.busy()
+        );
+    }
+
+    fn zero_ctx(core: u16) -> CoreCtx {
+        CoreCtx::new(CoreId(core), Arc::new(CostModel::zero()))
+    }
+
+    #[test]
+    fn contention_event_attributed_to_the_spinning_acquisition_only() {
+        // Two-thread attribution regression: core 1 spins behind core 0's
+        // critical section, core 2 then acquires uncontended. Exactly one
+        // LockContention event must appear — core 1's, carrying its own
+        // spin — even though the lock's global total_spin counter is
+        // nonzero when core 2 reads it (the old code diffed that counter
+        // and could blame core 2).
+        let obs = Obs::isolated();
+        let a = GlobalTreeIovaAllocator::with_obs(obs.clone());
+
+        // Core 0 holds the allocator lock for cycles [0, 10_000).
+        let mut c0 = zero_ctx(0);
+        a.lock().lock(&mut c0);
+        c0.charge(Phase::Other, Cycles(10_000));
+        a.lock().unlock(&mut c0);
+
+        // Core 1 arrives at t=0 and spins the full 10_000 cycles.
+        let mut c1 = zero_ctx(1);
+        a.alloc(&mut c1, 1).unwrap();
+
+        // Core 2 arrives long after the lock is free: no spin, no event.
+        let mut c2 = zero_ctx(2);
+        c2.seek(Cycles(50_000));
+        a.alloc(&mut c2, 1).unwrap();
+
+        let spins: Vec<(u16, u64)> = obs
+            .tracer()
+            .events()
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::LockContention { spin_cycles, .. } => Some((e.core, *spin_cycles)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(spins, vec![(1, 10_000)], "one event, core 1's own spin");
+    }
+
+    #[test]
+    fn magazine_drain_returns_cached_ranges_to_shared_pool() {
+        let a = PerCoreIovaAllocator::new(2);
+        let mut c = ctx(0);
+        // Populate the magazine: the refill pulls MAGAZINE_REFILL ranges.
+        let p = a.alloc(&mut c, 1).unwrap();
+        a.free(&mut c, p, 1);
+        let drained = a.drain_magazine(&mut c);
+        assert_eq!(drained, MAGAZINE_REFILL, "refill batch went home");
+        // An empty magazine drains to nothing (and takes no shared lock).
+        let before = a.shared_lock().stats().acquisitions;
+        assert_eq!(a.drain_magazine(&mut c), 0);
+        assert_eq!(a.shared_lock().stats().acquisitions, before);
+        // After a full drain the shared pool is whole again: a fresh
+        // same-size alloc starts from the lowest page, as on a new
+        // allocator.
+        let fresh = PerCoreIovaAllocator::new(2);
+        let mut cf = ctx(0);
+        assert_eq!(
+            a.alloc(&mut c, 1).unwrap(),
+            fresh.alloc(&mut cf, 1).unwrap()
         );
     }
 

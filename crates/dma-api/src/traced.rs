@@ -186,6 +186,10 @@ impl<E: DmaEngine> DmaEngine for TracedDma<E> {
     fn flush_deferred(&self, ctx: &mut CoreCtx) {
         self.inner.flush_deferred(ctx);
     }
+
+    fn iova_lock_stats(&self) -> Option<(&'static str, simcore::LockStats)> {
+        self.inner.iova_lock_stats()
+    }
 }
 
 #[cfg(test)]

@@ -9,7 +9,7 @@
 //! 2. The queue is protected by a single lock, so concurrent invalidations
 //!    serialize (§2.2.1) — modeled with a [`SimLock`].
 
-use crate::{DeviceId, Iotlb, IovaPage};
+use crate::{DeviceId, Iotlb, IovaPage, PendingRing};
 use obs::{Counter, EventKind, MetricKey, Obs};
 use simcore::sync::Mutex;
 use simcore::{CoreCtx, Cycles, Phase, SimLock};
@@ -40,6 +40,22 @@ pub struct InvalQueue {
     page_commands: Counter,
     flush_commands: Counter,
     waits: Counter,
+    batch: Option<Batch>,
+}
+
+/// Opt-in per-core batching state (see [`InvalQueue::with_obs_batched`]).
+#[derive(Debug)]
+struct Batch {
+    rings: Vec<PendingRing>,
+    threshold: usize,
+    pending_appended: Counter,
+    drains: Counter,
+}
+
+impl Batch {
+    fn ring(&self, ctx: &CoreCtx) -> &PendingRing {
+        &self.rings[ctx.core.0 as usize % self.rings.len()]
+    }
 }
 
 impl Default for InvalQueue {
@@ -62,7 +78,42 @@ impl InvalQueue {
             flush_commands: obs.counter("invalq", "flush_commands", None),
             waits: obs.counter("invalq", "waits", None),
             obs,
+            batch: None,
         }
+    }
+
+    /// Creates the queue with per-core pending rings in front of the
+    /// global lock: page invalidations append to the calling core's ring
+    /// and drain into the queue every `threshold` entries (or on device
+    /// flush / explicit drain). The drain boundary is the §2.2.1 deferred
+    /// window, bounded per core by `threshold`.
+    pub fn with_obs_batched(obs: Obs, cores: usize, threshold: usize) -> Self {
+        let mut q = InvalQueue::with_obs(obs);
+        q.batch = Some(Batch {
+            rings: (0..cores.max(1)).map(|_| PendingRing::new()).collect(),
+            threshold: threshold.max(1),
+            pending_appended: q.obs.counter("invalq", "pending_appended", None),
+            drains: q.obs.counter("invalq", "batch_drains", None),
+        });
+        q
+    }
+
+    /// Whether per-core batching is enabled.
+    pub fn batching(&self) -> bool {
+        self.batch.is_some()
+    }
+
+    /// Total entries currently pending across every core's ring.
+    pub fn pending_len(&self) -> usize {
+        self.batch
+            .as_ref()
+            .map_or(0, |b| b.rings.iter().map(PendingRing::len).sum())
+    }
+
+    /// The calling core's pending ring, if batching is enabled (exposed
+    /// for contention statistics and tests).
+    pub fn pending_ring(&self, ctx: &CoreCtx) -> Option<&PendingRing> {
+        self.batch.as_ref().map(|b| b.ring(ctx))
     }
 
     /// Re-registers this queue's counters into `obs`'s registry and routes
@@ -78,6 +129,13 @@ impl InvalQueue {
             &self.flush_commands,
         );
         r.adopt_counter(MetricKey::new("invalq", "waits", None), &self.waits);
+        if let Some(b) = &self.batch {
+            r.adopt_counter(
+                MetricKey::new("invalq", "pending_appended", None),
+                &b.pending_appended,
+            );
+            r.adopt_counter(MetricKey::new("invalq", "batch_drains", None), &b.drains);
+        }
         self.obs = obs;
     }
 
@@ -158,9 +216,61 @@ impl InvalQueue {
         if pages.is_empty() {
             return;
         }
+        if let Some(b) = &self.batch {
+            let len = b.ring(ctx).append(ctx, &self.obs, dev, pages);
+            b.pending_appended.add(pages.len() as u64);
+            if len >= b.threshold {
+                self.drain_pending_local(ctx, iotlb);
+            }
+            return;
+        }
         obs::profile::scope(ctx, "invalq_drain", |ctx| {
             self.invalidate_pages_sync_inner(ctx, iotlb, dev, pages)
         });
+    }
+
+    /// Drains the calling core's pending ring into the global queue:
+    /// entries post in append order, grouped into one sync op per
+    /// consecutive same-device run. No-op when batching is off or the
+    /// ring is empty.
+    pub fn drain_pending_local(&self, ctx: &mut CoreCtx, iotlb: &Mutex<Iotlb>) {
+        if let Some(b) = &self.batch {
+            self.drain_ring(ctx, iotlb, b.ring(ctx));
+        }
+    }
+
+    /// Drains every core's pending ring (the teardown path — cross-core,
+    /// under each ring's lock). After this no invalidation is pending and
+    /// every deferred window opened by batching is closed.
+    pub fn drain_pending_all(&self, ctx: &mut CoreCtx, iotlb: &Mutex<Iotlb>) {
+        if let Some(b) = &self.batch {
+            for ring in &b.rings {
+                self.drain_ring(ctx, iotlb, ring);
+            }
+        }
+    }
+
+    fn drain_ring(&self, ctx: &mut CoreCtx, iotlb: &Mutex<Iotlb>, ring: &PendingRing) {
+        let entries = ring.take(ctx, &self.obs);
+        if entries.is_empty() {
+            return;
+        }
+        if let Some(b) = &self.batch {
+            b.drains.inc();
+        }
+        let mut i = 0;
+        while i < entries.len() {
+            let dev = entries[i].0;
+            let mut j = i + 1;
+            while j < entries.len() && entries[j].0 == dev {
+                j += 1;
+            }
+            let pages: Vec<IovaPage> = entries[i..j].iter().map(|&(_, p)| p).collect();
+            obs::profile::scope(ctx, "invalq_drain", |ctx| {
+                self.invalidate_pages_inner(ctx, iotlb, dev, &pages, true)
+            });
+            i = j;
+        }
     }
 
     fn invalidate_pages_sync_inner(
@@ -169,6 +279,22 @@ impl InvalQueue {
         iotlb: &Mutex<Iotlb>,
         dev: DeviceId,
         pages: &[IovaPage],
+    ) {
+        self.invalidate_pages_inner(ctx, iotlb, dev, pages, false);
+    }
+
+    /// Posts `pages` as range commands under the queue lock. With
+    /// `amortized_wait` (the batched-drain path) the busy-wait on the wait
+    /// descriptor is charged once for the whole batch — the §2.2.1
+    /// amortization that makes batching worth a lock hold; the per-unmap
+    /// path charges it per range command, unchanged.
+    fn invalidate_pages_inner(
+        &self,
+        ctx: &mut CoreCtx,
+        iotlb: &Mutex<Iotlb>,
+        dev: DeviceId,
+        pages: &[IovaPage],
+        amortized_wait: bool,
     ) {
         let active = ctx.active_cores;
         let spin_before = self.lock.stats().total_spin;
@@ -187,8 +313,13 @@ impl InvalQueue {
                     iotlb.invalidate_page(dev, page);
                 }
                 self.page_commands.inc();
-                ctx.charge(Phase::InvalidateIotlb, ctx.cost.inval_wait(active));
+                if !amortized_wait {
+                    ctx.charge(Phase::InvalidateIotlb, ctx.cost.inval_wait(active));
+                }
                 i = j;
+            }
+            if amortized_wait {
+                ctx.charge(Phase::InvalidateIotlb, ctx.cost.inval_wait(active));
             }
             // Exactly one wait descriptor completes per synchronous
             // operation, regardless of how many range commands it posted.
@@ -240,6 +371,14 @@ impl InvalQueue {
     /// protection pays once per drained batch (§2.2.1: every 250 unmaps or
     /// 10 ms).
     pub fn flush_device_sync(&self, ctx: &mut CoreCtx, iotlb: &Mutex<Iotlb>, dev: DeviceId) {
+        // A domain-selective flush supersedes any pending page
+        // invalidations for this device: purge them from every core's
+        // ring so they are not re-posted after the flush.
+        if let Some(b) = &self.batch {
+            for ring in &b.rings {
+                ring.purge_device(ctx, &self.obs, dev);
+            }
+        }
         obs::profile::scope(ctx, "invalq_flush", |ctx| {
             let spin_before = self.lock.stats().total_spin;
             let wait_start = ctx.breakdown.get(Phase::InvalidateIotlb);
@@ -270,6 +409,13 @@ impl InvalQueue {
         self.flush_commands.reset();
         self.waits.reset();
         self.lock.reset_stats();
+        if let Some(b) = &self.batch {
+            b.pending_appended.reset();
+            b.drains.reset();
+            for ring in &b.rings {
+                ring.lock().reset_stats();
+            }
+        }
     }
 }
 
@@ -433,6 +579,111 @@ mod tests {
             snap.counter("invalq", "page_commands", None),
             Some(q.stats().page_commands)
         );
+    }
+
+    #[test]
+    fn batched_invalidations_defer_until_threshold() {
+        let q = InvalQueue::with_obs_batched(Obs::isolated(), 4, 4);
+        let tlb = Mutex::new(Iotlb::new(64));
+        let mut c = ctx();
+        for i in 0..4 {
+            tlb.lock().insert(DEV, IovaPage(10 + i), entry());
+        }
+        // Three unmap invalidations: all pending, window still open.
+        for i in 0..3 {
+            q.invalidate_page_sync(&mut c, &tlb, DEV, IovaPage(10 + i));
+            assert!(tlb.lock().contains(DEV, IovaPage(10 + i)), "still cached");
+        }
+        assert_eq!(q.pending_len(), 3);
+        assert_eq!(q.stats().page_commands, 0, "nothing posted yet");
+        // The fourth append reaches the threshold and drains the ring:
+        // one contiguous run, one command, one wait, window closed.
+        q.invalidate_page_sync(&mut c, &tlb, DEV, IovaPage(13));
+        assert_eq!(q.pending_len(), 0);
+        for i in 0..4 {
+            assert!(!tlb.lock().contains(DEV, IovaPage(10 + i)));
+        }
+        assert_eq!(q.stats().page_commands, 1);
+        assert_eq!(q.stats().waits, 1);
+    }
+
+    #[test]
+    fn batch_drain_posts_per_device_runs_in_append_order() {
+        // Concurrent unmaps interleaving two devices on one core: the
+        // drain must preserve append order, splitting into one sync op
+        // per consecutive same-device run.
+        let shared = Obs::isolated();
+        let q = InvalQueue::with_obs_batched(shared.clone(), 1, 3);
+        let tlb = Mutex::new(Iotlb::new(64));
+        let mut c = ctx();
+        let d2 = DeviceId(2);
+        q.invalidate_page_sync(&mut c, &tlb, DEV, IovaPage(1));
+        q.invalidate_page_sync(&mut c, &tlb, d2, IovaPage(2));
+        q.invalidate_page_sync(&mut c, &tlb, DEV, IovaPage(3));
+        let devs: Vec<u16> = shared
+            .tracer()
+            .events()
+            .iter()
+            .filter_map(|e| match e.kind {
+                obs::EventKind::IotlbInvalidate { .. } => e.device,
+                _ => None,
+            })
+            .collect();
+        assert_eq!(devs, vec![DEV.0, d2.0, DEV.0], "append order preserved");
+        assert_eq!(q.stats().waits, 3, "one wait per device run");
+    }
+
+    #[test]
+    fn rings_drain_independently_per_core() {
+        let q = InvalQueue::with_obs_batched(Obs::isolated(), 2, 2);
+        let tlb = Mutex::new(Iotlb::new(64));
+        let mut c0 = ctx();
+        let mut c1 = CoreCtx::new(CoreId(1), Arc::new(CostModel::haswell_2_4ghz()));
+        q.invalidate_page_sync(&mut c0, &tlb, DEV, IovaPage(1));
+        q.invalidate_page_sync(&mut c1, &tlb, DEV, IovaPage(2));
+        assert_eq!(q.pending_len(), 2, "each core one entry, no drain");
+        // Core 0 reaches its threshold; core 1's ring must stay pending.
+        q.invalidate_page_sync(&mut c0, &tlb, DEV, IovaPage(3));
+        assert_eq!(q.pending_len(), 1);
+        assert_eq!(q.stats().page_commands, 2, "runs [1] and [3]");
+        // Teardown closes every remaining window, cross-core.
+        q.drain_pending_all(&mut c0, &tlb);
+        assert_eq!(q.pending_len(), 0);
+        assert_eq!(q.stats().waits, 2);
+    }
+
+    #[test]
+    fn device_flush_supersedes_pending_invalidations() {
+        let q = InvalQueue::with_obs_batched(Obs::isolated(), 1, 100);
+        let tlb = Mutex::new(Iotlb::new(64));
+        let mut c = ctx();
+        let d2 = DeviceId(2);
+        tlb.lock().insert(DEV, IovaPage(1), entry());
+        q.invalidate_page_sync(&mut c, &tlb, DEV, IovaPage(1));
+        q.invalidate_page_sync(&mut c, &tlb, d2, IovaPage(2));
+        assert_eq!(q.pending_len(), 2);
+        q.flush_device_sync(&mut c, &tlb, DEV);
+        assert!(!tlb.lock().contains(DEV, IovaPage(1)), "flush closes it");
+        assert_eq!(q.pending_len(), 1, "other device's entry survives");
+        q.drain_pending_all(&mut c, &tlb);
+        assert_eq!(
+            q.stats().page_commands,
+            1,
+            "the flushed device's pending page is never re-posted"
+        );
+    }
+
+    #[test]
+    fn unbatched_queue_has_no_pending_state() {
+        let q = InvalQueue::new();
+        let tlb = Mutex::new(Iotlb::new(8));
+        let mut c = ctx();
+        assert!(!q.batching());
+        assert_eq!(q.pending_len(), 0);
+        // Drains are no-ops, not panics.
+        q.drain_pending_local(&mut c, &tlb);
+        q.drain_pending_all(&mut c, &tlb);
+        assert_eq!(q.stats(), InvalQueueStats::default());
     }
 
     #[test]

@@ -27,10 +27,12 @@ mod invalq;
 mod iotlb;
 mod mmu;
 mod pagetable;
+mod pending;
 mod types;
 
 pub use invalq::{InvalQueue, InvalQueueStats, INVALQ_LOCK};
 pub use iotlb::{Iotlb, IotlbStats};
 pub use mmu::{Iommu, IommuError, DEVICE_SIDE_CORE};
 pub use pagetable::{IoPageTable, PtEntry, PtError};
+pub use pending::{PendingRing, INVALQ_PENDING_LOCK};
 pub use types::{Access, DeviceId, DmaFault, FaultReason, Iova, IovaPage, Perms};

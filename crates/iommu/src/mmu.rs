@@ -114,6 +114,18 @@ impl Iommu {
         }
     }
 
+    /// Creates an IOMMU whose invalidation queue batches page
+    /// invalidations in per-core pending rings, drained into the global
+    /// queue every `batch` entries per core (see
+    /// [`InvalQueue::with_obs_batched`]). Callers must close the final
+    /// windows with [`Iommu::drain_pending`] before teardown.
+    pub fn with_obs_batched(obs: Obs, cores: usize, batch: usize) -> Self {
+        Iommu {
+            invalq: InvalQueue::with_obs_batched(obs.clone(), cores, batch),
+            ..Self::with_obs(obs)
+        }
+    }
+
     /// Creates an IOMMU with a custom IOTLB capacity (for tests).
     pub fn with_iotlb_capacity(capacity: usize) -> Self {
         Iommu {
@@ -210,6 +222,18 @@ impl Iommu {
     /// domain-selective command (the deferred batch drain).
     pub fn flush_device_sync(&self, ctx: &mut CoreCtx, dev: DeviceId) {
         self.invalq.flush_device_sync(ctx, &self.iotlb, dev);
+    }
+
+    /// Drains every core's pending invalidation ring into the global
+    /// queue (no-op without batching). The teardown path: after this no
+    /// deferred window opened by batching remains.
+    pub fn drain_pending(&self, ctx: &mut CoreCtx) {
+        self.invalq.drain_pending_all(ctx, &self.iotlb);
+    }
+
+    /// Drains only the calling core's pending invalidation ring.
+    pub fn drain_pending_local(&self, ctx: &mut CoreCtx) {
+        self.invalq.drain_pending_local(ctx, &self.iotlb);
     }
 
     /// Hardware-initiated invalidation of one page: models IOTLB entries

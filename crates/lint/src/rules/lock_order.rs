@@ -2,7 +2,8 @@
 //! Lock-order static analysis.
 //!
 //! Extracts every instrumented lock site (`SimLock::new`, `.with(ctx, …)`,
-//! `lockset_guarded`, `with_lockset`) from the member crates, resolves the
+//! `.with_spin(ctx, …)`, `lockset_guarded`, `with_lockset`) from the
+//! member crates, resolves the
 //! lock-name constants, builds the nested-acquisition graph by paren
 //! matching the critical-section closures, and flags any cycle as a
 //! `lock-order` violation. The site inventory is exported
@@ -301,6 +302,16 @@ pub(crate) fn scan_lock_file(
             .unwrap_or_default();
         record(names, pos + ".with".len(), pos, &mut acqs);
     }
+    // `receiver.with_spin(ctx, |ctx| …)` — same acquisition shape as
+    // `.with(`, but also returns the acquisition's own spin so callers
+    // can attribute contention per-site.
+    for (pos, _) in prep.blank.match_indices(".with_spin(") {
+        let names: Vec<String> = fields
+            .get(ident_before(&prep.blank, pos))
+            .map(|s| s.iter().cloned().collect())
+            .unwrap_or_default();
+        record(names, pos + ".with_spin".len(), pos, &mut acqs);
+    }
     // `lockset_guarded(ctx, NAME, …)` — dmasan lockset regions.
     for (pos, _) in prep.blank.match_indices("lockset_guarded(ctx") {
         let mut k = pos + "lockset_guarded(ctx".len();
@@ -467,6 +478,35 @@ mod tests {
                 edges[0].line
             ),
             ("lock-a", "lock-b", 7)
+        );
+    }
+
+    #[test]
+    fn with_spin_sites_are_acquisitions_and_nest() {
+        let src = concat!(
+            "struct S { a: SimLock, b: SimLock }\n",
+            "impl S {\n",
+            "    fn build() -> Self { Self { a: SimLock::new(\"lock-a\"), b: SimLock::new(\"lock-b\") } }\n",
+            "    fn nest(&self, ctx: &mut CoreCtx) {\n",
+            "        let (_, _spin) = self.a.with_spin(ctx, |ctx| {\n",
+            "            self.b.with(ctx, |_ctx| {});\n",
+            "        });\n",
+            "    }\n",
+            "}\n",
+        );
+        let p = prep("x.rs", src);
+        let (mut sites, mut edges) = (Vec::new(), Vec::new());
+        scan_lock_file(&p, &BTreeMap::new(), &mut sites, &mut edges);
+        assert!(
+            sites
+                .iter()
+                .any(|s| s.lock == "lock-a" && s.acquisition && s.line == 5),
+            "with_spin must register as an acquisition site: {sites:?}"
+        );
+        assert_eq!(edges.len(), 1, "{edges:?}");
+        assert_eq!(
+            (edges[0].outer.as_str(), edges[0].inner.as_str()),
+            ("lock-a", "lock-b")
         );
     }
 

@@ -49,6 +49,10 @@ pub struct Config {
     /// naming a lock outside this set is reported in
     /// [`Report::unknown_locks`]. `None` disables the check.
     pub known_locks: Option<Vec<String>>,
+    /// Build every rig with per-core allocation state (pool magazines,
+    /// per-core IOVA allocator, batched invalidation rings) — the
+    /// `netsim` `percore` configuration, under the checker.
+    pub percore: bool,
 }
 
 impl Config {
@@ -66,6 +70,7 @@ impl Config {
             with_san: false,
             collect_runs: false,
             known_locks: None,
+            percore: false,
         }
     }
 }
@@ -237,7 +242,7 @@ pub fn explore(cfg: &Config) -> Report {
 /// the code under test changed — the fixture must be regenerated). The
 /// run is drained to completion either way so no worker leaks.
 pub fn replay(cfg: &Config, schedule: &[Step]) -> Result<RunOutcome, String> {
-    let rig = Rig::build(cfg.strategy, cfg.mappers, cfg.with_san);
+    let rig = Rig::build(cfg.strategy, cfg.mappers, cfg.with_san, cfg.percore);
     let exec = Executor::new(cfg.mappers + 1);
     let handles = rig.spawn_workers(&exec);
     let mut views = exec.wait_quiescent();
@@ -312,7 +317,7 @@ fn finish_outcome(
 /// Executes one schedule: replays the stack prefix, extends greedily at
 /// the frontier (first allowed choice of every new frame).
 fn run_schedule(cfg: &Config, stack: &mut Vec<Frame>, report: &mut Report) -> RunOutcome {
-    let rig = Rig::build(cfg.strategy, cfg.mappers, cfg.with_san);
+    let rig = Rig::build(cfg.strategy, cfg.mappers, cfg.with_san, cfg.percore);
     let exec = Executor::new(cfg.mappers + 1);
     let handles = rig.spawn_workers(&exec);
     let mut views = exec.wait_quiescent();

@@ -20,7 +20,7 @@ use dmasan::DmaSan;
 use iommu::{DeviceId, Iommu};
 use memsim::{NumaTopology, PhysMemory};
 use obs::Obs;
-use shadow_core::{PoolConfig, ShadowDma};
+use shadow_core::{MagazineConfig, PoolConfig, ShadowDma};
 use simcore::{CoreCtx, CoreId, CostModel, Cycles};
 use std::fmt;
 use std::sync::Arc;
@@ -32,6 +32,12 @@ pub const MC_DEV: DeviceId = DeviceId(7);
 /// page-tail secret at [`TAIL_OFF`], so a single read can demonstrate both
 /// the sub-page and the stale-window exposure.
 pub const PROBE_READ_LEN: usize = TAIL_OFF + 16;
+
+/// Pending-ring batch threshold for per-core rigs. Deliberately larger
+/// than the page count any bounded script posts (one page per mapper), so
+/// nothing drains mid-schedule and the bounded §2.2.1 window that per-core
+/// batching opens stays visible to the probing device.
+pub const MC_PERCORE_BATCH: usize = 4;
 
 /// The protection strategies the checker explores — the paper's Table 1
 /// set plus the no-IOMMU baseline and the self-invalidating ablation.
@@ -138,6 +144,10 @@ pub struct Rig {
     pub mappers: usize,
     /// Strategy this rig was built for.
     pub strategy: Strategy,
+    /// Whether the rig was built with per-core allocation state (shadow
+    /// pool magazines, per-core IOVA allocator, batched invalidation
+    /// rings).
+    pub percore: bool,
 }
 
 fn zero_ctx(core: u16) -> CoreCtx {
@@ -150,19 +160,39 @@ impl Rig {
     /// Builds a fresh rig: memory, engine, one pre-filled page per mapper
     /// (pattern + page-tail secret), and the yield hook installed on the
     /// rig's private telemetry handle.
-    pub fn build(strategy: Strategy, mappers: usize, with_san: bool) -> Rig {
+    ///
+    /// With `percore`, the hot allocation state is sharded per simulated
+    /// core the way `netsim`'s `percore` configs shard it: the shadow pool
+    /// gets per-core magazines, the Linux engines the per-core IOVA
+    /// allocator, and the IOMMU per-core pending-invalidation rings
+    /// (batch threshold [`MC_PERCORE_BATCH`]). Batching parks synchronous
+    /// page invalidations, so strict engines that stake their no-window
+    /// claim on them reopen a *bounded* §2.2.1 window — the rig records
+    /// that in the expected profile, and the explorer proves it exists.
+    pub fn build(strategy: Strategy, mappers: usize, with_san: bool, percore: bool) -> Rig {
         assert!(mappers >= 1, "need at least one mapper");
         let obs = Obs::with_trace_capacity(4096);
         obs.set_trace_sampling(1);
         let mem = Arc::new(PhysMemory::new(NumaTopology::tiny(256)));
-        let mmu = Arc::new(Iommu::with_obs(obs.clone()));
+        let mmu = if percore {
+            Arc::new(Iommu::with_obs_batched(
+                obs.clone(),
+                mappers,
+                MC_PERCORE_BATCH,
+            ))
+        } else {
+            Arc::new(Iommu::with_obs(obs.clone()))
+        };
         let engine: Box<dyn DmaEngine> = match strategy {
             Strategy::NoProtection => Box::new(NoIommu::new(mem.clone(), MC_DEV)),
             Strategy::Copy => Box::new(ShadowDma::new(
                 mem.clone(),
                 mmu.clone(),
                 MC_DEV,
-                PoolConfig::default(),
+                PoolConfig {
+                    magazines: percore.then(MagazineConfig::default),
+                    ..PoolConfig::default()
+                },
             )),
             Strategy::IdentityStrict => {
                 Box::new(IdentityDma::strict(mem.clone(), mmu.clone(), MC_DEV))
@@ -173,7 +203,19 @@ impl Rig {
                 MC_DEV,
                 mappers,
             )),
+            Strategy::LinuxStrict if percore => Box::new(LinuxDma::percore_strict(
+                mem.clone(),
+                mmu.clone(),
+                MC_DEV,
+                mappers,
+            )),
             Strategy::LinuxStrict => Box::new(LinuxDma::strict(mem.clone(), mmu.clone(), MC_DEV)),
+            Strategy::LinuxDeferred if percore => Box::new(LinuxDma::percore_deferred(
+                mem.clone(),
+                mmu.clone(),
+                MC_DEV,
+                mappers,
+            )),
             Strategy::LinuxDeferred => {
                 Box::new(LinuxDma::deferred(mem.clone(), mmu.clone(), MC_DEV))
             }
@@ -198,7 +240,23 @@ impl Rig {
             )) as Box<dyn DmaEngine>),
             None => Arc::from(Box::new(TracedDma::new(engine, obs.clone())) as Box<dyn DmaEngine>),
         };
-        let profile = engine.profile();
+        let mut profile = engine.profile();
+        // Per-core batching parks page invalidations in the calling core's
+        // pending ring until the batch threshold, so a strict engine whose
+        // no-window claim rests on *synchronous* page invalidation opens a
+        // bounded window under it. Expect that window, so the explorer
+        // reports it as found (not as a checker failure). Copy (permanent
+        // shadow mappings, no unmap invalidations) and the self-
+        // invalidating ablation (hardware path, no queue) keep their
+        // claims.
+        if percore
+            && matches!(
+                strategy,
+                Strategy::IdentityStrict | Strategy::LinuxStrict | Strategy::EiovarStrict
+            )
+        {
+            profile.no_vulnerability_window = false;
+        }
         let bus = match strategy {
             Strategy::NoProtection => Bus::Direct(mem.clone()),
             _ => Bus::Iommu {
@@ -239,6 +297,7 @@ impl Rig {
             profile,
             mappers,
             strategy,
+            percore,
         }
     }
 
@@ -275,6 +334,7 @@ impl fmt::Debug for Rig {
         f.debug_struct("Rig")
             .field("strategy", &self.strategy)
             .field("mappers", &self.mappers)
+            .field("percore", &self.percore)
             .finish()
     }
 }

@@ -160,6 +160,7 @@ pub fn memcached(kind: EngineKind, cfg: &ExpConfig) -> ExpResult {
             .unwrap_or(Cycles(1)),
     );
     stack.engine.flush_deferred(&mut tctx);
+    stack.mmu.drain_pending(&mut tctx);
 
     let clock = cfg.cost.clock_ghz;
     let mut tps = 0.0;

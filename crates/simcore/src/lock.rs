@@ -62,11 +62,17 @@ impl SimLock {
     /// it is held. The spin (if any) plus the uncontended acquire cost are
     /// charged to [`Phase::Spinlock`].
     ///
+    /// Returns the cycles *this* acquisition spent spinning
+    /// ([`Cycles::ZERO`] when uncontended). Callers attributing contention
+    /// to an acquisition site must use this value — not a diff of the
+    /// global [`LockStats::total_spin`] counter, which also accumulates
+    /// other cores' concurrent spins.
+    ///
     /// # Panics
     ///
     /// Panics if the lock is already held (no recursion: the code under
     /// simulation never self-deadlocks, so this indicates a harness bug).
-    pub fn lock(&self, ctx: &mut CoreCtx) {
+    pub fn lock(&self, ctx: &mut CoreCtx) -> Cycles {
         assert!(
             !self.held.load(Ordering::Relaxed),
             "SimLock {:?} acquired while held (missing unlock?)",
@@ -74,15 +80,17 @@ impl SimLock {
         );
         self.acquisitions.fetch_add(1, Ordering::Relaxed);
         let free_at = Cycles(self.free_at.load(Ordering::Relaxed));
+        let mut spin = Cycles::ZERO;
         if free_at > ctx.now() {
             self.contended.fetch_add(1, Ordering::Relaxed);
-            let spin = free_at - ctx.now();
+            spin = free_at - ctx.now();
             self.total_spin.fetch_add(spin.get(), Ordering::Relaxed);
             ctx.spin_until(free_at, Phase::Spinlock);
         }
         ctx.charge(Phase::Spinlock, ctx.cost.spinlock_uncontended);
         self.held.store(true, Ordering::Relaxed);
         self.held_since.store(ctx.now().get(), Ordering::Relaxed);
+        spin
     }
 
     /// Releases the lock at the calling core's current time.
@@ -109,6 +117,20 @@ impl SimLock {
         let r = f(ctx);
         self.unlock(ctx);
         r
+    }
+
+    /// Like [`SimLock::with`], but also returns the cycles this
+    /// acquisition spent spinning — the per-acquisition figure contention
+    /// tracing must attribute to the calling site.
+    pub fn with_spin<R>(
+        &self,
+        ctx: &mut CoreCtx,
+        f: impl FnOnce(&mut CoreCtx) -> R,
+    ) -> (R, Cycles) {
+        let spin = self.lock(ctx);
+        let r = f(ctx);
+        self.unlock(ctx);
+        (r, spin)
     }
 
     /// Whether the lock is currently held.
@@ -170,7 +192,7 @@ mod tests {
 
         // Core 1 arrives at t=100 and must spin until t=500.
         let mut c1 = ctx_at(1, 100);
-        l.lock(&mut c1);
+        assert_eq!(l.lock(&mut c1), Cycles(400));
         assert_eq!(c1.now(), Cycles(500));
         assert_eq!(c1.breakdown.get(Phase::Spinlock), Cycles(400));
         l.unlock(&mut c1);
@@ -221,6 +243,55 @@ mod tests {
         let mut c = ctx_at(0, 0);
         l.lock(&mut c);
         l.lock(&mut c);
+    }
+
+    #[test]
+    fn per_acquisition_spin_is_not_the_global_counter() {
+        // Two simulated threads: core 1 spins behind core 0's critical
+        // section, then core 2 acquires the (by now free) lock. The old
+        // accounting diffed `total_spin` around an acquisition, so a
+        // concurrent thread's spin (core 1's 400 cycles here) landed in
+        // whichever acquisition read the counter next; the per-acquisition
+        // return value pins the correct attribution.
+        let l = SimLock::new("test");
+        let mut c0 = ctx_at(0, 0);
+        l.lock(&mut c0);
+        c0.charge(Phase::Other, Cycles(500));
+        l.unlock(&mut c0);
+
+        // A global-counter snapshot taken before core 1's spin (as the old
+        // trace_contention callers did at operation entry)...
+        let spin_before = l.stats().total_spin;
+
+        let mut c1 = ctx_at(1, 100);
+        assert_eq!(l.lock(&mut c1), Cycles(400), "core 1 owns this spin");
+        l.unlock(&mut c1);
+
+        // ...now makes an uncontended acquisition by core 2 look like it
+        // spun 400 cycles. The return value says zero, correctly.
+        let mut c2 = ctx_at(2, 600);
+        let spin2 = l.lock(&mut c2);
+        l.unlock(&mut c2);
+        let global_diff = l.stats().total_spin - spin_before;
+        assert_eq!(global_diff, Cycles(400), "global counter mixes cores");
+        assert_eq!(spin2, Cycles::ZERO, "core 2 never spun");
+    }
+
+    #[test]
+    fn with_spin_reports_the_acquisitions_own_spin() {
+        let l = SimLock::new("test");
+        let mut c0 = ctx_at(0, 0);
+        l.lock(&mut c0);
+        c0.charge(Phase::Other, Cycles(300));
+        l.unlock(&mut c0);
+
+        let mut c1 = ctx_at(1, 0);
+        let (v, spin) = l.with_spin(&mut c1, |_| 7);
+        assert_eq!((v, spin), (7, Cycles(300)));
+
+        let mut c2 = ctx_at(2, 1000);
+        let (_, spin) = l.with_spin(&mut c2, |_| ());
+        assert_eq!(spin, Cycles::ZERO);
     }
 
     #[test]

@@ -14,17 +14,40 @@ fn static_inventory_covers_model_checker_runtime_locks() {
         .expect("scan workspace lock sites");
     let names = report.lock_names();
     assert!(!names.is_empty(), "static lock inventory came back empty");
+    // The per-core configuration's locks must be in the static map before
+    // any percore run is checked against it.
+    for percore_lock in [
+        "pool-magazine",
+        "invalq-pending-ring",
+        "scalable-iova-shared",
+    ] {
+        assert!(
+            names.iter().any(|n| n == percore_lock),
+            "static inventory {names:?} is missing `{percore_lock}`"
+        );
+    }
     // Copy exercises the pool locks; linux-deferred exercises the IOVA
-    // allocator, the deferred flush list, and the invalidation queue.
-    for strategy in [Strategy::Copy, Strategy::LinuxDeferred] {
+    // allocator, the deferred flush list, and the invalidation queue. The
+    // percore variants add the magazine, pending-ring, and shared-pool
+    // locks to the runtime set.
+    for (strategy, percore) in [
+        (Strategy::Copy, false),
+        (Strategy::LinuxDeferred, false),
+        (Strategy::Copy, true),
+        (Strategy::LinuxStrict, true),
+    ] {
         let mut cfg = Config::new(strategy);
         cfg.known_locks = Some(names.clone());
+        cfg.percore = percore;
         let r = explore(&cfg);
-        assert!(r.exhausted, "{strategy}: bounded space not covered");
+        assert!(
+            r.exhausted,
+            "{strategy} (percore={percore}): bounded space not covered"
+        );
         assert!(
             r.unknown_locks.is_empty(),
-            "{strategy}: runtime locks missing from the static inventory \
-             {names:?}: {:?}",
+            "{strategy} (percore={percore}): runtime locks missing from the \
+             static inventory {names:?}: {:?}",
             r.unknown_locks
         );
     }
