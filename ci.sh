@@ -26,6 +26,10 @@ cargo run -q --release --bin profile_report
 # (16/64/128/256 virtual cores, global vs per-core allocation state);
 # writes the curve artifacts to target/scaling_curves.{csv,jsonl}.
 cargo bench -p bench --bench scaling
+# Perf-trajectory trend report: per-label deltas across the whole
+# BENCH_HOST.json history, flagging any workload slower than its
+# historical best. Pure file read — runs before the measuring gate.
+cargo bench -p bench --bench host -- --trend target/bench_trend.txt
 # Host-time regression gate: fail if any hot-path workload runs >25%
-# slower than the pinned `post-percore` baseline in BENCH_HOST.json.
-cargo bench -p bench --bench host -- --check post-percore
+# slower than the pinned `post-wheel` baseline in BENCH_HOST.json.
+cargo bench -p bench --bench host -- --check post-wheel

@@ -151,6 +151,39 @@ fn micro_obs_loop() {
     std::hint::black_box(o.profiler().snapshot());
 }
 
+fn micro_sched_loop() {
+    // Scheduler-only churn: tasks do nothing but charge pseudo-random
+    // increments, so wall-clock is dominated by timing-wheel push/pop —
+    // once at the figure population (16 cores), once at the scaling-sweep
+    // ceiling (256 cores), where the old `BinaryHeap` paid log(n) per
+    // reschedule.
+    use simcore::{CoreTask, MultiCoreSim, Phase, StepOutcome};
+    for &(cores, steps_per_core) in &[(16usize, 60_000u64), (256, 4_000)] {
+        let mut sim = MultiCoreSim::new(Arc::new(CostModel::zero()), cores);
+        let mut tasks: Vec<Box<dyn CoreTask>> = (0..cores)
+            .map(|i| {
+                let mut remaining = steps_per_core;
+                let mut seed = 0x9e37_79b9_7f4a_7c15u64 ^ ((i as u64) << 32);
+                Box::new(move |ctx: &mut CoreCtx| {
+                    seed ^= seed << 13;
+                    seed ^= seed >> 7;
+                    seed ^= seed << 17;
+                    // Mixed near/far deltas exercise same-slot pushes,
+                    // level cascades, and the overflow heap.
+                    ctx.charge(Phase::Other, Cycles(1 + (seed % 700)));
+                    remaining -= 1;
+                    if remaining == 0 {
+                        StepOutcome::Done
+                    } else {
+                        StepOutcome::Continue
+                    }
+                }) as Box<dyn CoreTask>
+            })
+            .collect();
+        std::hint::black_box(sim.run(&mut tasks, Cycles::MAX));
+    }
+}
+
 /// The harness workloads, in reporting order. `fig1_16core` is the
 /// headline number the perf trajectory tracks.
 pub fn workloads() -> Vec<(&'static str, fn())> {
@@ -162,6 +195,7 @@ pub fn workloads() -> Vec<(&'static str, fn())> {
         ("micro_iotlb", micro_iotlb_loop),
         ("micro_pagetable", micro_pagetable_loop),
         ("micro_obs", micro_obs_loop),
+        ("micro_sched", micro_sched_loop),
     ]
 }
 
@@ -241,6 +275,89 @@ pub fn regressions(current: &[(String, f64)], baseline: &Json, threshold: f64) -
     out
 }
 
+fn ms_of(entry: &Json, workload: &str) -> Option<f64> {
+    let Some(Json::Obj(ms)) = entry.get("ms") else {
+        return None;
+    };
+    ms.iter()
+        .find(|(k, _)| k == workload)
+        .map(|(_, v)| match v {
+            Json::Float(f) => *f,
+            Json::UInt(u) => *u as f64,
+            Json::Int(i) => *i as f64,
+            _ => f64::NAN,
+        })
+}
+
+/// Renders the perf-trajectory trend: one line per workload walking the
+/// labeled entries oldest→newest with the per-step delta, and a flag on
+/// every workload whose latest entry is slower than its historical best
+/// (the improvement trajectory went backwards and nobody re-recorded a
+/// faster baseline).
+pub fn trend_report(trajectory: &[Json]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(out, "host-bench trend ({} entries)", trajectory.len());
+    // Workload names in first-seen order across all entries.
+    let mut names: Vec<String> = Vec::new();
+    for e in trajectory {
+        if let Some(Json::Obj(ms)) = e.get("ms") {
+            for (k, _) in ms {
+                if !names.contains(k) {
+                    names.push(k.clone());
+                }
+            }
+        }
+    }
+    let mut flagged = Vec::new();
+    for name in &names {
+        let mut line = format!("{name:<16}");
+        let mut prev: Option<f64> = None;
+        let mut best: Option<(f64, &str)> = None;
+        let mut latest: Option<f64> = None;
+        for e in trajectory {
+            let label = e.get("label").and_then(Json::as_str).unwrap_or("?");
+            let Some(v) = ms_of(e, name) else { continue };
+            match prev {
+                None => {
+                    let _ = write!(line, " {v:.1} [{label}]");
+                }
+                Some(p) => {
+                    let _ = write!(
+                        line,
+                        " -> {v:.1} ({:+.1}%) [{label}]",
+                        (v / p - 1.0) * 100.0
+                    );
+                }
+            }
+            prev = Some(v);
+            latest = Some(v);
+            if best.is_none_or(|(b, _)| v < b) {
+                best = Some((v, label));
+            }
+        }
+        let _ = writeln!(out, "{line}");
+        if let (Some((b, blabel)), Some(l)) = (best, latest) {
+            if l > b {
+                flagged.push(format!(
+                    "  {name}: latest {l:.1} ms is +{:.1}% over its best \
+                     {b:.1} ms [{blabel}]",
+                    (l / b - 1.0) * 100.0
+                ));
+            }
+        }
+    }
+    if flagged.is_empty() {
+        let _ = writeln!(out, "no workload is slower than its historical best");
+    } else {
+        let _ = writeln!(out, "regressed since best:");
+        for f in flagged {
+            let _ = writeln!(out, "{f}");
+        }
+    }
+    out
+}
+
 /// The unique trajectory entry labeled `label`. The check gate pins its
 /// baseline by label so appending new entries (`--record`) can never
 /// silently change what `--check` compares against.
@@ -303,6 +420,47 @@ pub fn run(args: &[String]) -> i32 {
         None => None,
     };
     let path = baseline_path();
+
+    // `--trend <out-path>` renders the trajectory report without running
+    // any workload — it only reads BENCH_HOST.json, so CI can produce the
+    // artifact cheaply before the measuring gate.
+    if let Some(i) = args.iter().position(|a| a == "--trend") {
+        let Some(out_path) = args.get(i + 1).filter(|a| !a.starts_with("--")) else {
+            eprintln!("--trend requires an output path, e.g. `--trend target/bench_trend.txt`");
+            return 1;
+        };
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("no {BASELINE_FILE} at {} ({e})", path.display());
+                return 1;
+            }
+        };
+        let trajectory = match parse_trajectory(&text) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("malformed {BASELINE_FILE}: {e}");
+                return 1;
+            }
+        };
+        let report = trend_report(&trajectory);
+        print!("{report}");
+        // Cargo runs bench binaries from the package dir, so anchor a
+        // relative out-path at the workspace root (like BENCH_HOST.json).
+        let out = if Path::new(out_path).is_absolute() {
+            PathBuf::from(out_path)
+        } else {
+            Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join(out_path)
+        };
+        if let Err(e) = std::fs::write(&out, &report) {
+            eprintln!("failed to write {}: {e}", out.display());
+            return 1;
+        }
+        println!("trend report written to {out_path}");
+        return 0;
+    }
 
     println!("host-time harness ({} workloads)", workloads().len());
     let results = measure_all();
@@ -440,5 +598,52 @@ mod tests {
         ];
         let e = find_baseline(&t, "dup").unwrap_err();
         assert!(e.contains("2") && e.contains("unique"), "{e}");
+    }
+
+    #[test]
+    fn trend_walks_labels_and_flags_regressions_since_best() {
+        let t = vec![
+            entry_json("pre", &res(&[("a", 100.0), ("b", 10.0)])),
+            entry_json("mid", &res(&[("a", 50.0), ("b", 12.0)])),
+            entry_json("now", &res(&[("a", 60.0), ("b", 9.0)])),
+        ];
+        let r = trend_report(&t);
+        // Walks oldest→newest with per-step deltas.
+        assert!(r.contains("100.0 [pre]"), "{r}");
+        assert!(r.contains("-> 50.0 (-50.0%) [mid]"), "{r}");
+        assert!(r.contains("-> 60.0 (+20.0%) [now]"), "{r}");
+        // `a` is above its best (50.0 at mid) — flagged; `b` is at its
+        // best — not flagged.
+        assert!(r.contains("regressed since best"), "{r}");
+        assert!(
+            r.contains("a: latest 60.0 ms is +20.0% over its best 50.0 ms [mid]"),
+            "{r}"
+        );
+        assert!(!r.contains("b: latest"), "{r}");
+    }
+
+    #[test]
+    fn trend_with_monotone_improvement_has_no_flags() {
+        let t = vec![
+            entry_json("pre", &res(&[("a", 100.0)])),
+            entry_json("now", &res(&[("a", 80.0)])),
+        ];
+        let r = trend_report(&t);
+        assert!(
+            r.contains("no workload is slower than its historical best"),
+            "{r}"
+        );
+    }
+
+    #[test]
+    fn trend_handles_workloads_added_mid_history() {
+        // `micro_obs` first appears at post-profiler; its line must start
+        // at that entry rather than misaligning deltas.
+        let t = vec![
+            entry_json("pre", &res(&[("a", 100.0)])),
+            entry_json("now", &res(&[("a", 90.0), ("new", 5.0)])),
+        ];
+        let r = trend_report(&t);
+        assert!(r.contains("new") && r.contains("5.0 [now]"), "{r}");
     }
 }

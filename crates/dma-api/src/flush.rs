@@ -11,7 +11,7 @@
 use iommu::IovaPage;
 use obs::{Counter, EventKind, Gauge, Obs};
 use simcore::sync::Mutex;
-use simcore::{CoreCtx, Cycles, Phase, SimLock};
+use simcore::{ChargeBatch, CoreCtx, Cycles, Phase, SimLock};
 use std::borrow::Cow;
 
 /// One deferred unmap: an IOVA range whose IOTLB entries are still live.
@@ -168,8 +168,14 @@ impl DeferredFlusher {
         self.deferred_total.inc();
         self.peak_pending.set_max(self.pending_gauge.add(1));
         let idx = self.list_index(ctx);
-        let append = |ctx: &mut CoreCtx, lists: &Mutex<PendingList>| -> Option<Vec<PendingUnmap>> {
-            ctx.charge(Phase::IommuPageTableMgmt, ctx.cost.defer_list_append);
+        let append = |ctx: &mut CoreCtx,
+                      acc: &mut ChargeBatch,
+                      lists: &Mutex<PendingList>|
+         -> Option<Vec<PendingUnmap>> {
+            // Burst-charged: the clock advances here (so the append cost is
+            // inside the global lock's hold time, exactly as before), the
+            // breakdown attribution commits when the burst scope closes.
+            ctx.charge_batch(acc, Phase::IommuPageTableMgmt, ctx.cost.defer_list_append);
             let mut list = lists.lock();
             list.entries.push(entry);
             if list.oldest.is_none() {
@@ -186,7 +192,7 @@ impl DeferredFlusher {
                 None
             }
         };
-        let batch = match self.scope {
+        let batch = ctx.burst(|ctx, acc| match self.scope {
             FlushScope::Global => {
                 self.lockset(
                     ctx,
@@ -196,7 +202,7 @@ impl DeferredFlusher {
                 );
                 let b = self.global_lock.with(ctx, |ctx| {
                     self.lockset_access(ctx, 0);
-                    append(ctx, &self.lists[0])
+                    append(ctx, acc, &self.lists[0])
                 });
                 self.lockset(
                     ctx,
@@ -210,9 +216,9 @@ impl DeferredFlusher {
                 // Deliberately lock-free: each core owns its own list, so
                 // the lockset detector must see per-index variable names.
                 self.lockset_access(ctx, idx);
-                append(ctx, &self.lists[idx])
+                append(ctx, acc, &self.lists[idx])
             }
-        };
+        });
         if let Some(batch) = batch {
             self.drains.inc();
             self.pending_gauge.sub(batch.len() as i64);

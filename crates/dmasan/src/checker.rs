@@ -8,13 +8,22 @@
 //! IOMMU page tables *do* permit — is still flagged (the paper's
 //! byte-granularity claim, Table 1 "sub-page").
 
+// lint: allow(relaxed-atomic) — the coherent-window cache is seqlock-shaped:
+// the version field (odd = write in progress, re-checked after the reads)
+// detects torn or stale views and falls back to the locked slow path, and
+// writers are serialized under the checker's inner mutex. The simulator steps
+// every virtual core from one host thread, so these atomics are never raced;
+// the version protocol is belt-and-suspenders for hypothetical threaded
+// harnesses, where a missed hit is still only a slow-path fallback.
+
 use dma_api::{BusObserver, CoherentBuffer, DmaDirection, DmaMapping, DmaObserver};
 use iommu::DeviceId;
 use obs::{Counter, EventKind, Obs};
 use simcore::sync::Mutex;
 use simcore::FxHashMap;
 use simcore::{CoreCtx, Cycles};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The six dma-debug rule classes the checker enforces.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -90,15 +99,75 @@ struct LiveMapping {
 /// (use-after-unmap) apart from a wild one.
 const RETIRED_CAP: usize = 4096;
 
+/// A `u64`-keyed map as a sorted vec. A device rarely holds more than a
+/// few dozen live mappings, and every bus access consults this registry —
+/// at that size binary search over one contiguous array beats a BTreeMap
+/// on each of the checker's hot operations (point get, floor lookup,
+/// insert, remove).
+#[derive(Debug)]
+struct SortedMap<V> {
+    entries: Vec<(u64, V)>,
+}
+
+impl<V> Default for SortedMap<V> {
+    fn default() -> Self {
+        SortedMap {
+            entries: Vec::new(),
+        }
+    }
+}
+
+impl<V> SortedMap<V> {
+    fn idx(&self, key: u64) -> Result<usize, usize> {
+        self.entries.binary_search_by_key(&key, |&(k, _)| k)
+    }
+
+    /// Inserts `v` at `key`, returning any previous value (the BTreeMap
+    /// replace semantics).
+    fn insert(&mut self, key: u64, v: V) -> Option<V> {
+        match self.idx(key) {
+            Ok(i) => Some(std::mem::replace(&mut self.entries[i].1, v)),
+            Err(i) => {
+                self.entries.insert(i, (key, v));
+                None
+            }
+        }
+    }
+
+    fn remove(&mut self, key: u64) -> Option<V> {
+        self.idx(key).ok().map(|i| self.entries.remove(i).1)
+    }
+
+    fn get(&self, key: u64) -> Option<&V> {
+        self.idx(key).ok().map(|i| &self.entries[i].1)
+    }
+
+    /// The last entry with key `<= key` — `range(..=key).next_back()`.
+    fn at_or_before(&self, key: u64) -> Option<&(u64, V)> {
+        let i = self.entries.partition_point(|&(k, _)| k <= key);
+        i.checked_sub(1).map(|i| &self.entries[i])
+    }
+
+    /// The last entry with key `< key` — `range(..key).next_back()`.
+    fn before(&self, key: u64) -> Option<&(u64, V)> {
+        let i = self.entries.partition_point(|&(k, _)| k < key);
+        i.checked_sub(1).map(|i| &self.entries[i])
+    }
+
+    fn iter(&self) -> impl Iterator<Item = &(u64, V)> {
+        self.entries.iter()
+    }
+}
+
 #[derive(Debug, Default)]
 struct DevState {
     /// Live streaming mappings by IOVA start.
-    live: BTreeMap<u64, LiveMapping>,
+    live: SortedMap<LiveMapping>,
     /// Live OS-buffer ranges (`os_pa -> (len, iova)`) for double-map
     /// detection.
-    os_live: BTreeMap<u64, (u64, u64)>,
+    os_live: SortedMap<(u64, u64)>,
     /// Coherent windows (descriptor rings) by IOVA start -> len.
-    coherent: BTreeMap<u64, u64>,
+    coherent: SortedMap<u64>,
     /// Recently unmapped `(iova, len, unmap_seq)`.
     retired: VecDeque<(u64, u64, u64)>,
 }
@@ -107,26 +176,23 @@ impl DevState {
     /// The live mapping containing `addr`, if any.
     fn covering(&self, addr: u64) -> Option<(u64, &LiveMapping)> {
         self.live
-            .range(..=addr)
-            .next_back()
+            .at_or_before(addr)
             .filter(|(start, m)| addr < *start + m.len)
             .map(|(start, m)| (*start, m))
     }
 
     fn coherent_covering(&self, addr: u64) -> Option<(u64, u64)> {
         self.coherent
-            .range(..=addr)
-            .next_back()
+            .at_or_before(addr)
             .filter(|(start, len)| addr < *start + *len)
-            .map(|(s, l)| (*s, *l))
+            .map(|&(s, l)| (s, l))
     }
 
     fn os_overlap(&self, pa: u64, len: u64) -> Option<(u64, u64, u64)> {
         self.os_live
-            .range(..pa + len)
-            .next_back()
+            .before(pa + len)
             .filter(|(start, (l, _))| *start + l > pa)
-            .map(|(s, (l, iova))| (*s, *l, *iova))
+            .map(|&(s, (l, iova))| (s, l, iova))
     }
 
     fn retire(&mut self, iova: u64, len: u64, seq: u64) {
@@ -151,6 +217,73 @@ struct Inner {
     violations: Vec<Violation>,
 }
 
+/// Lock-free cache of the last coherent window a verdict landed in.
+///
+/// Descriptor-ring traffic (the NIC's descriptor fetch and completion
+/// write-back) hits the same long-lived coherent window on every packet,
+/// and a coherent hit in [`DmaSan::verdict`] depends *only* on the
+/// coherent set — it is checked before the streaming mappings, so map and
+/// unmap churn cannot change its outcome. Caching that window behind a
+/// generation stamped by the (rare) coherent alloc/free mutations turns
+/// two of the three per-packet bus checks into a few atomic loads instead
+/// of a mutex acquisition and two binary searches.
+///
+/// Published seqlock-style: `ver` goes odd while the fields are being
+/// written and even once they are consistent, so a torn read on another
+/// host thread is detected and falls through to the locked slow path.
+#[derive(Debug)]
+struct CoherentCache {
+    /// Seqlock version: odd = write in progress.
+    ver: AtomicU64,
+    /// Value of `coherent_gen` the window was read under.
+    gen: AtomicU64,
+    /// Cached device (`u64::MAX` = empty).
+    dev: AtomicU64,
+    /// Cached window `[start, end)` in IOVA space.
+    start: AtomicU64,
+    end: AtomicU64,
+}
+
+impl Default for CoherentCache {
+    fn default() -> Self {
+        CoherentCache {
+            ver: AtomicU64::new(0),
+            gen: AtomicU64::new(0),
+            dev: AtomicU64::new(u64::MAX),
+            start: AtomicU64::new(0),
+            end: AtomicU64::new(0),
+        }
+    }
+}
+
+impl CoherentCache {
+    /// Whether `[addr, end)` on `dev` is inside the cached window and the
+    /// cache is still valid for generation `gen`.
+    #[inline]
+    fn covers(&self, gen: u64, dev: u16, addr: u64, end: u64) -> bool {
+        let v1 = self.ver.load(Ordering::Acquire);
+        if v1 & 1 != 0 {
+            return false;
+        }
+        let hit = self.gen.load(Ordering::Relaxed) == gen
+            && self.dev.load(Ordering::Relaxed) == dev as u64
+            && self.start.load(Ordering::Relaxed) <= addr
+            && end <= self.end.load(Ordering::Relaxed);
+        hit && self.ver.load(Ordering::Acquire) == v1
+    }
+
+    /// Publishes a window (called with the checker's inner lock held, so
+    /// writers never race each other).
+    fn publish(&self, gen: u64, dev: u16, start: u64, end: u64) {
+        self.ver.fetch_add(1, Ordering::AcqRel); // odd: write in progress
+        self.gen.store(gen, Ordering::Relaxed);
+        self.dev.store(dev as u64, Ordering::Relaxed);
+        self.start.store(start, Ordering::Relaxed);
+        self.end.store(end, Ordering::Relaxed);
+        self.ver.fetch_add(1, Ordering::Release); // even: consistent
+    }
+}
+
 /// The DMA-API sanitizer.
 ///
 /// Wire it into a stack with [`dma_api::TracedDma::with_observer`] (the
@@ -167,6 +300,9 @@ pub struct DmaSan {
     inner: Mutex<Inner>,
     strict: bool,
     violations_total: Counter,
+    /// Bumped on every coherent alloc/free; validates [`CoherentCache`].
+    coherent_gen: AtomicU64,
+    coherent_cache: CoherentCache,
 }
 
 impl DmaSan {
@@ -192,6 +328,8 @@ impl DmaSan {
             inner: Mutex::new(Inner::default()),
             strict,
             obs,
+            coherent_gen: AtomicU64::new(0),
+            coherent_cache: CoherentCache::default(),
         }
     }
 
@@ -226,7 +364,7 @@ impl DmaSan {
         let inner = self.inner.lock();
         let mut out = Vec::new();
         for (dev, st) in &inner.devs {
-            for (iova, m) in &st.live {
+            for (iova, m) in st.live.iter() {
                 out.push((DeviceId(*dev), *iova, m.len));
             }
         }
@@ -243,7 +381,7 @@ impl DmaSan {
             let inner = self.inner.lock();
             let mut out = Vec::new();
             for (dev, st) in &inner.devs {
-                for (iova, m) in &st.live {
+                for (iova, m) in st.live.iter() {
                     out.push((
                         DeviceId(*dev),
                         *iova,
@@ -252,7 +390,7 @@ impl DmaSan {
                         "streaming mapping",
                     ));
                 }
-                for (iova, len) in &st.coherent {
+                for (iova, len) in st.coherent.iter() {
                     out.push((DeviceId(*dev), *iova, *len, None, "coherent buffer"));
                 }
             }
@@ -294,12 +432,20 @@ impl DmaSan {
             return AccessVerdict::BlockedByIommu;
         }
         let end = addr + len.max(1) as u64;
+        // Coherent-window fast path: a hit depends only on the coherent
+        // set (checked before the streaming mappings below), so a cached
+        // window is valid as long as no coherent alloc/free intervened.
+        let gen = self.coherent_gen.load(Ordering::Relaxed);
+        if self.coherent_cache.covers(gen, dev.0, addr, end) {
+            return AccessVerdict::Permitted;
+        }
         let inner = self.inner.lock();
         let Some(st) = inner.devs.get(&dev.0) else {
             return AccessVerdict::SanitizerViolation(ViolationKind::StaleAccess);
         };
         if let Some((start, wlen)) = st.coherent_covering(addr) {
             return if end <= start + wlen {
+                self.coherent_cache.publish(gen, dev.0, start, start + wlen);
                 AccessVerdict::Permitted
             } else {
                 AccessVerdict::SanitizerViolation(ViolationKind::OobAccess)
@@ -404,10 +550,10 @@ impl DmaObserver for DmaSan {
         let bad = {
             let mut inner = self.inner.lock();
             let st = inner.devs.entry(dev.0).or_default();
-            match st.live.remove(&iova) {
+            match st.live.remove(iova) {
                 Some(live) => {
-                    if st.os_live.get(&live.os_pa).is_some_and(|(_, i)| *i == iova) {
-                        st.os_live.remove(&live.os_pa);
+                    if st.os_live.get(live.os_pa).is_some_and(|(_, i)| *i == iova) {
+                        st.os_live.remove(live.os_pa);
                     }
                     st.retire(iova, live.len, unmap_seq);
                     if live.len != len || live.dir != m.dir {
@@ -462,6 +608,7 @@ impl DmaObserver for DmaSan {
 
     fn on_alloc_coherent(&self, _ctx: &CoreCtx, dev: DeviceId, buf: &CoherentBuffer) {
         let mut inner = self.inner.lock();
+        self.coherent_gen.fetch_add(1, Ordering::Relaxed);
         let st = inner.devs.entry(dev.0).or_default();
         st.coherent.insert(buf.iova.get(), buf.len as u64);
     }
@@ -469,8 +616,9 @@ impl DmaObserver for DmaSan {
     fn on_free_coherent(&self, ctx: &CoreCtx, dev: DeviceId, buf: &CoherentBuffer) {
         let missing = {
             let mut inner = self.inner.lock();
+            self.coherent_gen.fetch_add(1, Ordering::Relaxed);
             let st = inner.devs.entry(dev.0).or_default();
-            st.coherent.remove(&buf.iova.get()).is_none()
+            st.coherent.remove(buf.iova.get()).is_none()
         };
         if missing {
             self.report(

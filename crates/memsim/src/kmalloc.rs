@@ -18,6 +18,12 @@ use std::sync::Arc;
 /// larger requests fall back to whole pages.
 const CLASSES: [usize; 8] = [32, 64, 128, 256, 512, 1024, 2048, 4096];
 
+/// Empty slab pages retained per (domain, class) before spilling back to
+/// [`PhysMemory`] — like SLUB's per-cpu partial lists. One-skb-in-flight
+/// workloads otherwise bounce a page through the frame allocator (free,
+/// re-alloc, re-zero) on every single packet.
+const EMPTY_CACHE_PAGES: usize = 8;
+
 /// Allocation statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct KmallocStats {
@@ -27,6 +33,8 @@ pub struct KmallocStats {
     pub live_bytes: u64,
     /// Pages currently owned by slabs or large allocations.
     pub pages: u64,
+    /// Empty slab pages retained for reuse (not counted in `pages`).
+    pub cached_pages: u64,
     /// Total alloc calls.
     pub allocs: u64,
     /// Total free calls.
@@ -62,6 +70,9 @@ struct Inner {
     slabs: FxHashMap<u64, Slab>,
     /// Frames with free slots, per (domain, class).
     partial: FxHashMap<(u16, usize), Vec<u64>>,
+    /// Fully-empty slab pages retained per (domain, class), reused LIFO
+    /// before asking [`PhysMemory`] for a fresh frame.
+    empty: FxHashMap<(u16, usize), Vec<u64>>,
     /// Live allocations by address.
     live: FxHashMap<u64, AllocInfo>,
     stats: KmallocStats,
@@ -120,7 +131,7 @@ impl Kmalloc {
         assert!(size > 0, "kmalloc(0)");
         let mut inner = self.inner.lock();
         let pa = if let Some(class) = CLASSES.iter().position(|&c| c >= size) {
-            self.alloc_slab_object(&mut inner, class, domain)?
+            self.alloc_slab_object(&mut inner, class, size, domain)?
         } else {
             let n = (size as u64).div_ceil(PAGE_SIZE as u64);
             let pfn = self.mem.alloc_frames(domain, n)?;
@@ -135,10 +146,6 @@ impl Kmalloc {
             );
             pa
         };
-        if let AllocKind::Slab { .. } = inner.live[&pa.get()].kind {
-            // size recorded below for slabs
-        }
-        inner.live.get_mut(&pa.get()).expect("just inserted").size = size;
         inner.stats.allocs += 1;
         inner.stats.live += 1;
         inner.stats.live_bytes += size as u64;
@@ -149,46 +156,60 @@ impl Kmalloc {
         &self,
         inner: &mut Inner,
         class: usize,
+        size: usize,
         domain: NumaDomain,
     ) -> Result<PhysAddr, MemError> {
         let key = (domain.0, class);
-        let pfn = loop {
-            if let Some(&pfn) = inner.partial.get(&key).and_then(|v| v.last()) {
-                break Pfn(pfn);
+        // One-skb-per-page workloads grow a fresh slab on nearly every
+        // alloc, so the grow path builds the `Slab` in hand and inserts it
+        // once (slot already taken) instead of insert-then-re-look-up.
+        let (pfn, slot) = if let Some(&p) = inner.partial.get(&key).and_then(|v| v.last()) {
+            let pfn = Pfn(p);
+            let slab = inner.slabs.get_mut(&pfn.0).expect("partial slab exists");
+            debug_assert!(slab.free_slots != 0, "partial slab has a slot");
+            let slot = slab.free_slots.trailing_zeros() as u16;
+            slab.free_slots &= slab.free_slots - 1;
+            slab.used += 1;
+            if slab.free_slots == 0 {
+                let v = inner.partial.get_mut(&key).expect("key exists");
+                v.retain(|&p| p != pfn.0);
             }
-            // Grow: a fresh slab page.
-            let pfn = self.mem.alloc_frame(domain)?;
+            (pfn, slot)
+        } else {
+            // Grow: a cached empty page if one exists (no frame-allocator
+            // round trip, no re-zero), else a fresh frame; slot 0 is handed
+            // out immediately.
+            let pfn = if let Some(p) = inner.empty.get_mut(&key).and_then(Vec::pop) {
+                inner.stats.cached_pages -= 1;
+                Pfn(p)
+            } else {
+                self.mem.alloc_frame(domain)?
+            };
             inner.stats.pages += 1;
             let slots = (PAGE_SIZE / CLASSES[class]) as u32;
-            inner.slabs.insert(
-                pfn.0,
-                Slab {
-                    domain,
-                    class,
-                    free_slots: if slots == 128 {
-                        u128::MAX
-                    } else {
-                        (1u128 << slots) - 1
-                    },
-                    used: 0,
-                },
-            );
-            inner.partial.entry(key).or_default().push(pfn.0);
+            let free_slots = if slots == 128 {
+                u128::MAX
+            } else {
+                (1u128 << slots) - 1
+            };
+            let slab = Slab {
+                domain,
+                class,
+                free_slots: free_slots & !1,
+                used: 1,
+            };
+            let still_partial = slab.free_slots != 0;
+            inner.slabs.insert(pfn.0, slab);
+            if still_partial {
+                inner.partial.entry(key).or_default().push(pfn.0);
+            }
+            (pfn, 0)
         };
-        let slab = inner.slabs.get_mut(&pfn.0).expect("partial slab exists");
-        debug_assert!(slab.free_slots != 0, "partial slab has a slot");
-        let slot = slab.free_slots.trailing_zeros() as u16;
-        slab.free_slots &= slab.free_slots - 1;
-        slab.used += 1;
-        if slab.free_slots == 0 {
-            let v = inner.partial.get_mut(&key).expect("key exists");
-            v.retain(|&p| p != pfn.0);
-        }
         let pa = pfn.base().add(slot as u64 * CLASSES[class] as u64);
         inner.live.insert(
             pa.get(),
             AllocInfo {
-                size: 0, // patched by caller
+                size,
                 kind: AllocKind::Slab { class },
             },
         );
@@ -197,11 +218,13 @@ impl Kmalloc {
 
     /// Frees the allocation at `pa`, returning its requested size.
     ///
-    /// If the object's slab page survives, the freed bytes are poisoned
-    /// with `0x6b` (like the kernel's SLAB poisoning) so use-after-free
-    /// reads are detectable in tests and attack scenarios; a page whose
-    /// last object is freed is returned to [`PhysMemory`] instead, which
-    /// zeroes frames on reallocation.
+    /// The freed bytes are poisoned with `0x6b` (like the kernel's SLAB
+    /// poisoning) so use-after-free reads are detectable in tests and
+    /// attack scenarios. A page whose last object is freed is retained on
+    /// a small per-(domain, class) cache — like SLUB's per-cpu partial
+    /// lists — and reused by the next allocation of that class; once the
+    /// cache is full the page is returned to [`PhysMemory`], which zeroes
+    /// frames on reallocation. [`Kmalloc::reap`] releases the cache.
     pub fn free(&self, pa: PhysAddr) -> Result<usize, MemError> {
         let mut inner = self.inner.lock();
         let info = inner
@@ -218,7 +241,10 @@ impl Kmalloc {
             }
             AllocKind::Slab { class } => {
                 let pfn = pa.pfn();
-                let slab = inner.slabs.get_mut(&pfn.0).expect("slab exists for object");
+                // Remove-first: the one-skb-per-page hot path empties the
+                // slab on this free, so taking the entry out now saves the
+                // second hash lookup; a still-used slab is reinserted.
+                let mut slab = inner.slabs.remove(&pfn.0).expect("slab exists for object");
                 debug_assert_eq!(slab.class, class, "object freed into wrong class");
                 let slot = (pa.page_offset() / CLASSES[class]) as u32;
                 let was_full = slab.free_slots == 0;
@@ -226,17 +252,28 @@ impl Kmalloc {
                 slab.used -= 1;
                 let key = (slab.domain.0, class);
                 if slab.used == 0 {
-                    // The whole page is going back to PhysMemory, which
-                    // zeroes frames on reallocation — poisoning the slot
-                    // first would be pure wasted bandwidth on the one-skb-
-                    // per-page fast path.
-                    inner.slabs.remove(&pfn.0);
                     if let Some(v) = inner.partial.get_mut(&key) {
                         v.retain(|&p| p != pfn.0);
                     }
-                    self.mem.free_frames(pfn, 1)?;
                     inner.stats.pages -= 1;
+                    let cache = inner.empty.entry(key).or_default();
+                    if cache.len() < EMPTY_CACHE_PAGES {
+                        // Retain the empty page for the next alloc of this
+                        // class. The page is reused *without* re-zeroing, so
+                        // the freed slot must carry poison for use-after-free
+                        // detection (every other slot already does, from its
+                        // own free).
+                        static POISON: [u8; 4096] = [0x6bu8; 4096];
+                        self.mem.write(pa, &POISON[..CLASSES[class]])?;
+                        cache.push(pfn.0);
+                        inner.stats.cached_pages += 1;
+                    } else {
+                        // Cache full: back to PhysMemory, which zeroes
+                        // frames on reallocation (no poison needed).
+                        self.mem.free_frames(pfn, 1)?;
+                    }
                 } else {
+                    inner.slabs.insert(pfn.0, slab);
                     // Poison the released slot (the page survives, so a
                     // use-after-free read must see 0x6b, not stale data).
                     static POISON: [u8; 4096] = [0x6bu8; 4096];
@@ -271,6 +308,20 @@ impl Kmalloc {
     /// The requested size of the live allocation at `pa`, if any.
     pub fn size_of(&self, pa: PhysAddr) -> Option<usize> {
         self.inner.lock().live.get(&pa.get()).map(|i| i.size)
+    }
+
+    /// Releases all cached empty slab pages back to [`PhysMemory`],
+    /// returning how many were freed — the slab-shrinker path, for
+    /// memory-pressure scenarios and teardown hygiene.
+    pub fn reap(&self) -> u64 {
+        let mut inner = self.inner.lock();
+        let pages: Vec<u64> = inner.empty.values_mut().flat_map(std::mem::take).collect();
+        let n = pages.len() as u64;
+        for p in pages {
+            self.mem.free_frames(Pfn(p), 1).expect("reap cached page");
+        }
+        inner.stats.cached_pages -= n;
+        n
     }
 
     /// Statistics snapshot.
@@ -377,7 +428,7 @@ mod tests {
     }
 
     #[test]
-    fn slab_page_released_when_empty() {
+    fn empty_slab_page_is_cached_then_reaped() {
         let k = km(4);
         let a = k.alloc(2048, D0).unwrap();
         let b = k.alloc(2048, D0).unwrap();
@@ -386,8 +437,61 @@ mod tests {
         k.free(a).unwrap();
         assert_eq!(k.stats().pages, 1, "page kept while b lives");
         k.free(b).unwrap();
-        assert_eq!(k.stats().pages, 0, "page released when slab empties");
-        assert!(!k.mem().is_allocated(a.pfn()));
+        assert_eq!(k.stats().pages, 0, "page leaves the slab when it empties");
+        assert_eq!(k.stats().cached_pages, 1, "…onto the empty-page cache");
+        assert!(
+            k.mem().is_allocated(a.pfn()),
+            "cached page still owns its frame"
+        );
+        assert_eq!(k.reap(), 1);
+        assert_eq!(k.stats().cached_pages, 0);
+        assert!(
+            !k.mem().is_allocated(a.pfn()),
+            "reap returns it to PhysMemory"
+        );
+    }
+
+    #[test]
+    fn cached_empty_page_is_reused_without_phys_round_trip() {
+        let k = km(4);
+        let a = k.alloc(2048, D0).unwrap();
+        k.free(a).unwrap();
+        assert_eq!(k.stats().cached_pages, 1);
+        let b = k.alloc(2048, D0).unwrap();
+        assert_eq!(b.pfn(), a.pfn(), "next alloc reuses the cached page");
+        assert_eq!(k.stats().cached_pages, 0);
+        k.free(b).unwrap();
+    }
+
+    #[test]
+    fn emptied_page_slots_are_poisoned_on_the_cache() {
+        let k = km(4);
+        let a = k.alloc(2048, D0).unwrap();
+        k.mem().write(a, b"sensitive-data!!").unwrap();
+        k.free(a).unwrap();
+        // The page sits on the empty cache with its frame still allocated;
+        // a use-after-free read must see poison, not the old payload.
+        assert_eq!(k.mem().read_vec(a, 4).unwrap(), vec![0x6b; 4]);
+    }
+
+    #[test]
+    fn empty_cache_spills_to_phys_when_full() {
+        let k = km(64);
+        // Fill more than EMPTY_CACHE_PAGES single-object pages, then free
+        // them all: the overflow must go back to PhysMemory.
+        let n = EMPTY_CACHE_PAGES + 3;
+        let addrs: Vec<_> = (0..n).map(|_| k.alloc(4096, D0).unwrap()).collect();
+        for a in &addrs {
+            k.free(*a).unwrap();
+        }
+        let st = k.stats();
+        assert_eq!(st.pages, 0);
+        assert_eq!(st.cached_pages, EMPTY_CACHE_PAGES as u64);
+        let spilled = addrs
+            .iter()
+            .filter(|a| !k.mem().is_allocated(a.pfn()))
+            .count();
+        assert_eq!(spilled, 3, "overflow pages released to PhysMemory");
     }
 
     #[test]

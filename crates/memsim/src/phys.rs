@@ -2,8 +2,6 @@
 
 use crate::{NumaDomain, NumaTopology, Pfn, PhysAddr, PAGE_SIZE};
 use simcore::sync::Mutex;
-use std::cell::RefCell;
-use std::collections::BTreeMap;
 use std::fmt;
 
 /// Errors from physical memory operations.
@@ -54,24 +52,31 @@ pub struct MemStats {
 
 #[derive(Debug, Default)]
 struct DomainAllocator {
-    /// Free runs: start pfn -> run length, coalesced on free.
-    runs: BTreeMap<u64, u64>,
+    /// Free runs as `(start pfn, length)`, sorted by start and coalesced
+    /// on free. Steady-state run counts are tiny (long-lived allocations
+    /// plus one hole churned by the packet loop), so a sorted vec beats a
+    /// BTreeMap on every operation while keeping the identical first-fit
+    /// order — which is observable through reallocated frame numbers and
+    /// must not change.
+    runs: Vec<(u64, u64)>,
 }
 
 impl DomainAllocator {
     fn new(start: Pfn, end: Pfn) -> Self {
-        let mut runs = BTreeMap::new();
+        let mut runs = Vec::new();
         if end.0 > start.0 {
-            runs.insert(start.0, end.0 - start.0);
+            runs.push((start.0, end.0 - start.0));
         }
         DomainAllocator { runs }
     }
 
     fn alloc(&mut self, n: u64) -> Option<Pfn> {
-        let (&start, &len) = self.runs.iter().find(|(_, &len)| len >= n)?;
-        self.runs.remove(&start);
+        let i = self.runs.iter().position(|&(_, len)| len >= n)?;
+        let (start, len) = self.runs[i];
         if len > n {
-            self.runs.insert(start + n, len - n);
+            self.runs[i] = (start + n, len - n);
+        } else {
+            self.runs.remove(i);
         }
         Some(Pfn(start))
     }
@@ -80,20 +85,22 @@ impl DomainAllocator {
         let start = pfn.0;
         let end = start + n;
         // Coalesce with the predecessor and successor runs when adjacent.
-        let mut new_start = start;
-        let mut new_len = n;
-        if let Some((&ps, &pl)) = self.runs.range(..start).next_back() {
-            if ps + pl == start {
-                self.runs.remove(&ps);
-                new_start = ps;
-                new_len += pl;
+        let i = self.runs.partition_point(|&(s, _)| s < start);
+        let merge_prev = i > 0 && {
+            let (ps, pl) = self.runs[i - 1];
+            ps + pl == start
+        };
+        let merge_next = i < self.runs.len() && self.runs[i].0 == end;
+        match (merge_prev, merge_next) {
+            (true, true) => {
+                let nl = self.runs[i].1;
+                self.runs[i - 1].1 += n + nl;
+                self.runs.remove(i);
             }
+            (true, false) => self.runs[i - 1].1 += n,
+            (false, true) => self.runs[i] = (start, n + self.runs[i].1),
+            (false, false) => self.runs.insert(i, (start, n)),
         }
-        if let Some(&sl) = self.runs.get(&end) {
-            self.runs.remove(&end);
-            new_len += sl;
-        }
-        self.runs.insert(new_start, new_len);
     }
 }
 
@@ -262,6 +269,35 @@ impl PhysMemory {
     /// returning the first.
     pub fn alloc_frames(&self, domain: NumaDomain, n: u64) -> Result<Pfn, MemError> {
         assert!(n > 0, "zero-frame allocation");
+        if n == 1 {
+            // Per-packet fast path: reuse one recycled frame box without
+            // the `split_off` heap allocation of the general path.
+            let (pfn, recycled) = {
+                let mut inner = self.alloc.lock();
+                let alloc = inner
+                    .domains
+                    .get_mut(domain.index())
+                    .unwrap_or_else(|| panic!("no such domain {domain}"))
+                    .alloc(1);
+                let pfn = alloc.ok_or(MemError::OutOfMemory { domain, frames: 1 })?;
+                let recycled = inner.recycled.pop();
+                inner.stats.allocs += 1;
+                inner.stats.allocated_frames += 1;
+                inner.stats.peak_frames = inner.stats.peak_frames.max(inner.stats.allocated_frames);
+                (pfn, recycled)
+            };
+            let frame = match recycled {
+                Some(mut f) => {
+                    f.rezero();
+                    f
+                }
+                None => Frame::zeroed(),
+            };
+            let (s, key) = shard_key(pfn.0);
+            let prev = self.shards[s].lock().insert(key, frame);
+            debug_assert!(prev.is_none(), "frame double-allocated");
+            return Ok(pfn);
+        }
         let (pfn, mut pool) = {
             let mut inner = self.alloc.lock();
             let alloc = inner
@@ -297,10 +333,26 @@ impl PhysMemory {
     /// Frees `n` contiguous frames starting at `pfn`.
     pub fn free_frames(&self, pfn: Pfn, n: u64) -> Result<(), MemError> {
         assert!(n > 0, "zero-frame free");
-        if n > 1 {
+        if n == 1 {
+            // Per-packet fast path: no pre-pass, no staging vector.
+            let (s, key) = shard_key(pfn.0);
+            let frame = self.shards[s]
+                .lock()
+                .remove(key)
+                .ok_or(MemError::BadFree(pfn))?;
+            let domain = self.topology.domain_of_pfn(pfn);
+            let mut inner = self.alloc.lock();
+            inner.domains[domain.index()].free(pfn, 1);
+            inner.stats.frees += 1;
+            inner.stats.allocated_frames -= 1;
+            if inner.recycled.len() < RECYCLE_CAP {
+                inner.recycled.push(frame);
+            }
+            return Ok(());
+        }
+        {
             // Pre-check so a bad free of a partially-allocated run frees
-            // nothing at all. A single-frame free (the per-packet case)
-            // needs no pre-pass: `remove` itself detects the bad free.
+            // nothing at all.
             for i in 0..n {
                 let (s, key) = shard_key(pfn.0 + i);
                 if !self.shards[s].lock().contains(key) {
@@ -392,27 +444,52 @@ impl PhysMemory {
     }
 
     /// Copies `len` bytes from `src` to `dst` within physical memory (the
-    /// real data movement behind every shadow-buffer copy). Staged through
-    /// a reused per-thread scratch page so the source and destination
-    /// shards are never locked at once.
+    /// real data movement behind every shadow-buffer copy). Works
+    /// frame-pair by frame-pair, locking the source and destination shards
+    /// together (in shard-index order, so concurrent copies cannot
+    /// deadlock) and moving each contiguous run with one `memcpy` — no
+    /// scratch staging, no second pass over the bytes.
     pub fn copy(&self, src: PhysAddr, dst: PhysAddr, len: usize) -> Result<(), MemError> {
-        thread_local! {
-            static COPY_SCRATCH: RefCell<Vec<u8>> = const { RefCell::new(Vec::new()) };
+        let mut off = 0usize;
+        while off < len {
+            let s_pa = src.add(off as u64);
+            let d_pa = dst.add(off as u64);
+            self.check_bounds(s_pa)?;
+            self.check_bounds(d_pa)?;
+            let si = s_pa.page_offset();
+            let di = d_pa.page_offset();
+            let take = (PAGE_SIZE - si).min(PAGE_SIZE - di).min(len - off);
+            let (ss, sk) = shard_key(s_pa.pfn().0);
+            let (ds, dk) = shard_key(d_pa.pfn().0);
+            if ss == ds {
+                // Both frames live in one shard (or are the same frame):
+                // stage this run through the stack so we never need two
+                // borrows of one table. Rare — shards interleave by pfn.
+                let mut tmp = [0u8; PAGE_SIZE];
+                let mut shard = self.shards[ss].lock();
+                let sf = shard.get(sk).ok_or(MemError::Unallocated(s_pa.pfn()))?;
+                tmp[..take].copy_from_slice(&sf[si..si + take]);
+                let df = shard.get_mut(dk).ok_or(MemError::Unallocated(d_pa.pfn()))?;
+                df.data[di..di + take].copy_from_slice(&tmp[..take]);
+                df.dirty = df.dirty.max(di + take);
+            } else {
+                let mut g_lo = self.shards[ss.min(ds)].lock();
+                let mut g_hi = self.shards[ss.max(ds)].lock();
+                let (src_table, dst_table) = if ss < ds {
+                    (&*g_lo, &mut *g_hi)
+                } else {
+                    (&*g_hi, &mut *g_lo)
+                };
+                let sf = src_table.get(sk).ok_or(MemError::Unallocated(s_pa.pfn()))?;
+                let df = dst_table
+                    .get_mut(dk)
+                    .ok_or(MemError::Unallocated(d_pa.pfn()))?;
+                df.data[di..di + take].copy_from_slice(&sf[si..si + take]);
+                df.dirty = df.dirty.max(di + take);
+            }
+            off += take;
         }
-        COPY_SCRATCH.with(|scratch| {
-            let mut chunk = scratch.borrow_mut();
-            if chunk.len() < PAGE_SIZE {
-                chunk.resize(PAGE_SIZE, 0);
-            }
-            let mut off = 0usize;
-            while off < len {
-                let take = PAGE_SIZE.min(len - off);
-                self.read(src.add(off as u64), &mut chunk[..take])?;
-                self.write(dst.add(off as u64), &chunk[..take])?;
-                off += take;
-            }
-            Ok(())
-        })
+        Ok(())
     }
 
     /// Fills `len` bytes at `pa` with `byte`.

@@ -115,11 +115,17 @@ impl CoreDriver {
         // shadowing happens here).
         stack.engine.unmap(ctx, mapping).expect("dma_unmap");
 
-        // Protocol processing and delivery to userspace.
+        // Protocol processing and delivery to userspace. The three charges
+        // are one burst: the clock advances per charge (virtual-time
+        // ordering unchanged), the breakdown is committed once, before the
+        // profiler scope exits so the depth-1 cut still matches the
+        // registry breakdown cycle for cycle.
         obs::profile::scope(ctx, "deliver", |ctx| {
-            ctx.charge(Phase::RxParsing, ctx.cost.rx_parse);
-            ctx.charge(Phase::CopyUser, ctx.cost.copy_user(completion.len));
-            ctx.charge(Phase::Other, ctx.cost.rx_other);
+            ctx.burst(|ctx, b| {
+                ctx.charge_batch(b, Phase::RxParsing, ctx.cost.rx_parse);
+                ctx.charge_batch(b, Phase::CopyUser, ctx.cost.copy_user(completion.len));
+                ctx.charge_batch(b, Phase::Other, ctx.cost.rx_other);
+            });
         });
 
         if verify {

@@ -232,14 +232,20 @@ impl Obs {
     /// `LockAcquire` *before* taking the underlying lock, so a hook that
     /// blocks here never holds a host lock — the property the model
     /// checker's schedule-controlled executor relies on.
+    #[inline]
     pub fn trace(&self, at: Cycles, core: u16, device: Option<u16>, kind: EventKind) -> u64 {
-        let is_acquire = matches!(kind, EventKind::LockAcquire { .. });
         let security = kind.is_security();
         let name = kind.name();
-        let seq = self.tracer.record(at, core, device, kind.clone());
-        if is_acquire {
+        // Only lock-acquire events need `kind` after recording (for the
+        // yield hook) — every other event moves it straight into the
+        // tracer without a clone.
+        let seq = if matches!(kind, EventKind::LockAcquire { .. }) {
+            let seq = self.tracer.record(at, core, device, kind.clone());
             self.fire_yield_hook(&kind);
-        }
+            seq
+        } else {
+            self.tracer.record(at, core, device, kind)
+        };
         if security && self.flight.armed() {
             flight::dump_now(self, name);
         }

@@ -39,7 +39,7 @@ use crate::json::Json;
 use crate::Obs;
 use simcore::sync::Mutex;
 use simcore::{Breakdown, CoreCtx, Cycles, Phase};
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -92,6 +92,16 @@ struct TaskCtx {
 
 thread_local! {
     static TASK: RefCell<Option<TaskCtx>> = const { RefCell::new(None) };
+    /// Mirror of `TASK.is_some()`. `TaskCtx` holds an `Arc`, so `TASK`
+    /// is a lazily-registered (destructor-tracked) thread-local; this
+    /// plain `Cell<bool>` is const-initialized with no destructor, so
+    /// the pass-through check every instrumented library call makes when
+    /// no profiled task is running costs one thread-local load.
+    static ROOT_OPEN: Cell<bool> = const { Cell::new(false) };
+}
+
+fn set_root_open(open: bool) {
+    ROOT_OPEN.with(|c| c.set(open));
 }
 
 /// Clears the thread's task binding if `task_scope`'s body unwinds, so a
@@ -103,6 +113,7 @@ impl Drop for RootGuard {
         TASK.with(|t| {
             t.borrow_mut().take();
         });
+        set_root_open(false);
     }
 }
 
@@ -372,7 +383,7 @@ pub fn task_scope<R>(
     if !prof.enabled() {
         return f(ctx);
     }
-    if TASK.with(|t| t.borrow().is_some()) {
+    if ROOT_OPEN.with(|c| c.get()) {
         return scope(ctx, label, f);
     }
     let key = Key {
@@ -393,9 +404,11 @@ pub fn task_scope<R>(
             }],
         })
     });
+    set_root_open(true);
     let guard = RootGuard;
     let r = f(ctx);
     std::mem::forget(guard);
+    set_root_open(false);
     let exit = cells(&ctx.breakdown);
     let end = ctx.now();
     if let Some(task) = TASK.with(|t| t.borrow_mut().take()) {
@@ -422,6 +435,9 @@ pub fn task_scope<R>(
 /// shadow pool) calls this unconditionally and only pays when a
 /// profiled task is running above it.
 pub fn scope<R>(ctx: &mut CoreCtx, label: &'static str, f: impl FnOnce(&mut CoreCtx) -> R) -> R {
+    if !ROOT_OPEN.with(|c| c.get()) {
+        return f(ctx);
+    }
     let bound = TASK.with(|t| {
         t.borrow()
             .as_ref()

@@ -27,7 +27,7 @@
 use simcore::sync::Mutex;
 use simcore::Cycles;
 use std::borrow::Cow;
-use std::cell::RefCell;
+use std::cell::Cell;
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -192,25 +192,52 @@ impl fmt::Display for Event {
 /// cause seq is always minted on the same host thread, moments earlier).
 const DECISION_RING: usize = 32;
 
-thread_local! {
-    /// Innermost-last stack of open spans as `(seq, kept)`.
-    static CAUSE_STACK: RefCell<Vec<(u64, bool)>> = const { RefCell::new(Vec::new()) };
+/// Maximum span nesting depth. Spans are opened by structural layering
+/// (a `DmaUnmap` wrapping its invalidation), never recursion, so the
+/// real depth is 1–2; 32 leaves a wide margin.
+const MAX_SPAN_DEPTH: usize = 32;
+
+/// Per-thread span/decision state. All fields are `Cell`s of `Copy`
+/// data so the `thread_local!` is const-initialized with no destructor:
+/// accesses compile to plain thread-local loads/stores, with no
+/// lazy-init or borrow-flag bookkeeping on the per-event hot path
+/// (this sits under every trace record, including sampled-out ones).
+struct SpanTls {
+    /// Number of open spans; `stack[..depth]` are live, innermost last.
+    depth: Cell<usize>,
+    /// Open spans as `(seq, kept)`.
+    stack: [Cell<(u64, bool)>; MAX_SPAN_DEPTH],
     /// Ring of the last [`DECISION_RING`] `(seq, kept)` verdicts.
-    static DECISIONS: RefCell<[(u64, bool); DECISION_RING]> =
-        const { RefCell::new([(u64::MAX, true); DECISION_RING]) };
+    decisions: [Cell<(u64, bool)>; DECISION_RING],
 }
 
-fn note_decision(seq: u64, kept: bool) {
-    DECISIONS.with(|d| d.borrow_mut()[(seq % DECISION_RING as u64) as usize] = (seq, kept));
-}
+impl SpanTls {
+    fn note_decision(&self, seq: u64, kept: bool) {
+        self.decisions[(seq % DECISION_RING as u64) as usize].set((seq, kept));
+    }
 
-/// Whether `seq` was kept when recorded on this thread; unknown (old or
-/// cross-thread) seqs default to kept so chains are never over-pruned.
-fn decision_for(seq: u64) -> bool {
-    DECISIONS.with(|d| {
-        let (s, kept) = d.borrow()[(seq % DECISION_RING as u64) as usize];
+    /// Whether `seq` was kept when recorded on this thread; unknown (old
+    /// or cross-thread) seqs default to kept so chains are never
+    /// over-pruned.
+    fn decision_for(&self, seq: u64) -> bool {
+        let (s, kept) = self.decisions[(seq % DECISION_RING as u64) as usize].get();
         s != seq || kept
-    })
+    }
+
+    fn current_cause_entry(&self) -> Option<(u64, bool)> {
+        let d = self.depth.get();
+        (d > 0).then(|| self.stack[d - 1].get())
+    }
+}
+
+thread_local! {
+    static SPAN_TLS: SpanTls = const {
+        SpanTls {
+            depth: Cell::new(0),
+            stack: [const { Cell::new((u64::MAX, true)) }; MAX_SPAN_DEPTH],
+            decisions: [const { Cell::new((u64::MAX, true)) }; DECISION_RING],
+        }
+    };
 }
 
 /// RAII guard marking the enclosing event as the *cause* of every event
@@ -229,28 +256,31 @@ pub struct SpanGuard {
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
-        CAUSE_STACK.with(|s| {
-            s.borrow_mut().pop();
-        });
+        SPAN_TLS.with(|t| t.depth.set(t.depth.get() - 1));
     }
 }
 
 /// Opens a cause span: events recorded while the guard lives default
 /// their `cause` to `seq` — and inherit `seq`'s sampling verdict, so a
 /// sampled-out head's children are sampled out with it.
+#[inline]
 pub fn span(seq: u64) -> SpanGuard {
-    let kept = decision_for(seq);
-    CAUSE_STACK.with(|s| s.borrow_mut().push((seq, kept)));
+    SPAN_TLS.with(|t| {
+        let kept = t.decision_for(seq);
+        let d = t.depth.get();
+        assert!(
+            d < MAX_SPAN_DEPTH,
+            "trace span nesting exceeded {MAX_SPAN_DEPTH}"
+        );
+        t.stack[d].set((seq, kept));
+        t.depth.set(d + 1);
+    });
     SpanGuard { _priv: () }
 }
 
 /// The innermost open span's event seq, if any.
 pub fn current_cause() -> Option<u64> {
-    CAUSE_STACK.with(|s| s.borrow().last().map(|&(seq, _)| seq))
-}
-
-fn current_cause_entry() -> Option<(u64, bool)> {
-    CAUSE_STACK.with(|s| s.borrow().last().copied())
+    SPAN_TLS.with(|t| t.current_cause_entry().map(|(seq, _)| seq))
 }
 
 #[derive(Debug, Default)]
@@ -332,14 +362,16 @@ impl Tracer {
     /// Records an event, returning its sequence number (usable as the
     /// `cause` of follow-on events). If a [`span`] is open on this host
     /// thread, the event's cause defaults to it.
+    #[inline]
     pub fn record(&self, at: Cycles, core: u16, device: Option<u16>, kind: EventKind) -> u64 {
-        match current_cause_entry() {
-            Some((cause, kept)) => self.push(at, core, device, Some(cause), Some(kept), kind),
-            None => self.push(at, core, device, None, None, kind),
-        }
+        SPAN_TLS.with(|t| match t.current_cause_entry() {
+            Some((cause, kept)) => self.push(t, at, core, device, Some(cause), Some(kept), kind),
+            None => self.push(t, at, core, device, None, None, kind),
+        })
     }
 
     /// Records an event caused by event `cause`.
+    #[inline]
     pub fn record_caused(
         &self,
         at: Cycles,
@@ -348,12 +380,17 @@ impl Tracer {
         cause: u64,
         kind: EventKind,
     ) -> u64 {
-        let kept = decision_for(cause);
-        self.push(at, core, device, Some(cause), Some(kept), kind)
+        SPAN_TLS.with(|t| {
+            let kept = t.decision_for(cause);
+            self.push(t, at, core, device, Some(cause), Some(kept), kind)
+        })
     }
 
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
     fn push(
         &self,
+        tls: &SpanTls,
         at: Cycles,
         core: u16,
         device: Option<u16>,
@@ -378,6 +415,14 @@ impl Tracer {
                     .fetch_add(1, Ordering::Relaxed)
                     .is_multiple_of(period),
             };
+        tls.note_decision(seq, kept);
+        if !kept {
+            // The sampled-out return is the steady-state path under figure
+            // sampling (1 kept chain in 64) — it never touches the ring
+            // lock, and `kind` is dropped here (borrowed `Cow`s, no frees).
+            self.sampled_out.fetch_add(1, Ordering::Relaxed);
+            return seq;
+        }
         // A security event recorded under a sampled-out chain is still
         // retained, but its cause pointer would dangle — strip the link
         // rather than export a seq that is not in the ring.
@@ -386,17 +431,7 @@ impl Tracer {
         } else {
             cause
         };
-        note_decision(seq, kept);
-        if !kept {
-            self.sampled_out.fetch_add(1, Ordering::Relaxed);
-            return seq;
-        }
-        let mut r = self.ring.lock();
-        if r.events.len() == self.capacity {
-            r.events.pop_front();
-            r.dropped += 1;
-        }
-        r.events.push_back(Event {
+        self.push_retained(Event {
             seq,
             at,
             core,
@@ -405,6 +440,18 @@ impl Tracer {
             kind,
         });
         seq
+    }
+
+    /// Ring insertion for a kept event — outlined so the sampled-out fast
+    /// path above stays small enough to inline into the record sites.
+    #[inline(never)]
+    fn push_retained(&self, event: Event) {
+        let mut r = self.ring.lock();
+        if r.events.len() == self.capacity {
+            r.events.pop_front();
+            r.dropped += 1;
+        }
+        r.events.push_back(event);
     }
 
     /// Snapshot of retained events, oldest first.

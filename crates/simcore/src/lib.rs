@@ -39,11 +39,11 @@ pub mod sync;
 mod wire;
 
 pub use breakdown::{Breakdown, Phase};
-pub use clock::CoreCtx;
+pub use clock::{ChargeBatch, CoreCtx};
 pub use cost::{CostModel, MemcpyFlavor};
 pub use cycles::{CoreId, Cycles, Gbps};
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use lock::{LockStats, SimLock};
 pub use rng::SimRng;
-pub use sched::{CoreTask, MultiCoreSim, StepOutcome};
+pub use sched::{CoreTask, MultiCoreSim, StepOutcome, TimingWheel};
 pub use wire::Wire;

@@ -72,6 +72,7 @@ impl SimLock {
     ///
     /// Panics if the lock is already held (no recursion: the code under
     /// simulation never self-deadlocks, so this indicates a harness bug).
+    #[inline]
     pub fn lock(&self, ctx: &mut CoreCtx) -> Cycles {
         assert!(
             !self.held.load(Ordering::Relaxed),
@@ -98,6 +99,7 @@ impl SimLock {
     /// # Panics
     ///
     /// Panics if the lock is not held.
+    #[inline]
     pub fn unlock(&self, ctx: &mut CoreCtx) {
         assert!(
             self.held.swap(false, Ordering::Relaxed),
@@ -112,6 +114,7 @@ impl SimLock {
     }
 
     /// Runs `f` with the lock held, releasing it afterwards.
+    #[inline]
     pub fn with<R>(&self, ctx: &mut CoreCtx, f: impl FnOnce(&mut CoreCtx) -> R) -> R {
         self.lock(ctx);
         let r = f(ctx);
@@ -122,6 +125,7 @@ impl SimLock {
     /// Like [`SimLock::with`], but also returns the cycles this
     /// acquisition spent spinning — the per-acquisition figure contention
     /// tracing must attribute to the calling site.
+    #[inline]
     pub fn with_spin<R>(
         &self,
         ctx: &mut CoreCtx,

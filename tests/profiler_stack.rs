@@ -25,10 +25,18 @@ fn quick_cfg() -> ExpConfig {
 
 #[test]
 fn profile_depth1_cut_is_byte_identical_to_breakdown() {
+    // The RX deliver block and the deferred flusher burst-charge
+    // (`CoreCtx::charge_batch`), so LinuxDefer here asserts the depth-1
+    // cut stays cycle-identical with attribution committed per burst
+    // rather than per charge.
     let obs = Obs::with_trace_capacity(1 << 14);
     obs.profiler().set_enabled(true);
     let cfg = quick_cfg();
-    for kind in [EngineKind::Copy, EngineKind::IdentityPlus] {
+    for kind in [
+        EngineKind::Copy,
+        EngineKind::IdentityPlus,
+        EngineKind::LinuxDefer,
+    ] {
         let stack = SimStack::with_obs(kind, &cfg, obs.clone());
         tcp_stream_rx_on(&stack, &cfg);
     }
@@ -37,10 +45,11 @@ fn profile_depth1_cut_is_byte_identical_to_breakdown() {
     for p in Phase::ALL {
         assert_eq!(cut.get(p), merged.get(p), "phase '{}'", p.label());
     }
-    // Both engines left distinct trees.
+    // Each engine left a distinct tree.
     let engines = obs.profiler().snapshot().engines();
     assert!(engines.contains(&"copy".to_string()), "{engines:?}");
     assert!(engines.contains(&"identity+".to_string()), "{engines:?}");
+    assert!(engines.contains(&"defer".to_string()), "{engines:?}");
 }
 
 #[test]
