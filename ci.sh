@@ -6,10 +6,14 @@ cargo build --release --workspace --all-targets
 cargo test -q --workspace
 cargo test -q --workspace --features dmasan-strict
 # Lint, split like the workflow: the fast style pass first (cheap,
-# pre-commit-friendly), then the full pass (protocol typestate checker,
-# lock-order, unsafe audit) with the machine-readable report artifact.
+# pre-commit-friendly), then the full pass (interprocedural protocol
+# typestate checker, device-taint, lock-order, unsafe audit, dead-waiver)
+# with the machine-readable report artifact. The full pass carries a
+# wall-clock budget: if the summary/taint machinery ever makes the lint
+# slow enough to discourage running it, that is a CI failure, not a
+# shrug.
 cargo run -q --bin lint -- --fast
-cargo run -q --bin lint -- --json target/lint_report.json
+cargo run -q --bin lint -- --json target/lint_report.json --budget-ms 60000
 # Bounded model checking: prove the strict strategies hold the protection
 # invariant within bounds and replay the committed deferred-invalidation
 # counterexample. Deterministic (fixed bounds, no wall clock).

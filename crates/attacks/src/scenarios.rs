@@ -1,7 +1,6 @@
 //! The attack scenarios.
 
 // lint: allow(panic) — attack rigs panic on broken simulation invariants, not recoverable errors
-// lint: allow(use-after-unmap) — attacks deliberately replay stale IOVAs after dma_unmap to probe the window
 
 use devices::MaliciousDevice;
 use dma_api::{Bus, DmaBuf, DmaDirection};
@@ -167,9 +166,13 @@ pub fn deferred_window_overwrite(kind: EngineKind) -> AttackReport {
 
     // A legitimate packet arrives (warming the IOTLB), the driver unmaps,
     // and the OS inspects the now-owned buffer ("firewall approves it").
+    // The attacker snapshots the IOVA while the mapping is live — after
+    // `dma_unmap` only this stale number remains, exactly what a malicious
+    // device would replay through the not-yet-flushed IOTLB entry.
     let evil = attacker(&stack);
     let legit = vec![0x11u8; 1500];
-    evil.try_write(mapping.iova.get(), &legit)
+    let stale_iova = mapping.iova.get();
+    evil.try_write(stale_iova, &legit)
         .expect("legitimate delivery through live mapping");
     stack.engine.unmap(&mut ctx, mapping).expect("dma_unmap");
     let inspected = stack.mem.read_vec(buf, 1500).expect("OS reads buffer");
@@ -177,14 +180,14 @@ pub fn deferred_window_overwrite(kind: EngineKind) -> AttackReport {
 
     // ATTACK: rewrite the packet after inspection, before the flush timer.
     let malicious = vec![0x66u8; 1500];
-    let (write, verdict) = evil.attempt_write(mapping.iova.get(), &malicious);
+    let (write, verdict) = evil.attempt_write(stale_iova, &malicious);
     let after = stack.mem.read_vec(buf, 1500).expect("OS re-reads buffer");
     let corrupted = after == malicious;
     let _ = write;
 
     // Close the window; afterwards the write must always fail.
     stack.engine.flush_deferred(&mut ctx);
-    let late = evil.try_write(mapping.iova.get(), &malicious);
+    let late = evil.try_write(stale_iova, &malicious);
     let late_corrupted = stack.mem.read_vec(buf, 1500).expect("read") == malicious && !corrupted;
     AttackReport {
         attack: "deferred-window overwrite",
@@ -212,8 +215,11 @@ pub fn use_after_free_corruption(kind: EngineKind) -> AttackReport {
         .engine
         .map(&mut ctx, DmaBuf::new(buf, 1500), DmaDirection::FromDevice)
         .expect("dma_map");
+    // As above: the stale IOVA is captured while the mapping is live; the
+    // post-unmap scribble replays the raw number, not the dead handle.
     let evil = attacker(&stack);
-    evil.try_write(mapping.iova.get(), &vec![0x22u8; 1500])
+    let stale_iova = mapping.iova.get();
+    evil.try_write(stale_iova, &vec![0x22u8; 1500])
         .expect("legitimate delivery");
     stack.engine.unmap(&mut ctx, mapping).expect("dma_unmap");
 
@@ -226,7 +232,7 @@ pub fn use_after_free_corruption(kind: EngineKind) -> AttackReport {
     stack.mem.write(critical, object).expect("init object");
 
     // ATTACK: scribble through the stale window (within the "10 us").
-    let (_, verdict) = evil.attempt_write(mapping.iova.get(), &vec![0x99u8; 1500]);
+    let (_, verdict) = evil.attempt_write(stale_iova, &vec![0x99u8; 1500]);
     let after = stack
         .mem
         .read_vec(critical, object.len())

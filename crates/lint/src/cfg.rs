@@ -107,6 +107,16 @@ fn parse_group(tokens: &[Token], i: &mut usize, closer: Option<&str>) -> Vec<Tre
     out
 }
 
+/// One parameter of an extracted function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Param {
+    /// The binding name (`self` for receivers; pattern parameters take
+    /// their first identifier).
+    pub name: String,
+    /// The parameter is taken by reference (`&T`, `&mut T`, `&self`).
+    pub by_ref: bool,
+}
+
 /// One extracted function body.
 #[derive(Debug)]
 pub struct Function {
@@ -114,8 +124,63 @@ pub struct Function {
     pub name: String,
     /// 1-indexed line of the `fn` keyword.
     pub line: usize,
+    /// The declared parameters, in order (receiver included).
+    pub params: Vec<Param>,
     /// The `{…}` body children.
     pub body: Vec<Tree>,
+}
+
+/// Parses a signature group's children into parameters. Each parameter is
+/// `pat: Type` (or a bare receiver); the binding name is the first
+/// identifier after any `&`/`mut` prefix, and `by_ref` records whether the
+/// *type* side starts with `&` (receivers: whether the receiver does).
+fn parse_params(children: &[Tree]) -> Vec<Param> {
+    let mut out = Vec::new();
+    for arg in split_top_level_commas(children) {
+        if arg.is_empty() {
+            continue;
+        }
+        // Receiver forms: `self`, `&self`, `&mut self`, `mut self`.
+        let colon = arg.iter().position(|t| t.is_punct(":"));
+        let by_ref = match colon {
+            // `&'a mut Type` — a reference type after the colon.
+            Some(c) => arg.get(c + 1).is_some_and(|t| t.is_punct("&")),
+            None => arg.first().is_some_and(|t| t.is_punct("&")),
+        };
+        let pat = match colon {
+            Some(c) => &arg[..c],
+            None => arg,
+        };
+        let name = pat
+            .iter()
+            .filter_map(|t| match t {
+                Tree::Tok(tok) if tok.is_ident && tok.text != "mut" => Some(tok.text.clone()),
+                _ => None,
+            })
+            .next()
+            .unwrap_or_default();
+        if !name.is_empty() {
+            out.push(Param { name, by_ref });
+        }
+    }
+    out
+}
+
+/// Splits a tree slice at top-level commas (shared by parameter parsing
+/// and call-argument splitting).
+pub fn split_top_level_commas(children: &[Tree]) -> Vec<&[Tree]> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    for (k, t) in children.iter().enumerate() {
+        if t.is_punct(",") {
+            out.push(&children[start..k]);
+            start = k + 1;
+        }
+    }
+    if start < children.len() {
+        out.push(&children[start..]);
+    }
+    out
 }
 
 /// Extracts every function with a body from `trees`, recursing into brace
@@ -139,9 +204,13 @@ fn walk_functions(prep: &Prep, trees: &[Tree], out: &mut Vec<Function>) {
                 .unwrap_or("")
                 .to_string();
             // Scan forward for the body brace group; a `;` first means a
-            // trait-method declaration with no body.
+            // trait-method declaration with no body. The first `(` group
+            // on the way is the parameter list (return-type parentheses
+            // only appear after it).
             let mut j = i + 2;
             let mut body = None;
+            let mut params = Vec::new();
+            let mut saw_params = false;
             while j < trees.len() {
                 match &trees[j] {
                     Tree::Group {
@@ -151,6 +220,15 @@ fn walk_functions(prep: &Prep, trees: &[Tree], out: &mut Vec<Function>) {
                     } => {
                         body = Some(children.clone());
                         break;
+                    }
+                    Tree::Group {
+                        delim: '(',
+                        children,
+                        ..
+                    } if !saw_params => {
+                        saw_params = true;
+                        params = parse_params(children);
+                        j += 1;
                     }
                     t if t.is_punct(";") => break,
                     _ => j += 1,
@@ -164,6 +242,7 @@ fn walk_functions(prep: &Prep, trees: &[Tree], out: &mut Vec<Function>) {
                     out.push(Function {
                         name,
                         line: fn_line,
+                        params,
                         body,
                     });
                 }
@@ -581,6 +660,24 @@ mod tests {
             .map(|f| f.name)
             .collect();
         assert_eq!(names, ["with_default"]);
+    }
+
+    #[test]
+    fn signatures_yield_named_params_with_ref_flags() {
+        let src = "impl S {\n    fn m(&self, ctx: &mut C, m: M, n: usize) -> R { x }\n}\nfn free(mut a: A, b: &B) {}\n";
+        let p = prep("x.rs", src);
+        let trees = build_trees(&tokenize(&p.blank));
+        let fns = extract_functions(&p, &trees);
+        let m = fns.iter().find(|f| f.name == "m").expect("method");
+        let names: Vec<&str> = m.params.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, ["self", "ctx", "m", "n"]);
+        let refs: Vec<bool> = m.params.iter().map(|p| p.by_ref).collect();
+        assert_eq!(refs, [true, true, false, false]);
+        let free = fns.iter().find(|f| f.name == "free").expect("free fn");
+        assert_eq!(free.params[0].name, "a");
+        assert!(!free.params[0].by_ref);
+        assert_eq!(free.params[1].name, "b");
+        assert!(free.params[1].by_ref);
     }
 
     #[test]

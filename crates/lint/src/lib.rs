@@ -16,42 +16,61 @@
 //!    instrumented lock site, builds the nested-acquisition graph, and
 //!    flags cycles; the site inventory feeds the model checker's
 //!    `known_locks`.
-//! 3. **DMA-API protocol** ([`rules::protocol`], [`typestate`]) — a
-//!    typestate dataflow over each function's CFG tracking DMA handles
+//! 3. **DMA-API protocol, interprocedural** ([`rules::protocol`],
+//!    [`typestate`], [`callgraph`], [`summary`]) — a typestate dataflow
+//!    over each function's CFG tracking DMA handles
 //!    (`Unmapped → Mapped → SyncedForCpu → Unmapped`): use-after-unmap,
 //!    leak-on-exit, double-unmap, sync-before-cpu-read — the static
-//!    mirror of dmasan's runtime rules.
-//! 4. **Unsafe audit** ([`rules::unsafe_audit`]) — every `unsafe` must
+//!    mirror of dmasan's runtime rules. A workspace call graph feeds
+//!    bottom-up per-function effect summaries (computed over SCCs with a
+//!    fixpoint for recursion), so handles passed to, returned from, or
+//!    unmapped inside helpers are checked at call sites; handles the
+//!    lattice genuinely loses become structured escape notes.
+//! 4. **Device taint** ([`taint`]) — values read off device-writable
+//!    mapped buffers flowing into an index, loop bound, accessor length,
+//!    or `PhysAddr` arithmetic without a bounds check.
+//! 5. **Unsafe audit** ([`rules::unsafe_audit`]) — every `unsafe` must
 //!    carry a `// SAFETY:` comment; the inventory (plus which crates
 //!    `#![forbid(unsafe_code)]`) is exported like the lock-order report.
 //!
 //! Every rule is waiver-compatible (`// lint: allow(<rule>) — <reason>`,
-//! reason mandatory) and the runner exits 0 (clean) / 1 (findings) /
+//! reason mandatory) — and waivers are themselves audited: a reasoned
+//! waiver whose rule no longer finds anything unfiltered is a
+//! `dead-waiver` finding. The runner exits 0 (clean) / 1 (findings) /
 //! 2 (scan failure) as before. Run via `cargo run --bin lint`
 //! (`--fast` for style-only, `--json <path>` for the machine-readable
-//! report).
+//! report, `--budget-ms <n>` to fail on blown wall clock).
 #![forbid(unsafe_code)]
 
 use std::fs;
 use std::path::{Path, PathBuf};
 
+pub mod callgraph;
 pub mod cfg;
 pub mod lexer;
 pub mod report;
 pub mod rules;
+pub mod summary;
+pub mod taint;
 pub mod typestate;
 
+pub use callgraph::{build_workspace_graph, CallGraph, FnNode};
 pub use lexer::{aligned_views, strip_code, test_region_mask, Prep};
 pub use report::{json_report, rule_summary, LintViolation};
 pub use rules::lock_order::{lock_order_analysis, LockEdge, LockOrderReport, LockSite};
+pub use rules::protocol::{EscapeExport, ProtocolAnalysis};
 pub use rules::style::{lint_manifest, lint_source, FileContext};
 pub use rules::unsafe_audit::{unsafe_audit_analysis, UnsafeReport, UnsafeSite};
 pub use rules::{has_rule_waiver, IO_WAIVER, PANIC_WAIVER, RELAXED_WAIVER};
-pub use typestate::Finding;
+pub use summary::{FnSummary, ParamEffect, RetEffect};
+pub use taint::TaintStats;
+pub use typestate::{EscapeKind, EscapeNote, Finding, InterCtx};
 
 /// Every rule the workspace lint can emit, for the per-rule summary.
-pub const ALL_RULES: [&str; 11] = [
+pub const ALL_RULES: [&str; 13] = [
     "ambient-io",
+    "dead-waiver",
+    "device-taint",
     "double-unmap",
     "external-dep",
     "leak-on-exit",
@@ -97,10 +116,36 @@ pub enum Pass {
     Full,
 }
 
+/// A full workspace scan: the violations the build gates on, plus (for
+/// `Pass::Full`) the interprocedural analysis product the JSON report
+/// exports next to the lock-order and unsafe inventories.
+#[derive(Debug, Default)]
+pub struct WorkspaceReport {
+    /// Waiver-filtered violations across every file and manifest.
+    pub violations: Vec<LintViolation>,
+    /// Call graph, summaries, escapes, and taint stats (`Pass::Full` only).
+    pub protocol: Option<ProtocolAnalysis>,
+}
+
+/// Tallies unfiltered findings per rule for dead-waiver detection.
+fn raw_rule_counts<'a>(
+    rules_iter: impl IntoIterator<Item = &'a str>,
+) -> std::collections::BTreeMap<&'static str, usize> {
+    let mut counts = std::collections::BTreeMap::new();
+    for rule in rules_iter {
+        // Rule names are interned `&'static str`s; match back onto the table.
+        if let Some(r) = ALL_RULES.iter().find(|r| **r == rule) {
+            *counts.entry(*r).or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
 /// Lints the whole workspace rooted at `root`: every member crate's
 /// sources and manifest, plus the root manifest. `Pass::Full` adds the
-/// lock-order, protocol, and unsafe passes.
-pub fn lint_workspace_pass(root: &Path, pass: Pass) -> std::io::Result<Vec<LintViolation>> {
+/// lock-order, interprocedural protocol, device-taint, unsafe, and
+/// dead-waiver passes.
+pub fn lint_workspace_report(root: &Path, pass: Pass) -> std::io::Result<WorkspaceReport> {
     let mut out = Vec::new();
     let label = |p: &Path| {
         p.strip_prefix(root)
@@ -108,6 +153,20 @@ pub fn lint_workspace_pass(root: &Path, pass: Pass) -> std::io::Result<Vec<LintV
             .display()
             .to_string()
             .replace('\\', "/")
+    };
+    // The interprocedural context is built once over the whole workspace
+    // so per-file protocol checks can resolve cross-file helper calls.
+    let mut analysis = if pass == Pass::Full {
+        let graph = build_workspace_graph(root)?;
+        let summaries = summary::compute(&graph);
+        Some(ProtocolAnalysis {
+            graph,
+            summaries,
+            escapes: Vec::new(),
+            taint: TaintStats::default(),
+        })
+    } else {
+        None
     };
     for member in member_crates(root)? {
         let crate_name = member
@@ -136,9 +195,38 @@ pub fn lint_workspace_pass(root: &Path, pass: Pass) -> std::io::Result<Vec<LintV
             let p = lexer::prep(&rel, &src);
             out.extend(rules::style::check_prepped(&p, &src, ctx));
             if pass == Pass::Full {
-                out.extend(rules::protocol::check(&p, &src, ctx));
+                let ic = analysis.as_ref().map(|a| InterCtx {
+                    graph: &a.graph,
+                    summaries: &a.summaries,
+                });
+                let fp = rules::protocol::check_file(&p, &src, ctx, ic.as_ref());
                 let sites = rules::unsafe_audit::scan_file(&p, &src);
                 out.extend(rules::unsafe_audit::violations(&sites, &src));
+                // Dead waivers: compare the file's waivers against what the
+                // *unfiltered* passes found (waivers read from the `src`
+                // argument, so an empty one disables filtering).
+                let mut raw: Vec<&str> = rules::style::check_prepped(&p, "", ctx)
+                    .iter()
+                    .map(|v| v.rule)
+                    .chain(fp.raw.iter().map(|f| f.rule))
+                    .chain(
+                        rules::unsafe_audit::violations(&sites, "")
+                            .iter()
+                            .map(|v| v.rule),
+                    )
+                    .collect();
+                raw.sort_unstable();
+                out.extend(rules::dead_waivers(&rel, &src, ctx, &raw_rule_counts(raw)));
+                if let Some(a) = analysis.as_mut() {
+                    a.escapes.extend(fp.escapes.into_iter().map(|note| {
+                        rules::protocol::EscapeExport {
+                            file: rel.clone(),
+                            note,
+                        }
+                    }));
+                    a.taint.absorb(fp.taint);
+                }
+                out.extend(fp.violations);
             }
         }
         // Integration tests and benches: ambient-I/O discipline only.
@@ -156,7 +244,16 @@ pub fn lint_workspace_pass(root: &Path, pass: Pass) -> std::io::Result<Vec<LintV
                     aux: true,
                     ..Default::default()
                 };
-                out.extend(lint_source(&label(f), &src, ctx));
+                let rel = label(f);
+                out.extend(lint_source(&rel, &src, ctx));
+                if pass == Pass::Full {
+                    let p = lexer::prep(&rel, &src);
+                    let raw: Vec<&str> = rules::style::check_prepped(&p, "", ctx)
+                        .iter()
+                        .map(|v| v.rule)
+                        .collect();
+                    out.extend(rules::dead_waivers(&rel, &src, ctx, &raw_rule_counts(raw)));
+                }
             }
         }
     }
@@ -167,7 +264,16 @@ pub fn lint_workspace_pass(root: &Path, pass: Pass) -> std::io::Result<Vec<LintV
     if pass == Pass::Full {
         out.extend(lock_order_analysis(root)?.cycle_violations());
     }
-    Ok(out)
+    Ok(WorkspaceReport {
+        violations: out,
+        protocol: analysis,
+    })
+}
+
+/// Lints the workspace and returns the gating violations only (the
+/// historical shape; see [`lint_workspace_report`] for the analysis too).
+pub fn lint_workspace_pass(root: &Path, pass: Pass) -> std::io::Result<Vec<LintViolation>> {
+    Ok(lint_workspace_report(root, pass)?.violations)
 }
 
 /// Lints the whole workspace with every pass enabled (the historical

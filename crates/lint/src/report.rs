@@ -5,7 +5,9 @@ use std::collections::BTreeMap;
 use obs::json::Json;
 
 use crate::rules::lock_order::LockOrderReport;
+use crate::rules::protocol::ProtocolAnalysis;
 use crate::rules::unsafe_audit::UnsafeReport;
+use crate::summary::RetEffect;
 
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,13 +46,127 @@ pub fn rule_summary(violations: &[LintViolation]) -> BTreeMap<&'static str, usiz
     counts
 }
 
+/// The `call_graph`, `summaries`, `escapes`, and `taint_analysis`
+/// sections of the JSON report, from a full scan's interprocedural
+/// product. Summaries are exported only when DMA-relevant — a parameter
+/// with an unmap or sync effect, a fresh-mapped return, or a device-data
+/// read — so the report stays proportional to the DMA surface, not the
+/// workspace size (plain escape/return facts exist for nearly every
+/// function and are only interesting to the checker itself).
+fn protocol_sections(analysis: &ProtocolAnalysis) -> Vec<(String, Json)> {
+    let g = &analysis.graph;
+    let closures = g.nodes.iter().filter(|n| n.is_closure).count();
+    let edges: usize = g.callees.iter().map(|c| c.len()).sum();
+    let call_graph = Json::Obj(vec![
+        (
+            "functions".into(),
+            Json::UInt((g.nodes.len() - closures) as u64),
+        ),
+        ("closures".into(), Json::UInt(closures as u64)),
+        ("edges".into(), Json::UInt(edges as u64)),
+        (
+            "unknown_calls".into(),
+            Json::UInt(g.unknown_calls.iter().sum::<usize>() as u64),
+        ),
+        ("sccs".into(), Json::UInt(g.sccs().len() as u64)),
+    ]);
+    let param_effects = |s: &crate::summary::FnSummary| {
+        Json::Arr(
+            s.params
+                .iter()
+                .map(|p| {
+                    let mut effects = Vec::new();
+                    for (on, name) in [
+                        (p.must_unmap, "must-unmap"),
+                        (p.may_unmap && !p.must_unmap, "may-unmap"),
+                        (p.syncs_cpu, "syncs-cpu"),
+                        (p.escapes, "escapes"),
+                        (p.returned, "returned"),
+                        (p.uses, "uses"),
+                    ] {
+                        if on {
+                            effects.push(Json::Str(name.to_string()));
+                        }
+                    }
+                    Json::Arr(effects)
+                })
+                .collect(),
+        )
+    };
+    let ret_str = |s: &crate::summary::FnSummary| match &s.ret {
+        RetEffect::NotHandle => "not-handle".to_string(),
+        RetEffect::FreshMapped { dir } => format!("fresh-mapped:{}", dir.name()),
+        RetEffect::Unknown => "unknown".to_string(),
+    };
+    let interesting = |s: &crate::summary::FnSummary| {
+        s.reads_device_data
+            || matches!(s.ret, RetEffect::FreshMapped { .. })
+            || s.params
+                .iter()
+                .any(|p| p.may_unmap || p.must_unmap || p.syncs_cpu)
+    };
+    let summaries = Json::Arr(
+        g.nodes
+            .iter()
+            .zip(&analysis.summaries)
+            .filter(|(_, s)| interesting(s))
+            .map(|(n, s)| {
+                Json::Obj(vec![
+                    ("function".into(), Json::Str(n.name.clone())),
+                    ("file".into(), Json::Str(n.file.clone())),
+                    ("line".into(), Json::UInt(n.line as u64)),
+                    ("params".into(), param_effects(s)),
+                    ("ret".into(), Json::Str(ret_str(s))),
+                    ("reads_device_data".into(), Json::Bool(s.reads_device_data)),
+                    ("converged".into(), Json::Bool(s.converged)),
+                ])
+            })
+            .collect(),
+    );
+    let escapes = Json::Arr(
+        analysis
+            .escapes
+            .iter()
+            .map(|e| {
+                Json::Obj(vec![
+                    ("file".into(), Json::Str(e.file.clone())),
+                    ("function".into(), Json::Str(e.note.function.clone())),
+                    ("line".into(), Json::UInt(e.note.line as u64)),
+                    ("var".into(), Json::Str(e.note.var.clone())),
+                    ("kind".into(), Json::Str(e.note.kind.name().to_string())),
+                    ("detail".into(), Json::Str(e.note.detail.clone())),
+                ])
+            })
+            .collect(),
+    );
+    let taint = Json::Obj(vec![
+        ("sources".into(), Json::UInt(analysis.taint.sources as u64)),
+        (
+            "tainted_vars".into(),
+            Json::UInt(analysis.taint.tainted_vars as u64),
+        ),
+        (
+            "sanitized_vars".into(),
+            Json::UInt(analysis.taint.sanitized_vars as u64),
+        ),
+    ]);
+    vec![
+        ("call_graph".into(), call_graph),
+        ("summaries".into(), summaries),
+        ("escapes".into(), escapes),
+        ("taint_analysis".into(), taint),
+    ]
+}
+
 /// Builds the machine-readable lint report (`lint --json <path>`): the
-/// findings, the per-rule summary, and the exported lock-order and unsafe
-/// inventories.
+/// findings, the per-rule summary, the exported lock-order and unsafe
+/// inventories, and (on a full scan) the interprocedural call-graph,
+/// summary, escape, and taint sections.
 pub fn json_report(
     violations: &[LintViolation],
     locks: &LockOrderReport,
     unsafes: &UnsafeReport,
+    protocol: Option<&ProtocolAnalysis>,
 ) -> Json {
     let viol = |v: &LintViolation| {
         Json::Obj(vec![
@@ -117,7 +233,7 @@ pub fn json_report(
             })
             .collect(),
     );
-    Json::Obj(vec![
+    let mut fields = vec![
         ("tool".into(), Json::Str("lint".to_string())),
         (
             "violations".into(),
@@ -148,7 +264,11 @@ pub fn json_report(
                 ),
             ]),
         ),
-    ])
+    ];
+    if let Some(analysis) = protocol {
+        fields.extend(protocol_sections(analysis));
+    }
+    Json::Obj(fields)
 }
 
 #[cfg(test)]
@@ -185,7 +305,12 @@ mod tests {
             rule: "leak-on-exit",
             detail: "m leaks".into(),
         }];
-        let j = json_report(&v, &LockOrderReport::default(), &UnsafeReport::default());
+        let j = json_report(
+            &v,
+            &LockOrderReport::default(),
+            &UnsafeReport::default(),
+            None,
+        );
         let parsed = Json::parse(&j.encode()).expect("valid json");
         let first = parsed
             .get("violations")
@@ -204,6 +329,60 @@ mod tests {
                 .and_then(|s| s.get("leak-on-exit"))
                 .and_then(Json::as_u64),
             Some(1)
+        );
+        // A fast pass has no interprocedural product, so no such sections.
+        assert!(parsed.get("call_graph").is_none());
+        assert!(parsed.get("taint_analysis").is_none());
+    }
+
+    #[test]
+    fn full_report_exports_interprocedural_sections() {
+        let src = "fn unmap_it(engine: &E, ctx: &mut C, m: Mapping) {\n\
+            engine.unmap(ctx, m).expect(\"u\");\n\
+            }\n";
+        let p = crate::lexer::prep("crates/x/src/lib.rs", src);
+        let graph = crate::callgraph::CallGraph::build(&[(p, "x".to_string())]);
+        let summaries = crate::summary::compute(&graph);
+        let analysis = ProtocolAnalysis {
+            graph,
+            summaries,
+            escapes: Vec::new(),
+            taint: crate::taint::TaintStats {
+                sources: 2,
+                tainted_vars: 3,
+                sanitized_vars: 1,
+            },
+        };
+        let j = json_report(
+            &[],
+            &LockOrderReport::default(),
+            &UnsafeReport::default(),
+            Some(&analysis),
+        );
+        let parsed = Json::parse(&j.encode()).expect("valid json");
+        assert_eq!(
+            parsed
+                .get("call_graph")
+                .and_then(|g| g.get("functions"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+        assert_eq!(
+            parsed
+                .get("taint_analysis")
+                .and_then(|t| t.get("sources"))
+                .and_then(Json::as_u64),
+            Some(2)
+        );
+        // `unmap_it` must-unmaps its third parameter, so it is exported.
+        let summaries = parsed.get("summaries").expect("summaries section");
+        let first = match summaries {
+            Json::Arr(items) => items.first().expect("one summary"),
+            _ => panic!("summaries not an array"),
+        };
+        assert_eq!(
+            first.get("function").and_then(Json::as_str),
+            Some("unmap_it")
         );
     }
 }

@@ -44,6 +44,67 @@ pub fn has_rule_waiver(src: &str, rule: &str) -> bool {
     has_waiver(src, &waiver)
 }
 
+/// The 1-indexed line of the first reasoned waiver for `rule`, if any.
+pub(crate) fn rule_waiver_line(src: &str, rule: &str) -> Option<usize> {
+    let waiver = format!("// lint: allow({rule})");
+    src.lines()
+        .position(|l| {
+            let t = l.trim_start();
+            t.starts_with(&waiver) && t.len() > waiver.len() + 3
+        })
+        .map(|i| i + 1)
+}
+
+/// The waivable rules that actually *execute* for a file in context
+/// `ctx`: the universe dead-waiver detection checks against. A waiver
+/// for a rule that never runs here (e.g. `panic` in a bench) is left
+/// alone — it is inert, not stale evidence.
+pub(crate) fn executed_waivable_rules(ctx: style::FileContext) -> Vec<&'static str> {
+    let mut rules = Vec::new();
+    if !ctx.io_allowed {
+        rules.push("ambient-io");
+    }
+    if ctx.aux {
+        return rules;
+    }
+    rules.push("panic");
+    if !ctx.in_obs {
+        rules.push("relaxed-atomic");
+    }
+    rules.extend(protocol::PROTOCOL_RULES);
+    rules.push("device-taint");
+    rules.push("unsafe-no-safety");
+    rules
+}
+
+/// Reports reasoned waivers that no longer suppress anything: for each
+/// executed waivable rule, a waiver present in `src` while the
+/// *unfiltered* finding count for that rule is zero is itself a finding
+/// (`dead-waiver`), so waivers obsoleted by the interprocedural pass
+/// cannot linger.
+pub(crate) fn dead_waivers(
+    label: &str,
+    src: &str,
+    ctx: style::FileContext,
+    raw_counts: &std::collections::BTreeMap<&'static str, usize>,
+) -> Vec<crate::report::LintViolation> {
+    let mut out = Vec::new();
+    for rule in executed_waivable_rules(ctx) {
+        if raw_counts.get(rule).copied().unwrap_or(0) > 0 {
+            continue;
+        }
+        if let Some(line) = rule_waiver_line(src, rule) {
+            out.push(crate::report::LintViolation {
+                file: label.to_string(),
+                line,
+                rule: "dead-waiver",
+                detail: format!("waiver for `{rule}` no longer suppresses any finding"),
+            });
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,11 +1,23 @@
 //! The DMA-API protocol rule pass: runs the typestate checker
 //! ([`crate::typestate`]) over a prepared file and converts its findings
 //! into waiver-compatible lint violations.
+//!
+//! In a full workspace scan the pass runs **interprocedurally**: the
+//! workspace call graph ([`crate::callgraph`]) and per-function effect
+//! summaries ([`crate::summary`]) resolve helper calls, returned handles,
+//! and closure captures instead of waiving them, and the device-taint
+//! pass ([`crate::taint`]) rides on the same summaries. The assembled
+//! [`ProtocolAnalysis`] is what `lint --json` exports next to the
+//! lock-order and unsafe inventories.
 
+use crate::callgraph::CallGraph;
 use crate::lexer::Prep;
 use crate::report::LintViolation;
 use crate::rules::has_rule_waiver;
 use crate::rules::style::FileContext;
+use crate::summary::FnSummary;
+use crate::taint::TaintStats;
+use crate::typestate::{EscapeNote, Finding, InterCtx};
 
 /// The protocol rule names, in reporting order.
 pub const PROTOCOL_RULES: [&str; 4] = [
@@ -15,24 +27,89 @@ pub const PROTOCOL_RULES: [&str; 4] = [
     "sync-before-cpu-read",
 ];
 
-/// Runs the protocol checker over one prepared file. `src` is the raw
-/// source (for waiver comments). Aux files (`tests/`, `benches/`) are
-/// exempt: protocol discipline is a library-code concern, and test code
-/// deliberately constructs broken sequences to feed dmasan.
-pub fn check(prep: &Prep, src: &str, ctx: FileContext) -> Vec<LintViolation> {
+/// One handle-escape note tagged with its file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EscapeExport {
+    /// Workspace-relative file.
+    pub file: String,
+    /// The note itself.
+    pub note: EscapeNote,
+}
+
+/// The interprocedural analysis product of one full workspace scan: the
+/// call graph, every function's effect summary, the handle-escape notes,
+/// and the device-taint statistics.
+#[derive(Debug, Default)]
+pub struct ProtocolAnalysis {
+    /// The workspace call graph.
+    pub graph: CallGraph,
+    /// Effect summaries, indexed like `graph.nodes`.
+    pub summaries: Vec<FnSummary>,
+    /// Handles that left the typestate lattice, declared not hidden.
+    pub escapes: Vec<EscapeExport>,
+    /// Aggregate taint numbers across the workspace.
+    pub taint: TaintStats,
+}
+
+/// Per-file protocol + taint result, raw and filtered.
+pub struct FileProtocol {
+    /// Waiver-filtered violations (what the build gates on).
+    pub violations: Vec<LintViolation>,
+    /// Unfiltered findings (what dead-waiver detection counts).
+    pub raw: Vec<Finding>,
+    /// Handle-escape notes (interprocedural mode only).
+    pub escapes: Vec<EscapeNote>,
+    /// Taint stats for this file.
+    pub taint: TaintStats,
+}
+
+/// Runs the protocol checker (and, in interprocedural mode, the taint
+/// pass) over one prepared file. `src` is the raw source (for waiver
+/// comments). Aux files (`tests/`, `benches/`) are exempt: protocol
+/// discipline is a library-code concern, and test code deliberately
+/// constructs broken sequences to feed dmasan.
+pub fn check_file(
+    prep: &Prep,
+    src: &str,
+    ctx: FileContext,
+    inter: Option<&InterCtx<'_>>,
+) -> FileProtocol {
     if ctx.aux {
-        return Vec::new();
+        return FileProtocol {
+            violations: Vec::new(),
+            raw: Vec::new(),
+            escapes: Vec::new(),
+            taint: TaintStats::default(),
+        };
     }
-    crate::typestate::check_file(prep)
-        .into_iter()
+    let (mut raw, escapes) = crate::typestate::check_file_inter(prep, inter);
+    let mut taint = TaintStats::default();
+    if let Some(ic) = inter {
+        let (tfindings, tstats) = crate::taint::check_file(prep, Some((ic.graph, ic.summaries)));
+        raw.extend(tfindings);
+        taint = tstats;
+    }
+    let violations = raw
+        .iter()
         .filter(|f| !has_rule_waiver(src, f.rule))
         .map(|f| LintViolation {
             file: prep.label.clone(),
             line: f.line,
             rule: f.rule,
-            detail: f.detail,
+            detail: f.detail.clone(),
         })
-        .collect()
+        .collect();
+    FileProtocol {
+        violations,
+        raw,
+        escapes,
+        taint,
+    }
+}
+
+/// Intraprocedural per-file entry point (the historical signature).
+pub fn check(prep: &Prep, src: &str, ctx: FileContext) -> Vec<LintViolation> {
+    check_file(prep, src, ctx, None).violations
 }
 
 #[cfg(test)]
@@ -81,5 +158,15 @@ mod tests {
         let v = check(&p, uaf, FileContext::default());
         assert_eq!(v.len(), 1, "{v:?}");
         assert_eq!(v[0].rule, "use-after-unmap");
+    }
+
+    #[test]
+    fn waivers_filter_but_raw_findings_remain() {
+        let src = format!("// lint: allow(leak-on-exit) — reasoned waiver here\n{LEAKY}");
+        let p = prep("x.rs", &src);
+        let fp = check_file(&p, &src, FileContext::default(), None);
+        assert!(fp.violations.is_empty(), "{:?}", fp.violations);
+        assert_eq!(fp.raw.len(), 1, "{:?}", fp.raw);
+        assert_eq!(fp.raw[0].rule, "leak-on-exit");
     }
 }

@@ -1,0 +1,604 @@
+//! Per-function DMA-effect summaries, computed bottom-up over the call
+//! graph's SCCs.
+//!
+//! A summary answers, for one function, the only questions the caller's
+//! typestate lattice needs:
+//!
+//! - **per parameter** — may/must the callee unmap a handle passed in
+//!   this slot? does it `sync_for_cpu` it? does the handle *escape*
+//!   (stored, captured, forwarded to an opaque callee) or get returned?
+//! - **return slot** — does the function return a freshly mapped handle
+//!   (and with which direction), so `let h = make_rx(…)` can be tracked
+//!   like a direct `map` call?
+//! - does the function read data back out of a device-writable buffer
+//!   (the taint pass's interprocedural source bit)?
+//!
+//! The parameter lattice is six booleans ordered by implication
+//! (`must_unmap ⇒ may_unmap`, everything `⇒ uses`); the return lattice is
+//! `NotHandle < FreshMapped(dir) < Unknown`. Summaries are computed per
+//! SCC with a fixpoint (callees first, so non-recursive code converges in
+//! one sweep); an SCC that fails to converge within its round cap falls
+//! back to the explicit conservative bottom — every parameter escapes,
+//! return unknown, `converged = false` — rather than an unsound guess.
+//!
+//! `must_unmap` is the one flow-sensitive bit: it runs a tiny dataflow
+//! over the function's CFG (per candidate parameter) asking whether the
+//! handle is unmapped on *every* path reaching the exit, including `?`
+//! error edges — only then may the caller keep tracking the handle as
+//! `Unmapped` (enabling use-after-unmap-through-helper findings) instead
+//! of dropping it from the lattice.
+
+use std::collections::BTreeSet;
+
+use crate::callgraph::{CallGraph, INTRINSICS};
+use crate::cfg::{Cfg, Stmt};
+use crate::typestate::{detect_bind, scan, CallKind, Dir, Ev, READ_METHODS};
+
+/// Effect of a call on the handle passed in one parameter slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ParamEffect {
+    /// The parameter is mentioned at all.
+    pub uses: bool,
+    /// Some path unmaps/frees the handle (directly or transitively).
+    pub may_unmap: bool,
+    /// Every path to the exit unmaps the handle.
+    pub must_unmap: bool,
+    /// Some path calls `sync_for_cpu` on the handle.
+    pub syncs_cpu: bool,
+    /// The handle is stored, captured by a closure, or forwarded to an
+    /// opaque callee: the caller must stop tracking it.
+    pub escapes: bool,
+    /// The handle is returned to the caller (in `return`/tail position).
+    pub returned: bool,
+}
+
+/// What the function's return slot carries, handle-wise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RetEffect {
+    /// Provably not a DMA handle (unit, counters, …) — the bottom.
+    #[default]
+    NotHandle,
+    /// Every return path ends in a fresh `map`/`alloc_coherent` (or a
+    /// callee that provably does): callers may track the binding.
+    FreshMapped { dir: Dir },
+    /// Anything else: possibly a handle, not provably fresh.
+    Unknown,
+}
+
+/// One function's DMA-effect summary, indexed like `CallGraph::nodes`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnSummary {
+    /// Per-parameter effects (receiver included at slot 0).
+    pub params: Vec<ParamEffect>,
+    /// Return-slot effect.
+    pub ret: RetEffect,
+    /// Reads CPU-visible data out of a `FromDevice`/`Bidirectional`
+    /// mapping: a device-taint source.
+    pub reads_device_data: bool,
+    /// `false` when the SCC fixpoint hit its round cap and this summary
+    /// is the conservative fallback.
+    pub converged: bool,
+}
+
+impl FnSummary {
+    fn bottom(nparams: usize) -> FnSummary {
+        FnSummary {
+            params: vec![ParamEffect::default(); nparams],
+            ret: RetEffect::NotHandle,
+            reads_device_data: false,
+            converged: true,
+        }
+    }
+
+    fn conservative(nparams: usize) -> FnSummary {
+        FnSummary {
+            params: vec![
+                ParamEffect {
+                    uses: true,
+                    escapes: true,
+                    ..Default::default()
+                };
+                nparams
+            ],
+            ret: RetEffect::Unknown,
+            reads_device_data: false,
+            converged: false,
+        }
+    }
+}
+
+/// Where a call site leads, for summary purposes.
+enum Res {
+    /// Exactly one workspace function: apply its summary.
+    Known(usize),
+    /// Unresolved, ambiguous, path-qualified, or a DMA/read intrinsic:
+    /// treat a handle argument as escaping.
+    Opaque,
+}
+
+fn resolve_site(graph: &CallGraph, name: &str, method: bool, qualified: bool, argc: usize) -> Res {
+    if qualified || INTRINSICS.contains(&name) || READ_METHODS.contains(&name) {
+        return Res::Opaque;
+    }
+    match graph.resolve(name, method, argc)[..] {
+        [id] => Res::Known(id),
+        _ => Res::Opaque,
+    }
+}
+
+/// Computes summaries for every node, callees before callers.
+pub fn compute(graph: &CallGraph) -> Vec<FnSummary> {
+    let cfgs: Vec<Cfg> = graph.nodes.iter().map(|n| Cfg::build(&n.body)).collect();
+    let mut sums: Vec<FnSummary> = graph
+        .nodes
+        .iter()
+        .map(|n| FnSummary::bottom(n.params.len()))
+        .collect();
+    for scc in graph.sccs() {
+        let cap = 3 * scc.len() + 3;
+        let mut rounds = 0;
+        loop {
+            let mut changed = false;
+            for &id in &scc {
+                let next = summarize_one(graph, &cfgs[id], id, &sums);
+                if next != sums[id] {
+                    sums[id] = next;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+            rounds += 1;
+            if rounds >= cap {
+                for &id in &scc {
+                    sums[id] = FnSummary::conservative(graph.nodes[id].params.len());
+                }
+                break;
+            }
+        }
+    }
+    sums
+}
+
+/// Every statement in a CFG, with its events, in block order.
+fn stmt_events(cfg: &Cfg) -> Vec<(&Stmt, Vec<Ev>)> {
+    let mut out = Vec::new();
+    for b in &cfg.blocks {
+        let Some(stmt) = &b.stmt else { continue };
+        if stmt.trees.first().is_some_and(|t| t.is_ident("fn")) {
+            continue; // nested fn item: its own node
+        }
+        let mut evs = Vec::new();
+        scan(&stmt.trees, false, &mut evs);
+        out.push((stmt, evs));
+    }
+    out
+}
+
+fn summarize_one(graph: &CallGraph, cfg: &Cfg, id: usize, sums: &[FnSummary]) -> FnSummary {
+    let node = &graph.nodes[id];
+    let mut s = FnSummary::bottom(node.params.len());
+    let slot_of = |name: &str| node.params.iter().position(|p| p.name == name);
+    let stmts = stmt_events(cfg);
+
+    // Device-writable buffers bound in this body (taint sources).
+    let mut device_bufs: BTreeSet<String> = BTreeSet::new();
+    for (stmt, _) in &stmts {
+        if let Some(b) = detect_bind(&stmt.trees, None) {
+            if b.dir.needs_cpu_sync() {
+                if let Some(buf) = b.buf {
+                    device_bufs.insert(buf);
+                }
+            }
+        }
+    }
+
+    // Phase A: flow-insensitive flags per parameter.
+    for (stmt, evs) in &stmts {
+        let ret_pos = stmt.is_return || stmt.is_tail;
+        for ev in evs {
+            match ev {
+                Ev::Call { kind, args, .. } => {
+                    for a in args {
+                        let Some(k) = slot_of(a) else { continue };
+                        s.params[k].uses = true;
+                        match kind {
+                            CallKind::Unmap => s.params[k].may_unmap = true,
+                            CallKind::SyncCpu => s.params[k].syncs_cpu = true,
+                            CallKind::Map | CallKind::SyncDev => {}
+                        }
+                    }
+                }
+                Ev::Proj { var, .. } => {
+                    if let Some(k) = slot_of(var) {
+                        s.params[k].uses = true;
+                    }
+                }
+                Ev::Read { head, .. } => {
+                    for h in head {
+                        if let Some(k) = slot_of(h) {
+                            s.params[k].uses = true;
+                        }
+                    }
+                    if head.iter().any(|h| device_bufs.contains(h)) {
+                        s.reads_device_data = true;
+                    }
+                }
+                Ev::UserCall {
+                    name,
+                    method,
+                    qualified,
+                    args,
+                    ..
+                } => {
+                    for (i, arg) in args.iter().enumerate() {
+                        let Some(a) = arg else { continue };
+                        let Some(k) = slot_of(a) else { continue };
+                        s.params[k].uses = true;
+                        match resolve_site(graph, name, *method, *qualified, args.len()) {
+                            Res::Known(callee) => {
+                                let slot = i + usize::from(*method);
+                                let ce =
+                                    sums[callee]
+                                        .params
+                                        .get(slot)
+                                        .copied()
+                                        .unwrap_or(ParamEffect {
+                                            uses: true,
+                                            escapes: true,
+                                            ..Default::default()
+                                        });
+                                s.params[k].may_unmap |= ce.may_unmap || ce.must_unmap;
+                                s.params[k].syncs_cpu |= ce.syncs_cpu;
+                                s.params[k].escapes |= ce.escapes || ce.returned;
+                            }
+                            Res::Opaque => {
+                                if ret_pos {
+                                    s.params[k].returned = true;
+                                } else {
+                                    s.params[k].escapes = true;
+                                }
+                            }
+                        }
+                    }
+                }
+                Ev::ClosureCapture { vars, .. } => {
+                    for v in vars {
+                        if let Some(k) = slot_of(v) {
+                            s.params[k].uses = true;
+                            s.params[k].escapes = true;
+                        }
+                    }
+                }
+                Ev::Bare { var } => {
+                    if let Some(k) = slot_of(var) {
+                        s.params[k].uses = true;
+                        if ret_pos {
+                            s.params[k].returned = true;
+                        } else {
+                            s.params[k].escapes = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Phase A: return-slot effect, joined over all return-position stmts.
+    for (stmt, _) in &stmts {
+        if !(stmt.is_return || stmt.is_tail) {
+            continue;
+        }
+        let mut trees = &stmt.trees[..];
+        if trees.first().is_some_and(|t| t.is_ident("return")) {
+            trees = &trees[1..];
+        }
+        if trees.is_empty() {
+            continue; // bare `return` / empty tail: no value
+        }
+        s.ret = join_ret(s.ret, ret_effect_of(trees, graph, sums));
+    }
+
+    // Phase B: must_unmap per candidate parameter (flow-sensitive).
+    for k in 0..s.params.len() {
+        let e = s.params[k];
+        if e.may_unmap && !e.escapes && !e.returned {
+            let name = node.params[k].name.clone();
+            s.params[k].must_unmap = param_must_unmap(graph, cfg, &stmts, &name, sums);
+        }
+    }
+    s
+}
+
+fn join_ret(a: RetEffect, b: RetEffect) -> RetEffect {
+    match (a, b) {
+        (RetEffect::NotHandle, x) | (x, RetEffect::NotHandle) => x,
+        (RetEffect::FreshMapped { dir: d1 }, RetEffect::FreshMapped { dir: d2 }) => {
+            RetEffect::FreshMapped {
+                dir: if d1 == d2 { d1 } else { Dir::Unknown },
+            }
+        }
+        _ => RetEffect::Unknown,
+    }
+}
+
+/// The return effect of one return-position expression: `FreshMapped`
+/// when it *ends* with a recognized map call (modulo `?`/`.unwrap()`/
+/// `.expect(…)`) or a uniquely-resolved callee that provably returns one;
+/// `Unknown` otherwise.
+fn ret_effect_of(trees: &[crate::cfg::Tree], graph: &CallGraph, sums: &[FnSummary]) -> RetEffect {
+    match crate::typestate::tail_call_effect(trees, graph, sums) {
+        Some(eff) => eff,
+        None => RetEffect::Unknown,
+    }
+}
+
+/// Per-parameter lattice for the must-unmap dataflow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PSt {
+    /// Unreached.
+    Bot,
+    /// Still tracked; bitset of {MAPPED, UNMAPPED} path facts.
+    Bits(u8),
+    /// Escaped / moved / returned on some path: give up.
+    Gone,
+}
+
+const P_MAPPED: u8 = 1;
+const P_UNMAPPED: u8 = 2;
+
+fn p_join(a: PSt, b: PSt) -> PSt {
+    match (a, b) {
+        (PSt::Bot, x) | (x, PSt::Bot) => x,
+        (PSt::Gone, _) | (_, PSt::Gone) => PSt::Gone,
+        (PSt::Bits(x), PSt::Bits(y)) => PSt::Bits(x | y),
+    }
+}
+
+fn p_step(graph: &CallGraph, evs: &[Ev], param: &str, st: PSt, sums: &[FnSummary]) -> PSt {
+    let PSt::Bits(mut bits) = st else { return st };
+    for ev in evs {
+        match ev {
+            Ev::Call {
+                kind: CallKind::Unmap,
+                args,
+                ..
+            } if args.iter().any(|a| a == param) => {
+                bits = P_UNMAPPED;
+            }
+            Ev::UserCall {
+                name,
+                method,
+                qualified,
+                args,
+                ..
+            } => {
+                for (i, arg) in args.iter().enumerate() {
+                    if arg.as_deref() != Some(param) {
+                        continue;
+                    }
+                    match resolve_site(graph, name, *method, *qualified, args.len()) {
+                        Res::Known(callee) => {
+                            let slot = i + usize::from(*method);
+                            let ce = sums[callee].params.get(slot).copied().unwrap_or_default();
+                            if ce.must_unmap {
+                                bits = P_UNMAPPED;
+                            } else if ce.may_unmap || ce.escapes || ce.returned {
+                                return PSt::Gone;
+                            } else {
+                                // No effect: by ref the handle stays ours;
+                                // by value the callee drops it.
+                                let by_ref = graph.nodes[callee]
+                                    .params
+                                    .get(slot)
+                                    .map(|p| p.by_ref)
+                                    .unwrap_or(false);
+                                if !by_ref {
+                                    return PSt::Gone;
+                                }
+                            }
+                        }
+                        Res::Opaque => return PSt::Gone,
+                    }
+                }
+            }
+            Ev::ClosureCapture { vars, .. } if vars.iter().any(|v| v == param) => {
+                return PSt::Gone;
+            }
+            Ev::Bare { var } if var == param => {
+                return PSt::Gone;
+            }
+            _ => {}
+        }
+    }
+    PSt::Bits(bits)
+}
+
+/// Whether `param` is unmapped on every path from entry to exit.
+fn param_must_unmap(
+    graph: &CallGraph,
+    cfg: &Cfg,
+    stmts: &[(&Stmt, Vec<Ev>)],
+    param: &str,
+    sums: &[FnSummary],
+) -> bool {
+    // Per-block events, aligned with cfg.blocks (stmt_events skipped
+    // empty blocks, so re-associate by statement identity via line+ptr).
+    let n = cfg.blocks.len();
+    let mut ins = vec![PSt::Bot; n];
+    ins[cfg.entry] = PSt::Bits(P_MAPPED);
+    let evs_of = |b: usize| -> Option<&Vec<Ev>> {
+        let stmt = cfg.blocks[b].stmt.as_ref()?;
+        stmts
+            .iter()
+            .find(|(s, _)| std::ptr::eq(*s, stmt))
+            .map(|(_, e)| e)
+    };
+    let mut changed = true;
+    let mut rounds = 0;
+    while changed && rounds < 8 * n + 64 {
+        changed = false;
+        rounds += 1;
+        for b in 0..n {
+            if ins[b] == PSt::Bot {
+                continue;
+            }
+            let out = match evs_of(b) {
+                Some(evs) => p_step(graph, evs, param, ins[b], sums),
+                None => ins[b],
+            };
+            let has_try = cfg.blocks[b].stmt.as_ref().is_some_and(|stmt| stmt.has_try);
+            if has_try {
+                let j = p_join(ins[cfg.exit], out);
+                if j != ins[cfg.exit] {
+                    ins[cfg.exit] = j;
+                    changed = true;
+                }
+            }
+            for &succ in &cfg.blocks[b].succs {
+                let j = p_join(ins[succ], out);
+                if j != ins[succ] {
+                    ins[succ] = j;
+                    changed = true;
+                }
+            }
+        }
+    }
+    ins[cfg.exit] == PSt::Bits(P_UNMAPPED)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::prep;
+
+    fn setup(src: &str) -> (CallGraph, Vec<FnSummary>) {
+        let g = CallGraph::build(&[(prep("x.rs", src), "x".to_string())]);
+        let s = compute(&g);
+        (g, s)
+    }
+
+    fn sum_of<'s>(g: &CallGraph, s: &'s [FnSummary], name: &str) -> &'s FnSummary {
+        let id = g
+            .nodes
+            .iter()
+            .position(|n| n.name == name)
+            .unwrap_or_else(|| panic!("{name} not in graph"));
+        &s[id]
+    }
+
+    #[test]
+    fn by_ref_reader_has_no_effects() {
+        let src = "fn log_mapping(m: &M) { note(m.iova); }\n";
+        let (g, s) = setup(src);
+        let e = sum_of(&g, &s, "log_mapping").params[0];
+        assert!(e.uses);
+        assert!(
+            !e.may_unmap && !e.must_unmap && !e.escapes && !e.returned,
+            "{e:?}"
+        );
+    }
+
+    #[test]
+    fn unconditional_unmap_is_must_unmap() {
+        let src = "fn release(engine: &E, ctx: &mut C, m: M) {\n\
+                   engine.unmap(ctx, m).expect(\"u\");\n\
+                   }\n";
+        let (g, s) = setup(src);
+        let e = sum_of(&g, &s, "release").params[2];
+        assert!(e.may_unmap && e.must_unmap, "{e:?}");
+    }
+
+    #[test]
+    fn conditional_unmap_is_may_not_must() {
+        let src = "fn maybe(engine: &E, ctx: &mut C, m: M, fast: bool) {\n\
+                   if fast {\n\
+                   engine.unmap(ctx, m).expect(\"u\");\n\
+                   }\n\
+                   }\n";
+        let (g, s) = setup(src);
+        let e = sum_of(&g, &s, "maybe").params[2];
+        assert!(e.may_unmap && !e.must_unmap, "{e:?}");
+    }
+
+    #[test]
+    fn must_unmap_propagates_through_a_helper() {
+        let src = "fn release(engine: &E, ctx: &mut C, m: M) {\n\
+                   engine.unmap(ctx, m).expect(\"u\");\n\
+                   }\n\
+                   fn outer(engine: &E, ctx: &mut C, m: M) {\n\
+                   release(engine, ctx, m);\n\
+                   }\n";
+        let (g, s) = setup(src);
+        let e = sum_of(&g, &s, "outer").params[2];
+        assert!(e.must_unmap, "{e:?}");
+    }
+
+    #[test]
+    fn returned_param_is_flagged_returned() {
+        let src = "fn pass(m: M) -> M { m }\n";
+        let (g, s) = setup(src);
+        let e = sum_of(&g, &s, "pass").params[0];
+        assert!(e.returned && !e.escapes, "{e:?}");
+    }
+
+    #[test]
+    fn stored_param_escapes() {
+        let src = "fn stash(ring: &mut R, m: M) { ring.slots.push(m); }\n";
+        let (g, s) = setup(src);
+        let e = sum_of(&g, &s, "stash").params[1];
+        assert!(e.escapes, "{e:?}");
+    }
+
+    #[test]
+    fn closure_captured_param_escapes() {
+        let src = "fn defer(q: &mut Q, m: M) { q.push(Box::new(move || consume(m))); }\n";
+        let (g, s) = setup(src);
+        let e = sum_of(&g, &s, "defer").params[1];
+        assert!(e.escapes, "{e:?}");
+    }
+
+    #[test]
+    fn tail_map_call_returns_fresh_mapping() {
+        let src = "fn make_rx(engine: &E, ctx: &mut C) -> M {\n\
+                   engine.map(ctx, DmaBuf::new(buf, 64), DmaDirection::FromDevice).expect(\"m\")\n\
+                   }\n\
+                   fn wrap(engine: &E, ctx: &mut C) -> M {\n\
+                   make_rx(engine, ctx)\n\
+                   }\n";
+        let (g, s) = setup(src);
+        assert_eq!(
+            sum_of(&g, &s, "make_rx").ret,
+            RetEffect::FreshMapped {
+                dir: Dir::FromDevice
+            }
+        );
+        // Propagates through a uniquely-resolved tail call.
+        assert_eq!(
+            sum_of(&g, &s, "wrap").ret,
+            RetEffect::FreshMapped {
+                dir: Dir::FromDevice
+            }
+        );
+    }
+
+    #[test]
+    fn recursion_converges() {
+        let src = "fn walk(n: u32) { if n > 0 { walk(n - 1); } }\n";
+        let (g, s) = setup(src);
+        assert!(sum_of(&g, &s, "walk").converged);
+    }
+
+    #[test]
+    fn device_read_sets_the_taint_source_bit() {
+        let src = "fn rx(engine: &E, mem: &M, ctx: &mut C) {\n\
+                   let m = engine.map(ctx, DmaBuf::new(frame, 256), DmaDirection::FromDevice).expect(\"m\");\n\
+                   engine.sync_for_cpu(ctx, &m);\n\
+                   let data = mem.read_vec(frame, 256);\n\
+                   engine.unmap(ctx, m).expect(\"u\");\n\
+                   }\n";
+        let (g, s) = setup(src);
+        assert!(sum_of(&g, &s, "rx").reads_device_data);
+    }
+}

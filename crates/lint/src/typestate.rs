@@ -16,26 +16,41 @@
 //!   `sync_for_cpu`'d. dmasan has no mirror for this rule: the runtime
 //!   cannot observe CPU loads, only device-side bus accesses.
 //!
+//! ## Interprocedural mode
+//!
+//! With an [`InterCtx`] (a workspace [`crate::callgraph::CallGraph`] plus
+//! [`crate::summary`] effect summaries), call sites are resolved instead
+//! of waived: a handle passed to a helper whose summary proves an unmap
+//! keeps being tracked (so a later projection is a use-after-unmap *via*
+//! that helper), a helper that only reads a by-ref handle keeps the leak
+//! obligation with the caller, a `let h = make_mapping(…)` binding whose
+//! callee returns a fresh mapping is tracked like a direct `map`, and a
+//! handle that genuinely escapes — stored, captured by a closure, passed
+//! to an unknown callee — is reported as an [`EscapeNote`] rather than
+//! silently dropped from the lattice.
+//!
 //! ## Soundness caveats (by design, to keep the pass zero-false-positive)
 //!
-//! The analysis is **intraprocedural** with **no alias tracking**: only
-//! handles bound by a direct `let h = engine.map(…)` / `alloc_coherent(…)`
-//! call chain (optionally suffixed `?` / `.unwrap()` / `.expect(…)`) are
-//! tracked. Any *bare* mention of a tracked handle — `Ok(m)`, `return m`,
-//! `v.push(m)`, `f(&m)`, a struct store — is treated as an ownership
-//! transfer and ends tracking, so storing a mapped handle in a collection
-//! and leaking it there is out of scope. Map results consumed by a
+//! The core analysis has **no alias tracking**: only handles bound by a
+//! direct `let h = engine.map(…)` / `alloc_coherent(…)` call chain
+//! (optionally suffixed `?` / `.unwrap()` / `.expect(…)`) — or, with
+//! summaries, by a call returning a fresh mapping — are tracked. Escaped
+//! handles end tracking (now with a note); map results consumed by a
 //! surrounding expression (a `match` scrutinee, a closure wrapper like
 //! `obs::profile::scope(…, |ctx| engine.map(…))`) are not tracked at all.
 //! A `map` call is recognized only when its first argument is a `ctx`-ish
 //! identifier and its last argument names a `DmaDirection` (or is the
 //! literal identifier `dir`), which keeps `Iterator::map`, page-table
-//! `map(page, pfn, perms)`, and `perms()`-projected calls out.
+//! `map(page, pfn, perms)`, and `perms()`-projected calls out. Summary
+//! application requires a *unique* name+arity resolution; ambiguous names
+//! fall back to the conservative ownership-transfer treatment.
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use crate::callgraph::{closure_at, closure_body_end, CallGraph, INTRINSICS};
 use crate::cfg::{build_trees, extract_functions, Cfg, Stmt, Tree};
 use crate::lexer::Prep;
+use crate::summary::{FnSummary, RetEffect};
 
 /// One protocol finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -49,9 +64,56 @@ pub struct Finding {
     pub detail: String,
 }
 
+/// Why a tracked handle left the analysis: the "escapes analysis" notes
+/// the interprocedural pass reports instead of silently dropping state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EscapeKind {
+    /// Passed to a call that resolved to no workspace function.
+    UnknownCallee,
+    /// Stored, aliased, or passed to a helper that keeps/returns it.
+    Moved,
+    /// Captured by a closure body.
+    ClosureCapture,
+}
+
+impl EscapeKind {
+    /// Stable name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            EscapeKind::UnknownCallee => "unknown-callee",
+            EscapeKind::Moved => "moved",
+            EscapeKind::ClosureCapture => "closure-capture",
+        }
+    }
+}
+
+/// One handle-escape note (not a violation: a declared analysis hole).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EscapeNote {
+    /// Enclosing function.
+    pub function: String,
+    /// 1-indexed line of the escape.
+    pub line: usize,
+    /// The escaping handle variable.
+    pub var: String,
+    /// How it escaped.
+    pub kind: EscapeKind,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+/// The interprocedural context: resolution + summaries, threaded through
+/// the typestate pass when available.
+pub struct InterCtx<'a> {
+    /// The workspace call graph.
+    pub graph: &'a CallGraph,
+    /// Per-node effect summaries, indexed like `graph.nodes`.
+    pub summaries: &'a [FnSummary],
+}
+
 /// Streaming direction of a tracked mapping, as far as the source shows.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Dir {
+pub enum Dir {
     ToDevice,
     FromDevice,
     Bidirectional,
@@ -62,8 +124,19 @@ enum Dir {
 }
 
 impl Dir {
-    fn needs_cpu_sync(self) -> bool {
+    pub(crate) fn needs_cpu_sync(self) -> bool {
         matches!(self, Dir::FromDevice | Dir::Bidirectional)
+    }
+
+    /// Stable name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dir::ToDevice => "ToDevice",
+            Dir::FromDevice => "FromDevice",
+            Dir::Bidirectional => "Bidirectional",
+            Dir::Unknown => "Unknown",
+            Dir::Coherent => "Coherent",
+        }
     }
 }
 
@@ -112,14 +185,14 @@ fn join_into(dst: &mut State, src: &State) -> bool {
     changed
 }
 
-const MAP_METHODS: [&str; 3] = ["map", "map_sg", "alloc_coherent"];
-const UNMAP_METHODS: [&str; 3] = ["unmap", "unmap_sg", "free_coherent"];
+pub(crate) const MAP_METHODS: [&str; 3] = ["map", "map_sg", "alloc_coherent"];
+pub(crate) const UNMAP_METHODS: [&str; 3] = ["unmap", "unmap_sg", "free_coherent"];
 /// CPU-side read markers on the simulated memory (`SimMemory` API).
-const READ_METHODS: [&str; 4] = ["read", "read_vec", "read_into", "equals"];
+pub(crate) const READ_METHODS: [&str; 4] = ["read", "read_vec", "read_into", "equals"];
 
 /// What a recognized `.method(…)` call does to tracked state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum CallKind {
+pub(crate) enum CallKind {
     Map,
     Unmap,
     SyncCpu,
@@ -128,7 +201,7 @@ enum CallKind {
 
 /// One ordered event extracted from a statement.
 #[derive(Debug)]
-enum Ev {
+pub(crate) enum Ev {
     /// A recognized DMA call; `args` are the bare identifiers in its
     /// argument list (the tracked one, if any, is the handle).
     Call {
@@ -138,12 +211,26 @@ enum Ev {
     },
     /// `v.…` — a projection of `v` (reads the handle's fields).
     Proj { var: String, line: usize },
-    /// A bare mention of `v` outside any recognized DMA call: potential
-    /// ownership transfer.
+    /// A bare mention of `v` outside any recognized call: potential
+    /// ownership transfer (store, alias, return).
     Bare { var: String },
     /// A CPU-side memory read; `head` are the identifiers of its first
     /// argument (the address expression).
     Read { head: Vec<String>, line: usize },
+    /// A call that is not a DMA intrinsic: `name(…)` or `recv.name(…)`.
+    /// `args` holds the simple-identifier form of each top-level argument
+    /// (`m`, `&m`, `&mut m`), `None` for anything more complex.
+    UserCall {
+        name: String,
+        method: bool,
+        /// Free call preceded by a `::` path segment (resolution skipped:
+        /// the path may name a foreign type's constructor).
+        qualified: bool,
+        args: Vec<Option<String>>,
+        line: usize,
+    },
+    /// A closure body mentioning `vars` (its own parameters excluded).
+    ClosureCapture { vars: Vec<String>, line: usize },
 }
 
 fn ident_of(t: &Tree) -> Option<&str> {
@@ -154,7 +241,7 @@ fn ident_of(t: &Tree) -> Option<&str> {
 }
 
 /// Splits a call's argument trees at top-level commas.
-fn split_args(children: &[Tree]) -> Vec<&[Tree]> {
+pub(crate) fn split_args(children: &[Tree]) -> Vec<&[Tree]> {
     let mut out = Vec::new();
     let mut start = 0;
     for (k, t) in children.iter().enumerate() {
@@ -167,6 +254,21 @@ fn split_args(children: &[Tree]) -> Vec<&[Tree]> {
         out.push(&children[start..]);
     }
     out
+}
+
+/// The bare identifier of an argument of the form `x`, `&x`, or `&mut x`.
+pub(crate) fn simple_arg_ident(arg: &[Tree]) -> Option<String> {
+    let mut s = arg;
+    while s
+        .first()
+        .is_some_and(|t| t.is_punct("&") || t.is_ident("mut"))
+    {
+        s = &s[1..];
+    }
+    match s {
+        [t] => ident_of(t).map(str::to_string),
+        _ => None,
+    }
 }
 
 /// First argument is `ctx`-flavored: an identifier ending in `ctx`
@@ -183,7 +285,7 @@ fn ctx_first_arg(children: &[Tree]) -> bool {
 
 /// Last argument names a direction: mentions `DmaDirection` or is exactly
 /// the identifier `dir`. Rejects `dir.perms()` and friends.
-fn dir_last_arg(children: &[Tree]) -> Option<Dir> {
+pub(crate) fn dir_last_arg(children: &[Tree]) -> Option<Dir> {
     let args = split_args(children);
     let last = args.last()?;
     if let Some(k) = last.iter().position(|t| t.is_ident("DmaDirection")) {
@@ -202,7 +304,7 @@ fn dir_last_arg(children: &[Tree]) -> Option<Dir> {
 }
 
 /// The identifier handed to `DmaBuf::new(addr, …)` inside map args.
-fn dma_buf_ident(children: &[Tree]) -> Option<String> {
+pub(crate) fn dma_buf_ident(children: &[Tree]) -> Option<String> {
     let mut i = 0;
     while i < children.len() {
         if children[i].is_ident("DmaBuf")
@@ -230,7 +332,7 @@ fn dma_buf_ident(children: &[Tree]) -> Option<String> {
 }
 
 /// Classifies a method call; `None` means not a DMA-API call.
-fn dma_call_kind(name: &str, children: &[Tree]) -> Option<CallKind> {
+pub(crate) fn dma_call_kind(name: &str, children: &[Tree]) -> Option<CallKind> {
     if MAP_METHODS.contains(&name) && ctx_first_arg(children) {
         if name == "alloc_coherent" || dir_last_arg(children).is_some() {
             return Some(CallKind::Map);
@@ -265,10 +367,54 @@ fn bare_idents(trees: &[Tree], out: &mut Vec<String>) {
     }
 }
 
+/// Every identifier (bare or projected) in a tree slice.
+fn all_idents(trees: &[Tree], out: &mut Vec<String>) {
+    for t in trees {
+        match t {
+            Tree::Tok(tok) if tok.is_ident => out.push(tok.text.clone()),
+            Tree::Group { children, .. } => all_idents(children, out),
+            _ => {}
+        }
+    }
+}
+
+/// Keywords that look like `ident (…)` but never name a callable.
+const CALL_KEYWORDS: [&str; 12] = [
+    "if", "while", "for", "match", "return", "fn", "in", "as", "move", "loop", "let", "else",
+];
+
+/// Per-argument simple identifiers for a user call.
+fn arg_idents(children: &[Tree]) -> Vec<Option<String>> {
+    split_args(children)
+        .iter()
+        .map(|a| simple_arg_ident(a))
+        .collect()
+}
+
 /// Left-to-right event extraction over a statement's trees.
-fn scan(trees: &[Tree], in_dma_args: bool, evs: &mut Vec<Ev>) {
+pub(crate) fn scan(trees: &[Tree], in_dma_args: bool, evs: &mut Vec<Ev>) {
     let mut i = 0;
     while i < trees.len() {
+        // Closure header: emit the capture event, skip the `|…|` header,
+        // and let the body tokens be scanned normally below (so DMA calls
+        // inside closures keep their historical inline treatment).
+        if let Some((params_end, params_start)) = closure_at(trees, i) {
+            let params: Vec<String> = trees[params_start..params_end]
+                .iter()
+                .filter_map(|t| ident_of(t).filter(|s| *s != "mut").map(str::to_string))
+                .collect();
+            let body_end = closure_body_end(trees, params_end + 1);
+            let mut vars = Vec::new();
+            all_idents(&trees[params_end + 1..body_end], &mut vars);
+            vars.retain(|v| !params.contains(v));
+            vars.dedup();
+            evs.push(Ev::ClosureCapture {
+                vars,
+                line: trees[i].line(),
+            });
+            i = params_end + 1;
+            continue;
+        }
         // `. method ( args )`
         if trees[i].is_punct(".") {
             if let (
@@ -301,6 +447,18 @@ fn scan(trees: &[Tree], in_dma_args: bool, evs: &mut Vec<Ev>) {
                     i += 3;
                     continue;
                 }
+                if !in_dma_args {
+                    evs.push(Ev::UserCall {
+                        name: name.to_string(),
+                        method: true,
+                        qualified: false,
+                        args: arg_idents(children),
+                        line,
+                    });
+                    scan_call_args(children, evs);
+                    i += 3;
+                    continue;
+                }
             }
             i += 1;
             continue;
@@ -308,17 +466,35 @@ fn scan(trees: &[Tree], in_dma_args: bool, evs: &mut Vec<Ev>) {
         match &trees[i] {
             Tree::Tok(tok) if tok.is_ident => {
                 let projected = trees.get(i + 1).is_some_and(|n| n.is_punct("."));
+                let called = matches!(trees.get(i + 1), Some(Tree::Group { delim: '(', .. }))
+                    && !CALL_KEYWORDS.contains(&tok.text.as_str());
                 if projected {
                     evs.push(Ev::Proj {
                         var: tok.text.clone(),
                         line: tok.line,
                     });
-                } else if !in_dma_args {
-                    evs.push(Ev::Bare {
-                        var: tok.text.clone(),
-                    });
+                    i += 1;
+                } else if called && !in_dma_args {
+                    let qualified = i > 0 && trees[i - 1].is_punct("::");
+                    if let Some(Tree::Group { children, .. }) = trees.get(i + 1) {
+                        evs.push(Ev::UserCall {
+                            name: tok.text.clone(),
+                            method: false,
+                            qualified,
+                            args: arg_idents(children),
+                            line: tok.line,
+                        });
+                        scan_call_args(children, evs);
+                    }
+                    i += 2;
+                } else {
+                    if !in_dma_args {
+                        evs.push(Ev::Bare {
+                            var: tok.text.clone(),
+                        });
+                    }
+                    i += 1;
                 }
-                i += 1;
             }
             Tree::Group { children, .. } => {
                 scan(children, in_dma_args, evs);
@@ -331,19 +507,32 @@ fn scan(trees: &[Tree], in_dma_args: bool, evs: &mut Vec<Ev>) {
     }
 }
 
-/// A recognized `let h = <chain>.map(…)[?|.unwrap()|.expect(…)]` binding.
-#[derive(Debug)]
-struct Bind {
-    var: String,
-    dir: Dir,
-    buf: Option<String>,
-    line: usize,
+/// Scans a user call's argument list: simple-identifier arguments are
+/// owned by the `UserCall` event itself (so the transfer function decides
+/// their fate from the callee summary); everything else scans normally.
+fn scan_call_args(children: &[Tree], evs: &mut Vec<Ev>) {
+    for arg in split_args(children) {
+        if simple_arg_ident(arg).is_none() {
+            scan(arg, false, evs);
+        }
+    }
 }
 
-/// Detects a trackable map binding in a statement. The RHS must *end*
-/// with the recognized call (modulo `?`/`.unwrap()`/`.expect(…)` suffixes)
-/// so results consumed by a larger expression are left untracked.
-fn detect_bind(trees: &[Tree]) -> Option<Bind> {
+/// A recognized trackable map binding.
+#[derive(Debug)]
+pub(crate) struct Bind {
+    pub(crate) var: String,
+    pub(crate) dir: Dir,
+    pub(crate) buf: Option<String>,
+    pub(crate) line: usize,
+}
+
+/// Detects a trackable map binding in a statement: `let h = <chain>.map(…)`
+/// (modulo `?`/`.unwrap()`/`.expect(…)` suffixes), or — with summaries —
+/// `let h = make_mapping(…)` where the callee provably returns a fresh
+/// mapping. The RHS must *end* with the recognized call so results
+/// consumed by a larger expression are left untracked.
+pub(crate) fn detect_bind(trees: &[Tree], inter: Option<&InterCtx>) -> Option<Bind> {
     if !trees.first()?.is_ident("let") {
         return None;
     }
@@ -356,36 +545,120 @@ fn detect_bind(trees: &[Tree]) -> Option<Bind> {
         return None;
     }
     let rhs = &trees[j + 2..];
-    // Find the last `. name ( … )` with a MAP method at RHS top level.
-    let mut call_at = None;
-    let mut k = 0;
-    while k + 2 < rhs.len() {
-        if rhs[k].is_punct(".") {
-            if let (
-                Some(name),
-                Some(Tree::Group {
-                    delim: '(',
-                    children,
-                    ..
+    match last_call(rhs)? {
+        TailCall::Map {
+            name,
+            children,
+            line,
+        } => {
+            let dir = if name == "alloc_coherent" {
+                Dir::Coherent
+            } else {
+                dir_last_arg(children).unwrap_or(Dir::Unknown)
+            };
+            Some(Bind {
+                var,
+                dir,
+                buf: dma_buf_ident(children),
+                line,
+            })
+        }
+        // Summary-backed binding: the RHS ends with a uniquely-resolved
+        // call whose return slot is a fresh mapping.
+        TailCall::User {
+            name,
+            method,
+            qualified,
+            argc,
+            line,
+        } => {
+            let ic = inter?;
+            if qualified {
+                return None;
+            }
+            let [id] = ic.graph.resolve(name, method, argc)[..] else {
+                return None;
+            };
+            match ic.summaries.get(id)?.ret {
+                RetEffect::FreshMapped { dir } => Some(Bind {
+                    var,
+                    dir,
+                    // The callee-side buffer identifier is meaningless in
+                    // this scope; the sync rule stays quiet here.
+                    buf: None,
+                    line,
                 }),
-            ) = (rhs.get(k + 1).and_then(ident_of), rhs.get(k + 2))
+                _ => None,
+            }
+        }
+    }
+}
+
+/// The call an expression *ends* with (modulo `?` / `.unwrap()` /
+/// `.expect(…)` suffixes), at top level.
+enum TailCall<'t> {
+    /// A recognized DMA map call.
+    Map {
+        name: &'t str,
+        children: &'t [Tree],
+        line: usize,
+    },
+    /// Any other call (candidate for summary resolution).
+    User {
+        name: &'t str,
+        method: bool,
+        qualified: bool,
+        argc: usize,
+        line: usize,
+    },
+}
+
+fn last_call(rhs: &[Tree]) -> Option<TailCall<'_>> {
+    let mut found = None;
+    let mut k = 0;
+    while k + 1 < rhs.len() {
+        if let (
+            Some(name),
+            Some(Tree::Group {
+                delim: '(',
+                children,
+                ..
+            }),
+        ) = (rhs.get(k).and_then(ident_of), rhs.get(k + 1))
+        {
+            let method = k > 0 && rhs[k - 1].is_punct(".");
+            if method && MAP_METHODS.contains(&name) && dma_call_kind(name, children).is_some() {
+                found = Some((
+                    k,
+                    TailCall::Map {
+                        name,
+                        children,
+                        line: rhs[k].line(),
+                    },
+                ));
+            } else if !CALL_KEYWORDS.contains(&name)
+                && !INTRINSICS.contains(&name)
+                && !READ_METHODS.contains(&name)
+                && !(method && (name == "unwrap" || name == "expect"))
             {
-                if MAP_METHODS.contains(&name)
-                    && dma_call_kind(name, children) == Some(CallKind::Map)
-                {
-                    call_at = Some(k);
-                }
+                let qualified = !method && k > 0 && rhs[k - 1].is_punct("::");
+                found = Some((
+                    k,
+                    TailCall::User {
+                        name,
+                        method,
+                        qualified,
+                        argc: split_args(children).len(),
+                        line: rhs[k].line(),
+                    },
+                ));
             }
         }
         k += 1;
     }
-    let at = call_at?;
-    let (name, children) = match (&rhs[at + 1], &rhs[at + 2]) {
-        (n, Tree::Group { children, .. }) => (ident_of(n)?, children),
-        _ => return None,
-    };
-    // Validate that only panic/try suffixes follow the call.
-    let mut s = at + 3;
+    let (at, call) = found?;
+    // Only panic/try suffixes may follow the call.
+    let mut s = at + 2;
     while s < rhs.len() {
         if rhs[s].is_punct("?") {
             s += 1;
@@ -401,17 +674,42 @@ fn detect_bind(trees: &[Tree]) -> Option<Bind> {
             return None;
         }
     }
-    let dir = if name == "alloc_coherent" {
-        Dir::Coherent
-    } else {
-        dir_last_arg(children).unwrap_or(Dir::Unknown)
-    };
-    Some(Bind {
-        var,
-        dir,
-        buf: dma_buf_ident(children),
-        line: rhs[at + 1].line(),
-    })
+    Some(call)
+}
+
+/// The [`crate::summary::RetEffect`] of a return-position expression, for
+/// the summary pass: `FreshMapped` when it ends with a recognized map
+/// call or a uniquely-resolved callee whose summary proves one.
+pub(crate) fn tail_call_effect(
+    trees: &[Tree],
+    graph: &CallGraph,
+    sums: &[FnSummary],
+) -> Option<RetEffect> {
+    match last_call(trees)? {
+        TailCall::Map { name, children, .. } => {
+            let dir = if name == "alloc_coherent" {
+                Dir::Coherent
+            } else {
+                dir_last_arg(children).unwrap_or(Dir::Unknown)
+            };
+            Some(RetEffect::FreshMapped { dir })
+        }
+        TailCall::User {
+            name,
+            method,
+            qualified,
+            argc,
+            ..
+        } => {
+            if qualified {
+                return None;
+            }
+            match graph.resolve(name, method, argc)[..] {
+                [id] => Some(sums.get(id)?.ret),
+                _ => None,
+            }
+        }
+    }
 }
 
 /// Collects findings with per-function leak dedup (one leak report per
@@ -419,8 +717,11 @@ fn detect_bind(trees: &[Tree]) -> Option<Bind> {
 #[derive(Default)]
 struct Reporter {
     findings: Vec<Finding>,
+    notes: Vec<EscapeNote>,
     leaked: BTreeSet<(String, usize)>,
     seen: BTreeSet<(&'static str, usize, String)>,
+    seen_notes: BTreeSet<(usize, String)>,
+    function: String,
 }
 
 impl Reporter {
@@ -443,17 +744,79 @@ impl Reporter {
             );
         }
     }
+
+    fn note(&mut self, line: usize, var: &str, kind: EscapeKind, detail: String) {
+        if self.seen_notes.insert((line, var.to_string())) {
+            self.notes.push(EscapeNote {
+                function: self.function.clone(),
+                line,
+                var: var.to_string(),
+                kind,
+                detail,
+            });
+        }
+    }
+}
+
+/// The per-slot verdict after consulting a uniquely-resolved callee.
+enum SlotVerdict {
+    /// The callee provably unmaps on every path and keeps nothing.
+    Unmaps,
+    /// The callee may sync/read but keeps no ownership; by-ref argument.
+    Reads { syncs_cpu: bool },
+    /// The callee takes the handle by value and drops it untouched.
+    DropsByValue { free_call: bool },
+    /// The callee stores, returns, or conditionally releases the handle.
+    Keeps,
+}
+
+fn slot_verdict(ic: &InterCtx, id: usize, slot: usize) -> SlotVerdict {
+    let Some(e) = ic.summaries.get(id).and_then(|s| s.params.get(slot)) else {
+        return SlotVerdict::Keeps;
+    };
+    if e.escapes || e.returned {
+        return SlotVerdict::Keeps;
+    }
+    if e.must_unmap {
+        return SlotVerdict::Unmaps;
+    }
+    if e.may_unmap {
+        return SlotVerdict::Keeps; // conditional release: can't track further
+    }
+    let by_ref = ic.graph.nodes[id]
+        .params
+        .get(slot)
+        .map(|p| p.by_ref)
+        .unwrap_or(false);
+    if by_ref {
+        SlotVerdict::Reads {
+            syncs_cpu: e.syncs_cpu,
+        }
+    } else {
+        SlotVerdict::DropsByValue {
+            free_call: ic.graph.nodes[id]
+                .params
+                .first()
+                .is_none_or(|p| p.name != "self"),
+        }
+    }
 }
 
 /// Applies one statement's events to `state`; reports findings when `rep`
 /// is set. Returns the statement's map binding *unapplied*: the caller
 /// applies it to the fallthrough state only, since on the `?` error edge
 /// the handle was never mapped.
-fn transfer(state: &mut State, stmt: &Stmt, mut rep: Option<&mut Reporter>) -> Option<Bind> {
+fn transfer(
+    state: &mut State,
+    stmt: &Stmt,
+    inter: Option<&InterCtx>,
+    mut rep: Option<&mut Reporter>,
+) -> Option<Bind> {
     if stmt.trees.first().is_some_and(|t| t.is_ident("fn")) {
         return None; // nested fn item: analyzed as its own function
     }
-    let bind = detect_bind(&stmt.trees);
+    let bind = detect_bind(&stmt.trees, inter);
+    let ret_pos = stmt.is_return || stmt.is_tail;
     let mut evs = Vec::new();
     scan(&stmt.trees, false, &mut evs);
     for ev in &evs {
@@ -527,10 +890,164 @@ fn transfer(state: &mut State, stmt: &Stmt, mut rep: Option<&mut Reporter>) -> O
                     }
                 }
             }
+            Ev::UserCall {
+                name,
+                method,
+                qualified,
+                args,
+                line,
+            } => {
+                let resolvable = !*qualified
+                    && !INTRINSICS.contains(&name.as_str())
+                    && !READ_METHODS.contains(&name.as_str());
+                let unique = inter.filter(|_| resolvable).and_then(|ic| {
+                    let c = ic.graph.resolve(name, *method, args.len());
+                    match c[..] {
+                        [id] => Some((ic, id)),
+                        _ => None,
+                    }
+                });
+                for (k, arg) in args.iter().enumerate() {
+                    let Some(a) = arg else { continue };
+                    if bind.as_ref().is_some_and(|b| &b.var == a) || !state.contains_key(a) {
+                        continue;
+                    }
+                    match unique {
+                        Some((ic, id)) => {
+                            let slot = k + usize::from(*method);
+                            match slot_verdict(ic, id, slot) {
+                                SlotVerdict::Unmaps => {
+                                    if let Some(st) = state.get_mut(a) {
+                                        if st.bits & UNMAPPED != 0 {
+                                            if let Some(r) = rep.as_deref_mut() {
+                                                r.push(
+                                                    "double-unmap",
+                                                    *line,
+                                                    format!(
+                                                        "handle `{a}` already unmapped on some \
+                                                         path is unmapped again via `{name}`"
+                                                    ),
+                                                );
+                                            }
+                                        }
+                                        st.bits = UNMAPPED;
+                                    }
+                                }
+                                SlotVerdict::Reads { syncs_cpu } => {
+                                    if syncs_cpu {
+                                        if let Some(st) = state.get_mut(a) {
+                                            st.bits |= SYNCED;
+                                        }
+                                    }
+                                    // Ownership stays here: keep tracking,
+                                    // the leak obligation is still ours.
+                                }
+                                SlotVerdict::DropsByValue { free_call } => {
+                                    if free_call {
+                                        if let Some(st) = state.get(a).cloned() {
+                                            if st.bits & MAPPED != 0 {
+                                                if let Some(r) = rep.as_deref_mut() {
+                                                    if r.leaked.insert((a.clone(), st.born_line)) {
+                                                        r.push(
+                                                            "leak-on-exit",
+                                                            *line,
+                                                            format!(
+                                                                "mapping `{a}` (mapped at line {}) \
+                                                                 moved into `{name}`, which drops \
+                                                                 it still mapped",
+                                                                st.born_line
+                                                            ),
+                                                        );
+                                                    }
+                                                }
+                                            }
+                                        }
+                                        state.remove(a);
+                                    } else {
+                                        // Method resolution is name+arity
+                                        // only: too weak to blame a drop.
+                                        if let Some(r) = rep.as_deref_mut() {
+                                            if !ret_pos {
+                                                r.note(
+                                                    *line,
+                                                    a,
+                                                    EscapeKind::Moved,
+                                                    format!("moved into method `{name}`"),
+                                                );
+                                            }
+                                        }
+                                        state.remove(a);
+                                    }
+                                }
+                                SlotVerdict::Keeps => {
+                                    if let Some(r) = rep.as_deref_mut() {
+                                        if !ret_pos {
+                                            r.note(
+                                                *line,
+                                                a,
+                                                EscapeKind::Moved,
+                                                format!(
+                                                    "passed to `{name}`, which stores, returns, \
+                                                     or conditionally releases it"
+                                                ),
+                                            );
+                                        }
+                                    }
+                                    state.remove(a);
+                                }
+                            }
+                        }
+                        None => {
+                            // Unresolved (or ambiguous) callee: ownership
+                            // transfer, declared as a note when the
+                            // interprocedural pass is on.
+                            if inter.is_some() && !ret_pos && resolvable {
+                                if let Some(r) = rep.as_deref_mut() {
+                                    r.note(
+                                        *line,
+                                        a,
+                                        EscapeKind::UnknownCallee,
+                                        format!("passed to unresolved callee `{name}`"),
+                                    );
+                                }
+                            }
+                            state.remove(a);
+                        }
+                    }
+                }
+            }
+            Ev::ClosureCapture { vars, line } => {
+                for v in vars {
+                    if bind.as_ref().is_some_and(|b| &b.var == v) || !state.contains_key(v) {
+                        continue;
+                    }
+                    if inter.is_some() {
+                        if let Some(r) = rep.as_deref_mut() {
+                            r.note(
+                                *line,
+                                v,
+                                EscapeKind::ClosureCapture,
+                                "captured by a closure body".to_string(),
+                            );
+                        }
+                    }
+                    state.remove(v);
+                }
+            }
             Ev::Bare { var } => {
                 // Ownership transfer: stop tracking. The bind's own var
                 // is not yet live on this statement.
-                if bind.as_ref().is_none_or(|b| &b.var != var) {
+                if bind.as_ref().is_none_or(|b| &b.var != var) && state.contains_key(var) {
+                    if inter.is_some() && !ret_pos {
+                        if let Some(r) = rep.as_deref_mut() {
+                            r.note(
+                                stmt.line,
+                                var,
+                                EscapeKind::Moved,
+                                "stored or aliased outside the tracked scope".to_string(),
+                            );
+                        }
+                    }
                     state.remove(var);
                 }
             }
@@ -567,12 +1084,13 @@ fn block_out(
     cfg: &Cfg,
     b: usize,
     mut st: State,
+    inter: Option<&InterCtx>,
     mut rep: Option<&mut Reporter>,
 ) -> (State, Option<State>) {
     let Some(stmt) = &cfg.blocks[b].stmt else {
         return (st, None);
     };
-    let bind = transfer(&mut st, stmt, rep.as_deref_mut());
+    let bind = transfer(&mut st, stmt, inter, rep.as_deref_mut());
     let mut try_out = None;
     if stmt.has_try {
         if let Some(r) = rep.as_deref_mut() {
@@ -592,7 +1110,7 @@ fn block_out(
 }
 
 /// Runs the typestate pass over one function's CFG.
-fn check_cfg(cfg: &Cfg, rep: &mut Reporter) {
+fn check_cfg(cfg: &Cfg, inter: Option<&InterCtx>, rep: &mut Reporter) {
     let n = cfg.blocks.len();
     let mut ins: Vec<State> = vec![State::new(); n];
     // Fixpoint: propagate out-states along edges until stable.
@@ -602,7 +1120,7 @@ fn check_cfg(cfg: &Cfg, rep: &mut Reporter) {
         changed = false;
         rounds += 1;
         for b in 0..n {
-            let (out, try_out) = block_out(cfg, b, ins[b].clone(), None);
+            let (out, try_out) = block_out(cfg, b, ins[b].clone(), inter, None);
             if let Some(t) = try_out {
                 if join_into(&mut ins[cfg.exit], &t) {
                     changed = true;
@@ -622,7 +1140,7 @@ fn check_cfg(cfg: &Cfg, rep: &mut Reporter) {
         if b == cfg.exit {
             continue;
         }
-        block_out(cfg, b, in_state.clone(), Some(rep));
+        block_out(cfg, b, in_state.clone(), inter, Some(rep));
     }
     // Handles still mapped at the exit join that no explicit edge already
     // reported (e.g. a fallthrough that ends the function with the handle
@@ -636,17 +1154,26 @@ fn check_cfg(cfg: &Cfg, rep: &mut Reporter) {
 }
 
 /// Runs the DMA protocol checker over every non-test function in a
-/// prepared file.
+/// prepared file (intraprocedural mode — no call resolution).
 pub fn check_file(prep: &Prep) -> Vec<Finding> {
+    check_file_inter(prep, None).0
+}
+
+/// Runs the DMA protocol checker over a prepared file, resolving calls
+/// through `inter` when given. Returns the findings plus the handle
+/// escape notes (always empty without `inter`).
+pub fn check_file_inter(prep: &Prep, inter: Option<&InterCtx>) -> (Vec<Finding>, Vec<EscapeNote>) {
     let tokens = crate::lexer::tokenize(&prep.blank);
     let trees = build_trees(&tokens);
     let mut rep = Reporter::default();
     for f in extract_functions(prep, &trees) {
         let cfg = Cfg::build(&f.body);
-        check_cfg(&cfg, &mut rep);
+        rep.function = f.name.clone();
+        check_cfg(&cfg, inter, &mut rep);
     }
     rep.findings.sort_by_key(|f| (f.line, f.rule));
-    rep.findings
+    rep.notes.sort_by_key(|n| n.line);
+    (rep.findings, rep.notes)
 }
 
 #[cfg(test)]
@@ -660,6 +1187,18 @@ mod tests {
 
     fn rules(src: &str) -> Vec<&'static str> {
         run(src).into_iter().map(|f| f.rule).collect()
+    }
+
+    /// Runs the checker in interprocedural mode over one file.
+    fn run_inter(src: &str) -> (Vec<Finding>, Vec<EscapeNote>) {
+        let p = prep("x.rs", src);
+        let graph = CallGraph::build(&[(p.clone(), "x".to_string())]);
+        let summaries = crate::summary::compute(&graph);
+        let inter = InterCtx {
+            graph: &graph,
+            summaries: &summaries,
+        };
+        check_file_inter(&p, Some(&inter))
     }
 
     #[test]
@@ -855,5 +1394,115 @@ mod tests {
                    }\n\
                    }\n";
         assert_eq!(rules(src), Vec::<&str>::new());
+    }
+
+    // ---- interprocedural mode ----
+
+    #[test]
+    fn leak_across_uses_only_helper_is_flagged() {
+        let src = "fn caller(engine: &E, ctx: &mut C) {\n\
+                   let m = engine.map(ctx, DmaBuf::new(skb, 64), DmaDirection::ToDevice).expect(\"m\");\n\
+                   touch_stats(&m);\n\
+                   }\n\
+                   fn touch_stats(m: &M) {\n\
+                   count(m.len);\n\
+                   }\n";
+        // Intraprocedural: ownership transfer, silent.
+        assert_eq!(rules(src), Vec::<&str>::new());
+        // Interprocedural: the helper only reads; the leak is ours.
+        let (f, _) = run_inter(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "leak-on-exit");
+    }
+
+    #[test]
+    fn helper_roundtrip_with_unmap_is_clean() {
+        let src = "fn caller(engine: &E, ctx: &mut C) {\n\
+                   let m = engine.map(ctx, DmaBuf::new(skb, 64), DmaDirection::ToDevice).expect(\"m\");\n\
+                   log_mapping(&m);\n\
+                   engine.unmap(ctx, m).expect(\"u\");\n\
+                   }\n\
+                   fn log_mapping(m: &M) {\n\
+                   note(m.iova);\n\
+                   }\n";
+        let (f, notes) = run_inter(src);
+        assert_eq!(f, Vec::new(), "{f:?}");
+        assert_eq!(notes, Vec::new(), "{notes:?}");
+    }
+
+    #[test]
+    fn use_after_unmap_through_returned_handle_and_helper_unmap() {
+        let src = "fn caller(engine: &E, ctx: &mut C) {\n\
+                   let m = make_rx(engine, ctx);\n\
+                   finish(engine, ctx, m);\n\
+                   fire(m.iova.get());\n\
+                   }\n\
+                   fn make_rx(engine: &E, ctx: &mut C) -> M {\n\
+                   engine.map(ctx, DmaBuf::new(buf, 64), DmaDirection::FromDevice).expect(\"m\")\n\
+                   }\n\
+                   fn finish(engine: &E, ctx: &mut C, m: M) {\n\
+                   engine.unmap(ctx, m).expect(\"u\");\n\
+                   }\n";
+        // Intraprocedural: nothing is even tracked.
+        assert_eq!(rules(src), Vec::<&str>::new());
+        let (f, _) = run_inter(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "use-after-unmap");
+        assert_eq!(f[0].line, 4);
+    }
+
+    #[test]
+    fn helper_unmap_then_caller_unmap_is_double() {
+        let src = "fn caller(engine: &E, ctx: &mut C) {\n\
+                   let m = engine.map(ctx, DmaBuf::new(skb, 64), DmaDirection::ToDevice).expect(\"m\");\n\
+                   release(engine, ctx, m);\n\
+                   engine.unmap(ctx, m).expect(\"u\");\n\
+                   }\n\
+                   fn release(engine: &E, ctx: &mut C, m: M) {\n\
+                   engine.unmap(ctx, m).expect(\"u\");\n\
+                   }\n";
+        let (f, _) = run_inter(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "double-unmap");
+        assert_eq!(f[0].line, 4);
+    }
+
+    #[test]
+    fn closure_capture_is_a_note_not_a_violation() {
+        let src = "fn caller(engine: &E, ctx: &mut C, defer: &mut Vec<F>) {\n\
+                   let m = engine.map(ctx, DmaBuf::new(skb, 64), DmaDirection::ToDevice).expect(\"m\");\n\
+                   defer.push(Box::new(move || consume(m)));\n\
+                   }\n";
+        let (f, notes) = run_inter(src);
+        assert_eq!(f, Vec::new(), "{f:?}");
+        assert_eq!(notes.len(), 1, "{notes:?}");
+        assert_eq!(notes[0].kind, EscapeKind::ClosureCapture);
+        assert_eq!(notes[0].var, "m");
+        assert_eq!(notes[0].function, "caller");
+    }
+
+    #[test]
+    fn unknown_callee_becomes_a_note() {
+        let src = "fn caller(engine: &E, ctx: &mut C) {\n\
+                   let m = engine.map(ctx, DmaBuf::new(skb, 64), DmaDirection::ToDevice).expect(\"m\");\n\
+                   ring.stash(&m);\n\
+                   }\n";
+        let (f, notes) = run_inter(src);
+        assert_eq!(f, Vec::new(), "{f:?}");
+        assert_eq!(notes.len(), 1, "{notes:?}");
+        assert_eq!(notes[0].kind, EscapeKind::UnknownCallee);
+    }
+
+    #[test]
+    fn returned_handles_stay_silent_interprocedurally() {
+        // `Ok(m)` in tail position is the ownership hand-off to the
+        // caller — the caller-side summary check covers it, not a note.
+        let src = "fn make(engine: &E, ctx: &mut C) -> Result<M, E> {\n\
+                   let m = engine.map(ctx, DmaBuf::new(skb, 64), DmaDirection::ToDevice)?;\n\
+                   Ok(m)\n\
+                   }\n";
+        let (f, notes) = run_inter(src);
+        assert_eq!(f, Vec::new(), "{f:?}");
+        assert_eq!(notes, Vec::new(), "{notes:?}");
     }
 }

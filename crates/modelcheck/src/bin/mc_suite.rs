@@ -15,7 +15,6 @@
 //! Exit codes: 0 = all verdicts hold, 1 = a verdict failed,
 //! 2 = usage/IO error.
 
-// lint: allow(panic) — suite assertions are the CI gate, failure is the point
 // lint: allow(ambient-io) — reads/writes the committed counterexample fixture and prints the report
 
 use modelcheck::{explore, Config, Counterexample, Report, Strategy};

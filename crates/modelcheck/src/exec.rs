@@ -12,8 +12,6 @@
 //! *stateless* (loom/Shuttle style) — each schedule is replayed against a
 //! fresh stack, so no state snapshotting is needed.
 
-// lint: allow(panic) — executor invariant breaks are checker bugs, not runtime errors
-
 use obs::{EventKind, Obs};
 use std::cell::RefCell;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};

@@ -2,27 +2,34 @@
 //! Workspace lint runner: `cargo run --bin lint`.
 //!
 //! Scans every member crate's sources, tests, benches, and manifest for
-//! the house rules, the DMA-API protocol typestate rules, the lock-order
-//! pass, and the unsafe audit (see the `lint` crate), prints a per-rule
-//! summary, and exits with a CI-friendly code: `0` clean, `1` findings,
-//! `2` the scan itself failed (I/O error, missing workspace).
+//! the house rules, the interprocedural DMA-API protocol rules, the
+//! device-taint pass, the lock-order pass, the unsafe audit, and stale
+//! waivers (see the `lint` crate), prints a per-rule summary, and exits
+//! with a CI-friendly code: `0` clean, `1` findings, `2` the scan itself
+//! failed (I/O error, missing workspace, blown time budget).
 //!
 //! Flags:
 //! - `--fast` — style + manifest rules only (the quick pre-commit pass);
-//!   the protocol, lock-order, and unsafe passes are skipped.
+//!   the protocol, taint, lock-order, unsafe, and dead-waiver passes are
+//!   skipped.
 //! - `--json <path>` — also write the machine-readable report (findings,
-//!   per-rule summary, lock-order and unsafe inventories) to `path`.
+//!   per-rule summary, lock-order and unsafe inventories, call graph,
+//!   function summaries, escapes, taint stats) to `path`.
+//! - `--budget-ms <n>` — fail (exit 2) if the scan takes longer than `n`
+//!   milliseconds of wall clock; keeps the full pass honest in CI.
 //! - any other argument — the workspace root (default: this crate's
 //!   manifest directory).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
 use lint::{json_report, lock_order_analysis, rule_summary, unsafe_audit_analysis, Pass};
 
 fn main() -> ExitCode {
     let mut pass = Pass::Full;
     let mut json_path: Option<PathBuf> = None;
+    let mut budget_ms: Option<u64> = None;
     let mut root: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -35,18 +42,27 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--budget-ms" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) => budget_ms = Some(n),
+                None => {
+                    eprintln!("lint: --budget-ms requires a millisecond count");
+                    return ExitCode::from(2);
+                }
+            },
             _ => root = Some(PathBuf::from(a)),
         }
     }
     let root = root.unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")));
+    let started = Instant::now();
 
-    let violations = match lint::lint_workspace_pass(&root, pass) {
-        Ok(v) => v,
+    let report = match lint::lint_workspace_report(&root, pass) {
+        Ok(r) => r,
         Err(e) => {
             eprintln!("lint: cannot scan {}: {e}", root.display());
             return ExitCode::from(2);
         }
     };
+    let violations = &report.violations;
 
     if let Some(path) = &json_path {
         let (locks, unsafes) = match (lock_order_analysis(&root), unsafe_audit_analysis(&root)) {
@@ -56,7 +72,7 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         };
-        let doc = json_report(&violations, &locks, &unsafes);
+        let doc = json_report(violations, &locks, &unsafes, report.protocol.as_ref());
         if let Err(e) = std::fs::write(path, doc.encode()) {
             eprintln!("lint: cannot write {}: {e}", path.display());
             return ExitCode::from(2);
@@ -64,11 +80,20 @@ fn main() -> ExitCode {
         println!("lint: wrote {}", path.display());
     }
 
+    let elapsed_ms = started.elapsed().as_millis() as u64;
+    if let Some(budget) = budget_ms {
+        if elapsed_ms > budget {
+            eprintln!("lint: blew the time budget: {elapsed_ms}ms > {budget}ms");
+            return ExitCode::from(2);
+        }
+        println!("lint: {elapsed_ms}ms elapsed, within the {budget}ms budget");
+    }
+
     let mode = match pass {
         Pass::Fast => "fast (style rules)",
-        Pass::Full => "full (style + protocol + lock-order + unsafe)",
+        Pass::Full => "full (style + protocol + taint + lock-order + unsafe)",
     };
-    let summary: Vec<String> = rule_summary(&violations)
+    let summary: Vec<String> = rule_summary(violations)
         .iter()
         .map(|(rule, n)| format!("{rule}: {n}"))
         .collect();
@@ -77,7 +102,7 @@ fn main() -> ExitCode {
         println!("lint[{mode}]: {}", summary.join(", "));
         return ExitCode::SUCCESS;
     }
-    for v in &violations {
+    for v in violations {
         eprintln!("{v}");
     }
     eprintln!("lint[{mode}]: {} violation(s)", violations.len());

@@ -1,6 +1,7 @@
 //! Planted fixture source: trips every source-level lint rule exactly
 //! where `tests/lint.rs` expects. Never compiled.
 
+pub mod interproc;
 pub mod protocol;
 
 use std::fs;
